@@ -1,0 +1,444 @@
+// Benchmarks regenerating the paper's tables and figures (one benchmark
+// per experiment) plus ablations of the CBWS design parameters that
+// DESIGN.md calls out. Figure benchmarks run a reduced instruction
+// window per iteration so the full suite stays fast; cmd/figures is the
+// full-scale generator. Custom metrics surface the experiment's headline
+// number (speedup, MPKI, coverage) alongside the usual ns/op.
+package cbws_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cbws"
+	"cbws/internal/core"
+	"cbws/internal/harness"
+	"cbws/internal/mem"
+	"cbws/internal/prefetch"
+	"cbws/internal/sim"
+	"cbws/internal/stats"
+	"cbws/internal/trace"
+	"cbws/internal/workload"
+)
+
+// benchOptions returns a reduced-scale harness configuration.
+func benchOptions() harness.Options {
+	opts := harness.DefaultOptions()
+	opts.Sim.MaxInstructions = 400_000
+	opts.Sim.WarmupInstructions = 150_000
+	opts.Parallel = 4
+	return opts
+}
+
+// benchSpecs is a representative MI subset used by the per-figure
+// benchmarks (one CBWS-friendly, one SMS-friendly, one divergent, one
+// streaming benchmark).
+func benchSpecs(b *testing.B) []workload.Spec {
+	b.Helper()
+	var out []workload.Spec
+	for _, n := range []string{"stencil-default", "histo-large", "450.soplex-ref", "462.libquantum-ref"} {
+		s, ok := workload.ByName(n)
+		if !ok {
+			b.Fatalf("workload %s missing", n)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// BenchmarkFigure1LoopResidency regenerates the loop-residency fractions
+// of Figure 1 over the benchmark subset.
+func BenchmarkFigure1LoopResidency(b *testing.B) {
+	noPf, _ := harness.FactoryByName("none")
+	for i := 0; i < b.N; i++ {
+		m := harness.NewMatrix(benchOptions())
+		var fracs []float64
+		for _, spec := range benchSpecs(b) {
+			r, err := m.Get(spec, noPf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fracs = append(fracs, r.Metrics.LoopFrac)
+		}
+		b.ReportMetric(100*stats.Mean(fracs), "loop%")
+	}
+}
+
+// BenchmarkFigure5Skew regenerates the differential-distribution census
+// of Figure 5 for the paper's six workloads.
+func BenchmarkFigure5Skew(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var cov []float64
+		for _, name := range harness.Figure5Workloads {
+			spec, _ := workload.ByName(name)
+			c := core.NewCensus(16)
+			trace.Limit{Gen: spec.Make(), Max: 300_000}.Generate(c)
+			cov = append(cov, c.CoverageAt(0.25))
+		}
+		b.ReportMetric(100*stats.Mean(cov), "top25%cov")
+	}
+}
+
+// BenchmarkFigure12MPKI regenerates the MPKI comparison of Figure 12
+// over the subset × all seven schemes.
+func BenchmarkFigure12MPKI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := harness.NewMatrix(benchOptions())
+		var none, hybrid []float64
+		for _, spec := range benchSpecs(b) {
+			for _, f := range harness.Prefetchers() {
+				r, err := m.Get(spec, f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				switch f.Name {
+				case "none":
+					none = append(none, r.Metrics.MPKI())
+				case "cbws+sms":
+					hybrid = append(hybrid, r.Metrics.MPKI())
+				}
+			}
+		}
+		b.ReportMetric(stats.Mean(none), "mpki-none")
+		b.ReportMetric(stats.Mean(hybrid), "mpki-cbws+sms")
+	}
+}
+
+// BenchmarkFigure13Timeliness regenerates the timeliness/accuracy
+// classification of Figure 13 for the CBWS+SMS scheme.
+func BenchmarkFigure13Timeliness(b *testing.B) {
+	f, _ := harness.FactoryByName("cbws+sms")
+	for i := 0; i < b.N; i++ {
+		m := harness.NewMatrix(benchOptions())
+		var timely, wrong []float64
+		for _, spec := range benchSpecs(b) {
+			r, err := m.Get(spec, f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			timely = append(timely, r.Metrics.TimelyFrac())
+			wrong = append(wrong, r.Metrics.WrongFrac())
+		}
+		b.ReportMetric(100*stats.Mean(timely), "timely%")
+		b.ReportMetric(100*stats.Mean(wrong), "wrong%")
+	}
+}
+
+// BenchmarkFigure14Speedup regenerates the headline IPC comparison of
+// Figure 14: CBWS+SMS speedup over SMS.
+func BenchmarkFigure14Speedup(b *testing.B) {
+	smsF, _ := harness.FactoryByName("sms")
+	hybridF, _ := harness.FactoryByName("cbws+sms")
+	for i := 0; i < b.N; i++ {
+		m := harness.NewMatrix(benchOptions())
+		var speedups []float64
+		for _, spec := range benchSpecs(b) {
+			base, err := m.Get(spec, smsF)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := m.Get(spec, hybridF)
+			if err != nil {
+				b.Fatal(err)
+			}
+			speedups = append(speedups, r.Metrics.IPC()/base.Metrics.IPC())
+		}
+		b.ReportMetric(stats.GeoMean(speedups), "speedup-vs-sms")
+	}
+}
+
+// BenchmarkFigure15PerfCost regenerates the performance/cost comparison
+// of Figure 15: IPC per byte fetched, CBWS+SMS normalized to no-prefetch.
+func BenchmarkFigure15PerfCost(b *testing.B) {
+	noneF, _ := harness.FactoryByName("none")
+	hybridF, _ := harness.FactoryByName("cbws+sms")
+	for i := 0; i < b.N; i++ {
+		m := harness.NewMatrix(benchOptions())
+		var ratios []float64
+		for _, spec := range benchSpecs(b) {
+			base, err := m.Get(spec, noneF)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := m.Get(spec, hybridF)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ratios = append(ratios, r.Metrics.PerfPerByte()/base.Metrics.PerfPerByte())
+		}
+		b.ReportMetric(stats.GeoMean(ratios), "perfcost-vs-none")
+	}
+}
+
+// BenchmarkTableIIIStorage recomputes the storage-budget comparison.
+func BenchmarkTableIIIStorage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var cbwsBits uint64
+		for _, f := range harness.Prefetchers() {
+			p := f.New()
+			if f.Name == "cbws" {
+				cbwsBits = p.StorageBits()
+			} else {
+				_ = p.StorageBits()
+			}
+		}
+		b.ReportMetric(float64(cbwsBits)/8, "cbws-bytes")
+	}
+}
+
+// ablationRun simulates stencil with the given CBWS configuration and
+// returns IPC (stencil is the paper's motivating, CBWS-friendly
+// workload, so parameter effects show directly).
+func ablationRun(b *testing.B, mk func() cbws.Prefetcher, cfg sim.Config) float64 {
+	b.Helper()
+	spec, _ := workload.ByName("stencil-default")
+	res, err := sim.Run(cfg, spec.Make(), mk())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Metrics.IPC()
+}
+
+func ablationConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.MaxInstructions = 400_000
+	cfg.WarmupInstructions = 100_000
+	return cfg
+}
+
+// BenchmarkAblationTableSize sweeps the differential history table size
+// (paper: 16 entries).
+func BenchmarkAblationTableSize(b *testing.B) {
+	for _, entries := range []int{4, 16, 64, 256} {
+		entries := entries
+		b.Run(fmt.Sprintf("entries=%d", entries), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ipc := ablationRun(b, func() cbws.Prefetcher {
+					return core.New(core.Config{TableEntries: entries})
+				}, ablationConfig())
+				b.ReportMetric(ipc, "ipc")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSteps sweeps the multi-step prediction depth
+// (paper: 4).
+func BenchmarkAblationSteps(b *testing.B) {
+	for _, steps := range []int{1, 2, 4} {
+		steps := steps
+		b.Run(fmt.Sprintf("steps=%d", steps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ipc := ablationRun(b, func() cbws.Prefetcher {
+					return core.New(core.Config{Steps: steps})
+				}, ablationConfig())
+				b.ReportMetric(ipc, "ipc")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationVectorLen sweeps the CBWS trace limit (paper: 16
+// lines, covering >98% of blocks).
+func BenchmarkAblationVectorLen(b *testing.B) {
+	for _, maxVec := range []int{4, 8, 16, 32} {
+		maxVec := maxVec
+		b.Run(fmt.Sprintf("lines=%d", maxVec), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ipc := ablationRun(b, func() cbws.Prefetcher {
+					return core.New(core.Config{MaxVector: maxVec})
+				}, ablationConfig())
+				b.ReportMetric(ipc, "ipc")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHashBits sweeps the bit-select hash width
+// (paper: 12 bits).
+func BenchmarkAblationHashBits(b *testing.B) {
+	for _, bits := range []int{6, 12, 16} {
+		bits := bits
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ipc := ablationRun(b, func() cbws.Prefetcher {
+					return core.New(core.Config{HashBits: bits})
+				}, ablationConfig())
+				b.ReportMetric(ipc, "ipc")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationIssuePolicy compares the inclusive (default) and
+// exclusive CBWS+SMS integration policies.
+func BenchmarkAblationIssuePolicy(b *testing.B) {
+	policies := map[string]func() cbws.Prefetcher{
+		"inclusive": func() cbws.Prefetcher {
+			return core.NewComposite(core.New(core.Config{}), prefetch.NewSMS(prefetch.SMSConfig{}))
+		},
+		"exclusive": func() cbws.Prefetcher {
+			return core.NewExclusiveComposite(core.New(core.Config{}), prefetch.NewSMS(prefetch.SMSConfig{}))
+		},
+	}
+	for name, mk := range policies {
+		mk := mk
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ipc := ablationRun(b, mk, ablationConfig())
+				b.ReportMetric(ipc, "ipc")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMemoryLatency sweeps the memory latency, showing how
+// the CBWS lookahead interacts with the latency it must hide.
+func BenchmarkAblationMemoryLatency(b *testing.B) {
+	for _, lat := range []uint64{150, 300, 600} {
+		lat := lat
+		b.Run(fmt.Sprintf("latency=%d", lat), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig()
+				cfg.Memory.MemoryLatency = lat
+				ipc := ablationRun(b, func() cbws.Prefetcher {
+					return core.New(core.Config{})
+				}, cfg)
+				b.ReportMetric(ipc, "ipc")
+			}
+		})
+	}
+}
+
+// Component micro-benchmarks: raw simulation throughput.
+
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for _, pf := range []string{"none", "sms", "cbws+sms"} {
+		pf := pf
+		b.Run(pf, func(b *testing.B) {
+			f, _ := harness.FactoryByName(pf)
+			spec, _ := workload.ByName("stencil-default")
+			cfg := sim.DefaultConfig()
+			cfg.MaxInstructions = 300_000
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(cfg, spec.Make(), f.New()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(300_000) // "bytes" = simulated instructions
+		})
+	}
+}
+
+func BenchmarkCBWSOnAccess(b *testing.B) {
+	p := core.New(core.Config{})
+	p.Reset()
+	drop := func(l mem.LineAddr) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%8 == 0 {
+			p.OnBlockEnd(0, drop)
+			p.OnBlockBegin(0)
+		}
+		l := mem.LineAddr(1<<20 + i*3)
+		p.OnAccess(prefetch.Access{Addr: l.Byte(), Line: l}, drop)
+	}
+}
+
+// BenchmarkAblationPrefetchQueue compares direct prefetch issue with a
+// bounded hardware prefetch queue at several depths.
+func BenchmarkAblationPrefetchQueue(b *testing.B) {
+	for _, depth := range []int{0, 8, 32} {
+		depth := depth
+		name := fmt.Sprintf("depth=%d", depth)
+		if depth == 0 {
+			name = "direct"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig()
+				cfg.Memory.PrefetchQueueDepth = depth
+				ipc := ablationRun(b, func() cbws.Prefetcher {
+					return core.NewComposite(core.New(core.Config{}), prefetch.NewSMS(prefetch.SMSConfig{}))
+				}, cfg)
+				b.ReportMetric(ipc, "ipc")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBranchPrediction compares the tournament predictor
+// against an ideal front end.
+func BenchmarkAblationBranchPrediction(b *testing.B) {
+	for _, ideal := range []bool{false, true} {
+		ideal := ideal
+		name := "tournament"
+		if ideal {
+			name = "ideal"
+		}
+		b.Run(name, func(b *testing.B) {
+			spec, _ := workload.ByName("450.soplex-ref")
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig()
+				cfg.IdealBranchPrediction = ideal
+				res, err := sim.Run(cfg, spec.Make(), cbws.NewCBWSPlusSMS())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Metrics.IPC(), "ipc")
+				b.ReportMetric(100*res.Metrics.MispredictRate(), "mispredict%")
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionAMPM runs the AMPM extension baseline on stencil,
+// illustrating the zone-size limitation the paper's related-work section
+// describes (the plane-sized strides escape AMPM's access maps).
+func BenchmarkExtensionAMPM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ipc := ablationRun(b, func() cbws.Prefetcher {
+			return prefetch.NewAMPM(prefetch.AMPMConfig{})
+		}, ablationConfig())
+		b.ReportMetric(ipc, "ipc")
+	}
+}
+
+// BenchmarkAblationMemoryBandwidth compares the flat-latency memory of
+// Table II against a bandwidth-limited model where prefetch traffic
+// contends with demand fills — the contention that makes wrong
+// prefetches expensive (the concern behind Figure 15).
+func BenchmarkAblationMemoryBandwidth(b *testing.B) {
+	for _, channels := range []int{0, 4, 16} {
+		channels := channels
+		name := fmt.Sprintf("channels=%d", channels)
+		if channels == 0 {
+			name = "flat"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig()
+				cfg.Memory.MemoryChannels = channels
+				ipc := ablationRun(b, func() cbws.Prefetcher {
+					return core.NewComposite(core.New(core.Config{}), prefetch.NewSMS(prefetch.SMSConfig{}))
+				}, cfg)
+				b.ReportMetric(ipc, "ipc")
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionMarkov runs the Markov pair-correlation extension
+// baseline on mcf (pointer-heavy, the pattern class it targets).
+func BenchmarkExtensionMarkov(b *testing.B) {
+	spec, _ := workload.ByName("429.mcf-ref")
+	for i := 0; i < b.N; i++ {
+		cfg := ablationConfig()
+		res, err := sim.Run(cfg, spec.Make(), prefetch.NewMarkov(prefetch.MarkovConfig{}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Metrics.IPC(), "ipc")
+	}
+}

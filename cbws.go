@@ -1,0 +1,109 @@
+// Package cbws is a from-scratch reproduction of the code block working
+// set (CBWS) prefetcher of Fuchs, Mannor, Weiser and Etsion,
+// "Loop-Aware Memory Prefetching Using Code Block Working Sets",
+// MICRO 2014.
+//
+// The package provides the paper's complete experimental apparatus as a
+// library:
+//
+//   - a trace-driven out-of-order core and two-level cache hierarchy
+//     matching the paper's Table II configuration;
+//   - the CBWS prefetcher itself (sub-1KB hardware budget, 16-line
+//     working-set vectors, 4-step differential prediction, 16-entry
+//     history table) plus the CBWS+SMS integration;
+//   - the four baseline prefetchers it is evaluated against: stride,
+//     GHB G/DC, GHB PC/DC and spatial memory streaming (SMS);
+//   - 30 workload emulations standing in for the paper's SPEC CPU2006 /
+//     PARSEC / SPLASH / Rodinia / Parboil benchmarks;
+//   - a mini-IR with an automatic innermost-tight-loop annotation pass,
+//     reproducing the paper's LLVM-based BLOCK_BEGIN/BLOCK_END
+//     instrumentation.
+//
+// Quick start:
+//
+//	cfg := cbws.DefaultConfig()
+//	cfg.MaxInstructions = 2_000_000
+//	wl, _ := cbws.WorkloadByName("stencil-default")
+//	res, err := cbws.Run(cfg, wl.Make(), cbws.NewCBWSPlusSMS())
+//	fmt.Println(res.Metrics.IPC(), res.Metrics.MPKI())
+//
+// The cmd/figures binary regenerates every table and figure of the
+// paper's evaluation; cmd/cbwsim simulates a single workload ×
+// prefetcher pair; cmd/tracegen captures annotated traces to disk.
+package cbws
+
+import (
+	"cbws/internal/core"
+	"cbws/internal/prefetch"
+	"cbws/internal/sim"
+	"cbws/internal/stats"
+	"cbws/internal/trace"
+	"cbws/internal/workload"
+)
+
+// Config is the full simulated-system configuration (core, memory
+// hierarchy, instruction window).
+type Config = sim.Config
+
+// Result is the outcome of one simulation run.
+type Result = sim.Result
+
+// Metrics are the measured counters and derived statistics of a run.
+type Metrics = stats.Metrics
+
+// Prefetcher is a hardware prefetching scheme.
+type Prefetcher = prefetch.Prefetcher
+
+// Workload generates a committed-instruction trace.
+type Workload = trace.Generator
+
+// WorkloadSpec names and constructs one benchmark emulation.
+type WorkloadSpec = workload.Spec
+
+// CBWSConfig parametrizes the CBWS prefetcher hardware; its zero value
+// uses the paper's sub-1KB configuration.
+type CBWSConfig = core.Config
+
+// DefaultConfig returns the paper's Table II system: a 4-wide, 128-entry
+// ROB core with a 32KB 4-way L1D, an inclusive 2MB 8-way L2 and a
+// 300-cycle memory.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// Run simulates workload wl on the configured system under prefetcher
+// pf and returns the collected metrics.
+func Run(cfg Config, wl Workload, pf Prefetcher) (Result, error) { return sim.Run(cfg, wl, pf) }
+
+// NewCBWS builds the paper's CBWS prefetcher. A zero-value config uses
+// the paper's parameters (16-line vectors, 4 steps, 16-entry table).
+func NewCBWS(cfg CBWSConfig) *core.Prefetcher { return core.New(cfg) }
+
+// NewCBWSPlusSMS builds the integrated CBWS+SMS prefetcher — the paper's
+// best-performing configuration.
+func NewCBWSPlusSMS() Prefetcher {
+	return core.NewComposite(core.New(core.Config{}), prefetch.NewSMS(prefetch.SMSConfig{}))
+}
+
+// NewSMS builds the spatial memory streaming baseline.
+func NewSMS() Prefetcher { return prefetch.NewSMS(prefetch.SMSConfig{}) }
+
+// NewStride builds the 256-stream stride baseline.
+func NewStride() Prefetcher { return prefetch.NewStride(prefetch.StrideConfig{}) }
+
+// NewGHBPCDC builds the GHB PC/DC baseline.
+func NewGHBPCDC() Prefetcher { return prefetch.NewGHB(prefetch.GHBConfig{Mode: prefetch.PCDC}) }
+
+// NewGHBGDC builds the GHB G/DC baseline.
+func NewGHBGDC() Prefetcher { return prefetch.NewGHB(prefetch.GHBConfig{Mode: prefetch.GlobalDC}) }
+
+// NewNone builds the no-prefetching baseline.
+func NewNone() Prefetcher { return prefetch.NewNone() }
+
+// Workloads returns all 30 benchmark emulations.
+func Workloads() []WorkloadSpec { return workload.All() }
+
+// MemoryIntensiveWorkloads returns the paper's Table IV group.
+func MemoryIntensiveWorkloads() []WorkloadSpec { return workload.MemoryIntensive() }
+
+// WorkloadByName looks up a benchmark emulation by its paper name
+// (e.g. "stencil-default", "429.mcf-ref").
+func WorkloadByName(name string) (WorkloadSpec, bool) { return workload.ByName(name) }

@@ -1,0 +1,64 @@
+package cbws_test
+
+import (
+	"testing"
+
+	"cbws"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	cfg := cbws.DefaultConfig()
+	cfg.MaxInstructions = 200_000
+	cfg.WarmupInstructions = 50_000
+
+	wl, ok := cbws.WorkloadByName("stencil-default")
+	if !ok {
+		t.Fatal("stencil workload missing")
+	}
+	res, err := cbws.Run(cfg, wl.Make(), cbws.NewCBWSPlusSMS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Prefetcher != "cbws+sms" || res.Metrics.IPC() <= 0 {
+		t.Errorf("result: %+v", res)
+	}
+}
+
+func TestFacadePrefetcherConstructors(t *testing.T) {
+	names := map[string]cbws.Prefetcher{
+		"none":      cbws.NewNone(),
+		"stride":    cbws.NewStride(),
+		"ghb-pc/dc": cbws.NewGHBPCDC(),
+		"ghb-g/dc":  cbws.NewGHBGDC(),
+		"sms":       cbws.NewSMS(),
+		"cbws":      cbws.NewCBWS(cbws.CBWSConfig{}),
+		"cbws+sms":  cbws.NewCBWSPlusSMS(),
+	}
+	for want, p := range names {
+		if p.Name() != want {
+			t.Errorf("constructor for %q builds %q", want, p.Name())
+		}
+	}
+}
+
+func TestFacadeWorkloadRosters(t *testing.T) {
+	if len(cbws.Workloads()) != 30 {
+		t.Errorf("workloads = %d", len(cbws.Workloads()))
+	}
+	if len(cbws.MemoryIntensiveWorkloads()) != 15 {
+		t.Errorf("MI workloads = %d", len(cbws.MemoryIntensiveWorkloads()))
+	}
+	if _, ok := cbws.WorkloadByName("429.mcf-ref"); !ok {
+		t.Error("mcf missing")
+	}
+	if _, ok := cbws.WorkloadByName("nope"); ok {
+		t.Error("bogus lookup succeeded")
+	}
+}
+
+func TestFacadeCBWSStorageBudget(t *testing.T) {
+	p := cbws.NewCBWS(cbws.CBWSConfig{})
+	if bits := p.StorageBits(); bits >= 8*1024 {
+		t.Errorf("CBWS storage = %d bits, must stay under 1KB", bits)
+	}
+}

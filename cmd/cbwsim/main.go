@@ -1,0 +1,89 @@
+// Command cbwsim simulates one workload under one prefetching scheme on
+// the Table II system and prints the collected metrics.
+//
+// Usage:
+//
+//	cbwsim -workload stencil-default -prefetcher cbws+sms [-n instructions]
+//	cbwsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cbws/internal/harness"
+	"cbws/internal/sim"
+	"cbws/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "stencil-default", "workload name (see -list)")
+	pf := flag.String("prefetcher", "cbws+sms", "prefetcher: none, stride, ghb-pc/dc, ghb-g/dc, sms, cbws, cbws+sms, ampm")
+	n := flag.Uint64("n", 4_000_000, "instructions to simulate")
+	warm := flag.Uint64("warmup", 1_000_000, "warmup instructions excluded from metrics")
+	list := flag.Bool("list", false, "list workloads and exit")
+	configPath := flag.String("config", "", "JSON system-config file (overrides Table II defaults)")
+	dumpConfig := flag.Bool("dump-config", false, "print the effective configuration as JSON and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("memory-intensive workloads:")
+		for _, s := range workload.MemoryIntensive() {
+			fmt.Printf("  %-26s (%s)\n", s.Name, s.Suite)
+		}
+		fmt.Println("regular workloads:")
+		for _, s := range workload.Regular() {
+			fmt.Printf("  %-26s (%s)\n", s.Name, s.Suite)
+		}
+		return
+	}
+
+	spec, ok := workload.ByName(*wl)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cbwsim: unknown workload %q (try -list)\n", *wl)
+		os.Exit(1)
+	}
+	f, ok := harness.FactoryByName(*pf)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cbwsim: unknown prefetcher %q\n", *pf)
+		os.Exit(1)
+	}
+
+	cfg := sim.DefaultConfig()
+	if *configPath != "" {
+		var err error
+		cfg, err = sim.LoadConfig(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cbwsim:", err)
+			os.Exit(1)
+		}
+	}
+	cfg.MaxInstructions = *n
+	cfg.WarmupInstructions = *warm
+	if *dumpConfig {
+		if err := sim.WriteConfig(os.Stdout, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "cbwsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	res, err := sim.Run(cfg, spec.Make(), f.New())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cbwsim:", err)
+		os.Exit(1)
+	}
+	m := res.Metrics
+	fmt.Printf("workload     %s\nprefetcher   %s\n", res.Workload, res.Prefetcher)
+	fmt.Printf("instructions %d\ncycles       %d\nIPC          %.4f\n", m.Instructions, m.Cycles, m.IPC())
+	fmt.Printf("loads        %d\nstores       %d\nblocks       %d\n", m.Loads, m.Stores, m.Blocks)
+	fmt.Printf("branches     %d (mispredict %.2f%%)\n", m.Branches, 100*m.MispredictRate())
+	fmt.Printf("loop frac    %.1f%%\n", 100*m.LoopFrac)
+	fmt.Printf("L2 demand    %d (misses %d, MPKI %.2f)\n", m.DemandL2, m.DemandL2Misses, m.MPKI())
+	fmt.Printf("timely       %.1f%%\nshorter-wait %.1f%%\nnon-timely   %.1f%%\nmissing      %.1f%%\nwrong        %.1f%%\n",
+		100*m.TimelyFrac(), 100*m.ShorterWTFrac(), 100*m.NonTimelyFrac(), 100*m.MissingFrac(), 100*m.WrongFrac())
+	fmt.Printf("prefetches   issued %d, useful %d, late %d, redundant %d, dropped %d\n",
+		m.PrefetchIssued, m.PrefetchUseful, m.PrefetchLate, m.PrefetchRedundant, m.PrefetchDropped)
+	fmt.Printf("mem traffic  %d bytes read (demand %d), %d bytes written back\n", m.BytesFromMem, m.DemandBytes, m.WritebackBytes)
+	fmt.Printf("perf/cost    %.3g IPC/byte\n", m.PerfPerByte())
+}

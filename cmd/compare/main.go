@@ -1,0 +1,92 @@
+// Command compare simulates one workload under two prefetching schemes
+// and prints a side-by-side metric comparison — the quickest way to see
+// *why* one scheme wins (coverage, timeliness, accuracy, traffic).
+//
+// Usage:
+//
+//	compare -workload stencil-default -a sms -b cbws+sms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cbws/internal/harness"
+	"cbws/internal/report"
+	"cbws/internal/sim"
+	"cbws/internal/stats"
+	"cbws/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "stencil-default", "workload name")
+	a := flag.String("a", "sms", "first prefetcher")
+	b := flag.String("b", "cbws+sms", "second prefetcher")
+	n := flag.Uint64("n", 4_000_000, "instructions to simulate")
+	warm := flag.Uint64("warmup", 1_000_000, "warmup instructions excluded from metrics")
+	flag.Parse()
+
+	spec, ok := workload.ByName(*wl)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "compare: unknown workload %q\n", *wl)
+		os.Exit(1)
+	}
+	run := func(name string) stats.Metrics {
+		f, ok := harness.FactoryByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "compare: unknown prefetcher %q\n", name)
+			os.Exit(1)
+		}
+		cfg := sim.DefaultConfig()
+		cfg.MaxInstructions = *n
+		cfg.WarmupInstructions = *warm
+		res, err := sim.Run(cfg, spec.Make(), f.New())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compare:", err)
+			os.Exit(1)
+		}
+		return res.Metrics
+	}
+	ma := run(*a)
+	mb := run(*b)
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("%s: %s vs %s", spec.Name, *a, *b),
+		Columns: []string{"metric", *a, *b, "delta"},
+	}
+	addF := func(name string, va, vb float64, prec int, higherBetter bool) {
+		delta := "-"
+		if va != 0 {
+			change := (vb - va) / va * 100
+			sign := ""
+			if change > 0 {
+				sign = "+"
+			}
+			marker := ""
+			if (change > 1 && higherBetter) || (change < -1 && !higherBetter) {
+				marker = " (better)"
+			} else if (change < -1 && higherBetter) || (change > 1 && !higherBetter) {
+				marker = " (worse)"
+			}
+			delta = fmt.Sprintf("%s%.1f%%%s", sign, change, marker)
+		}
+		t.AddRow(name, report.F(va, prec), report.F(vb, prec), delta)
+	}
+	addF("IPC", ma.IPC(), mb.IPC(), 3, true)
+	addF("MPKI", ma.MPKI(), mb.MPKI(), 2, false)
+	addF("timely %", 100*ma.TimelyFrac(), 100*mb.TimelyFrac(), 1, true)
+	addF("shorter-wait %", 100*ma.ShorterWTFrac(), 100*mb.ShorterWTFrac(), 1, true)
+	addF("missing %", 100*ma.MissingFrac(), 100*mb.MissingFrac(), 1, false)
+	addF("wrong %", 100*ma.WrongFrac(), 100*mb.WrongFrac(), 1, false)
+	addF("prefetches issued", float64(ma.PrefetchIssued), float64(mb.PrefetchIssued), 0, true)
+	addF("accuracy %", 100*ma.Accuracy(), 100*mb.Accuracy(), 1, true)
+	addF("read MB", float64(ma.BytesFromMem)/(1<<20), float64(mb.BytesFromMem)/(1<<20), 2, false)
+	addF("writeback MB", float64(ma.WritebackBytes)/(1<<20), float64(mb.WritebackBytes)/(1<<20), 2, false)
+	addF("mispredict %", 100*ma.MispredictRate(), 100*mb.MispredictRate(), 2, false)
+	t.Render(os.Stdout)
+
+	if ma.IPC() > 0 {
+		fmt.Printf("speedup (%s over %s): %s\n", *b, *a, report.Speedup(mb.IPC()/ma.IPC()))
+	}
+}

@@ -1,0 +1,118 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation on the simulated Table II system and prints them as ASCII
+// tables.
+//
+// Usage:
+//
+//	figures [-n instructions] [-par N] [-fig all|1|t1|3|5|t2|t3|12|13|14|15]
+//
+// With -fig all (the default) the full evaluation matrix (30 workloads ×
+// 7 schemes) is simulated once and every figure is derived from it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cbws/internal/harness"
+	"cbws/internal/report"
+)
+
+func main() {
+	n := flag.Uint64("n", 4_000_000, "instructions per simulation run")
+	warm := flag.Uint64("warmup", 1_000_000, "warmup instructions excluded from metrics")
+	par := flag.Int("par", 4, "parallel simulations")
+	fig := flag.String("fig", "all", "figure to regenerate (all, 1, t1, 3, 5, t2, t3, 12, 13, 14, 15, ext)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	opts := harness.DefaultOptions()
+	opts.Sim.MaxInstructions = *n
+	opts.Sim.WarmupInstructions = *warm
+	opts.Parallel = *par
+	m := harness.NewMatrix(opts)
+
+	if err := run(m, opts, *fig, *n, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(m *harness.Matrix, opts harness.Options, fig string, n uint64, csv bool) error {
+	out := os.Stdout
+	want := func(name string) bool { return fig == "all" || fig == name }
+	render := func(t *report.Table) {
+		if csv {
+			t.RenderCSV(out)
+		} else {
+			t.Render(out)
+		}
+	}
+
+	if want("t2") {
+		render(harness.TableII(opts))
+	}
+	if want("t3") {
+		render(harness.TableIII())
+	}
+	if want("t1") {
+		render(harness.TableI())
+	}
+	if want("1") {
+		t, err := harness.Figure1(m)
+		if err != nil {
+			return err
+		}
+		render(t)
+	}
+	if want("3") || want("4") {
+		f3, f4 := harness.Figure3And4(8)
+		render(f3)
+		render(f4)
+	}
+	if want("5") {
+		t, err := harness.Figure5(n)
+		if err != nil {
+			return err
+		}
+		render(t)
+	}
+	if want("12") {
+		t, err := harness.Figure12(m)
+		if err != nil {
+			return err
+		}
+		render(t)
+	}
+	if want("13") {
+		t, err := harness.Figure13(m)
+		if err != nil {
+			return err
+		}
+		render(t)
+	}
+	if want("14") {
+		mi, reg, err := harness.Figure14(m)
+		if err != nil {
+			return err
+		}
+		render(mi)
+		render(reg)
+	}
+	if fig == "ext" { // extensions are opt-in, not part of "all"
+		t, err := harness.ExtensionTable(m)
+		if err != nil {
+			return err
+		}
+		render(t)
+	}
+	if want("15") {
+		t, err := harness.Figure15(m)
+		if err != nil {
+			return err
+		}
+		render(t)
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+// Command tracegen captures a workload's annotated instruction trace
+// into the binary trace format, for offline inspection or replay.
+//
+// Usage:
+//
+//	tracegen -workload histo-large -n 1000000 -o histo.cbwt
+//	tracegen -workload histo-large -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cbws/internal/trace"
+	"cbws/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "stencil-default", "workload name")
+	n := flag.Uint64("n", 1_000_000, "instructions to capture")
+	out := flag.String("o", "", "output file (default <workload>.cbwt)")
+	statsOnly := flag.Bool("stats", false, "print a trace summary instead of writing a file")
+	flag.Parse()
+
+	spec, ok := workload.ByName(*wl)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q\n", *wl)
+		os.Exit(1)
+	}
+	if *statsOnly {
+		trace.Analyze(spec.Make(), *n).Render(os.Stdout)
+		return
+	}
+	path := *out
+	if path == "" {
+		path = spec.Name + ".cbwt"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	w, err := trace.NewWriter(f, spec.Name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	trace.Limit{Gen: spec.Make(), Max: *n}.Generate(w)
+	if err := w.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	st, _ := os.Stat(path)
+	fmt.Printf("wrote %s (%d bytes)\n", path, st.Size())
+}

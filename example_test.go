@@ -1,0 +1,40 @@
+package cbws_test
+
+import (
+	"fmt"
+
+	"cbws"
+)
+
+// ExampleWorkloads enumerates the benchmark roster.
+func ExampleWorkloads() {
+	fmt.Println(len(cbws.Workloads()), "workloads,",
+		len(cbws.MemoryIntensiveWorkloads()), "memory-intensive")
+	// Output: 30 workloads, 15 memory-intensive
+}
+
+// ExampleNewCBWS shows the paper's hardware budget: the CBWS prefetcher
+// fits in under 1KB of storage (Figure 8).
+func ExampleNewCBWS() {
+	p := cbws.NewCBWS(cbws.CBWSConfig{})
+	fmt.Printf("%s: %d bits (%d bytes)\n", p.Name(), p.StorageBits(), p.StorageBits()/8)
+	// Output: cbws: 8080 bits (1010 bytes)
+}
+
+// ExampleRun simulates a workload under the paper's best configuration.
+// Metrics depend on the timing model, so this example prints only
+// structural facts.
+func ExampleRun() {
+	cfg := cbws.DefaultConfig()
+	cfg.MaxInstructions = 100_000
+
+	wl, _ := cbws.WorkloadByName("nw")
+	res, err := cbws.Run(cfg, wl.Make(), cbws.NewCBWSPlusSMS())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.Workload, "under", res.Prefetcher,
+		"simulated", res.Metrics.Instructions, "instructions")
+	// Output: nw under cbws+sms simulated 100000 instructions
+}

@@ -1,0 +1,33 @@
+// Quickstart: simulate the Parboil stencil under SMS and under the
+// integrated CBWS+SMS prefetcher, and compare the headline metrics —
+// the smallest end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cbws"
+)
+
+func main() {
+	cfg := cbws.DefaultConfig()
+	cfg.MaxInstructions = 2_000_000
+	cfg.WarmupInstructions = 500_000
+
+	wl, ok := cbws.WorkloadByName("stencil-default")
+	if !ok {
+		log.Fatal("stencil workload missing")
+	}
+
+	for _, pf := range []cbws.Prefetcher{cbws.NewSMS(), cbws.NewCBWSPlusSMS()} {
+		res, err := cbws.Run(cfg, wl.Make(), pf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := res.Metrics
+		fmt.Printf("%-9s IPC=%.3f  MPKI=%.2f  timely=%.1f%%  mem-traffic=%.1fMB\n",
+			res.Prefetcher, m.IPC(), m.MPKI(), 100*m.TimelyFrac(),
+			float64(m.BytesFromMem)/(1<<20))
+	}
+}

@@ -1,0 +1,3 @@
+module cbws
+
+go 1.22

@@ -1,0 +1,154 @@
+// Package annotate implements the paper's compiler pass: it discovers
+// innermost tight loops in a mini-IR program (via internal/cfg) and
+// wraps their iterations in BLOCK_BEGIN / BLOCK_END marker instructions,
+// assigning each static loop a unique code block identifier.
+//
+// The markers are placed so that one dynamic block spans exactly one
+// loop iteration:
+//
+//   - BlockBegin at the loop header entry (executed on loop entry and on
+//     every back-edge arrival);
+//   - BlockEnd immediately before the latch terminator (the iteration's
+//     last action whether the back edge is taken or not);
+//   - BlockEnd at every exit landing block, closing iterations that
+//     leave the loop from a non-latch block (break-style exits). At run
+//     time an unmatched BlockEnd is a no-op, so shared landing pads are
+//     safe.
+//
+// Because annotation happens on the loop structure rather than on
+// address patterns, the markers survive transformations such as
+// unrolling that restructure the body but preserve the loop — the
+// property Section IV-A attributes to compile-time annotation.
+package annotate
+
+import (
+	"fmt"
+	"sort"
+
+	"cbws/internal/cfg"
+	"cbws/internal/ir"
+)
+
+// DefaultMaxStatic is the default tightness threshold: innermost loops
+// with at most this many static instructions are annotated. Tight loop
+// bodies in the paper's benchmarks are a few dozen instructions.
+const DefaultMaxStatic = 64
+
+// Annotation records one annotated loop.
+type Annotation struct {
+	BlockID      int
+	Header       int // header block ID in the original CFG
+	Latch        int
+	StaticInstrs int
+}
+
+// Result is the output of the pass.
+type Result struct {
+	Prog  *ir.Program // annotated program
+	Loops []Annotation
+}
+
+type insertion struct {
+	pos  int // insert before original instruction index pos
+	ord  int // ordering among insertions at the same pos (End before Begin)
+	inst ir.Instr
+}
+
+// Annotate runs the pass with the given tightness threshold (0 uses
+// DefaultMaxStatic). The input program must not already contain block
+// markers.
+func Annotate(p *ir.Program, maxStatic int) (*Result, error) {
+	if maxStatic == 0 {
+		maxStatic = DefaultMaxStatic
+	}
+	for i, in := range p.Instrs {
+		if in.Op == ir.BlockBegin || in.Op == ir.BlockEnd {
+			return nil, fmt.Errorf("annotate: %q instr %d already annotated", p.Name, i)
+		}
+	}
+	g, err := cfg.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	loops := cfg.Innermost(g.Loops())
+
+	var res Result
+	var ins []insertion
+	nextID := 0
+	for _, l := range loops {
+		if l.StaticInstrs > maxStatic {
+			continue
+		}
+		id := nextID
+		nextID++
+		res.Loops = append(res.Loops, Annotation{
+			BlockID:      id,
+			Header:       l.Header,
+			Latch:        l.Latch,
+			StaticInstrs: l.StaticInstrs,
+		})
+		header := g.Blocks[l.Header]
+		ins = append(ins, insertion{
+			pos:  header.Start,
+			ord:  1,
+			inst: ir.Instr{Op: ir.BlockBegin, Imm: int64(id)},
+		})
+		latch := g.Blocks[l.Latch]
+		endPos := latch.End
+		if last := p.Instrs[latch.End-1]; last.Op.IsTerminator() {
+			endPos = latch.End - 1
+		}
+		ins = append(ins, insertion{
+			pos:  endPos,
+			ord:  0,
+			inst: ir.Instr{Op: ir.BlockEnd, Imm: int64(id)},
+		})
+		for _, edge := range g.ExitEdges(l) {
+			landing := g.Blocks[edge[1]]
+			ins = append(ins, insertion{
+				pos:  landing.Start,
+				ord:  0,
+				inst: ir.Instr{Op: ir.BlockEnd, Imm: int64(id)},
+			})
+		}
+	}
+
+	res.Prog = rebuild(p, ins)
+	if err := res.Prog.Validate(); err != nil {
+		return nil, fmt.Errorf("annotate: internal error: %w", err)
+	}
+	return &res, nil
+}
+
+// rebuild interleaves the insertions into the instruction stream and
+// remaps branch targets. A branch to original index T lands on the first
+// instruction inserted at T, so marker instructions at a block entry
+// execute on every arrival.
+func rebuild(p *ir.Program, ins []insertion) *ir.Program {
+	sort.SliceStable(ins, func(i, j int) bool {
+		if ins[i].pos != ins[j].pos {
+			return ins[i].pos < ins[j].pos
+		}
+		return ins[i].ord < ins[j].ord
+	})
+	// before[i] = number of insertions with pos < i (computed lazily by walk).
+	out := make([]ir.Instr, 0, len(p.Instrs)+len(ins))
+	newIndex := make([]int, len(p.Instrs)+1) // original index -> index of first insertion at it (or itself)
+	k := 0
+	for i := 0; i <= len(p.Instrs); i++ {
+		newIndex[i] = len(out)
+		for k < len(ins) && ins[k].pos == i {
+			out = append(out, ins[k].inst)
+			k++
+		}
+		if i < len(p.Instrs) {
+			out = append(out, p.Instrs[i])
+		}
+	}
+	for i := range out {
+		if out[i].Op.IsBranch() {
+			out[i].Target = newIndex[out[i].Target]
+		}
+	}
+	return &ir.Program{Name: p.Name, Instrs: out, NumRegs: p.NumRegs}
+}

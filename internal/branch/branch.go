@@ -1,0 +1,187 @@
+// Package branch implements the tournament branch predictor of the
+// paper's Table II core (4K-entry tables, 16-bit tags, 11-bit history):
+// a local two-level predictor and a global (gshare) predictor arbitrated
+// by a chooser, in the style of the Alpha 21264 predictor that gem5's
+// "Tournament" BP models.
+//
+// The timing engine consults the predictor for every conditional branch
+// in the trace and charges a pipeline-refill penalty on mispredictions,
+// which is how branchy, data-dependent loops (soplex, lbm, histo) pay
+// for their divergence in this model.
+package branch
+
+import "fmt"
+
+// Config sizes the predictor (Table II defaults via DefaultConfig).
+type Config struct {
+	// Entries is the size of the local-history, local-prediction,
+	// global-prediction and chooser tables.
+	Entries int
+	// HistoryBits is the local/global history length.
+	HistoryBits int
+	// TagBits is used only for storage accounting.
+	TagBits int
+}
+
+// DefaultConfig returns the Table II predictor: 4K entries, 11-bit
+// history, 16-bit tags.
+func DefaultConfig() Config {
+	return Config{Entries: 4096, HistoryBits: 11, TagBits: 16}
+}
+
+// Validate checks the geometry.
+func (c Config) Validate() error {
+	if c.Entries <= 0 || c.Entries&(c.Entries-1) != 0 {
+		return fmt.Errorf("branch: entries must be a positive power of two, got %d", c.Entries)
+	}
+	if c.HistoryBits <= 0 || c.HistoryBits > 30 {
+		return fmt.Errorf("branch: history bits out of range: %d", c.HistoryBits)
+	}
+	return nil
+}
+
+// Stats counts predictor outcomes.
+type Stats struct {
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// Rate returns the misprediction rate.
+func (s Stats) Rate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Lookups)
+}
+
+// Tournament is the predictor.
+type Tournament struct {
+	cfg Config
+
+	mask    uint32
+	histMax uint32
+
+	localHist  []uint32 // per-PC history registers
+	localPred  []uint8  // 2-bit counters indexed by local history
+	globalPred []uint8  // 2-bit counters indexed by global history
+	chooser    []uint8  // 2-bit: high = trust global
+	globalHist uint32
+
+	Stats Stats
+}
+
+// New builds a predictor; a zero-value config uses the defaults.
+func New(cfg Config) (*Tournament, error) {
+	if cfg.Entries == 0 {
+		cfg = DefaultConfig()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Tournament{cfg: cfg}
+	t.Reset()
+	return t, nil
+}
+
+// Config returns the active configuration.
+func (t *Tournament) Config() Config { return t.cfg }
+
+// Reset returns the predictor to power-on state (weakly not-taken,
+// chooser neutral).
+func (t *Tournament) Reset() {
+	n := t.cfg.Entries
+	t.mask = uint32(n - 1)
+	t.histMax = uint32(1)<<uint(t.cfg.HistoryBits) - 1
+	t.localHist = make([]uint32, n)
+	t.localPred = make([]uint8, n)
+	t.globalPred = make([]uint8, n)
+	t.chooser = make([]uint8, n)
+	for i := range t.localPred {
+		t.localPred[i] = 1 // weakly not-taken
+		t.globalPred[i] = 1
+		t.chooser[i] = 2 // weakly prefer global
+	}
+	t.globalHist = 0
+	t.Stats = Stats{}
+}
+
+func taken(counter uint8) bool { return counter >= 2 }
+
+func bump(counter uint8, t bool) uint8 {
+	if t {
+		if counter < 3 {
+			return counter + 1
+		}
+		return counter
+	}
+	if counter > 0 {
+		return counter - 1
+	}
+	return counter
+}
+
+func (t *Tournament) pcIndex(pc uint64) uint32 {
+	return uint32(pc>>2) & t.mask
+}
+
+// Predict returns the predicted direction for the branch at pc without
+// updating any state.
+func (t *Tournament) Predict(pc uint64) bool {
+	li := t.localHist[t.pcIndex(pc)] & t.mask
+	local := taken(t.localPred[li])
+	gi := (t.globalHist ^ uint32(pc>>2)) & t.mask
+	global := taken(t.globalPred[gi])
+	if taken(t.chooser[t.globalHist&t.mask]) {
+		return global
+	}
+	return local
+}
+
+// Update records the actual outcome for the branch at pc and returns
+// whether the (pre-update) prediction was correct.
+func (t *Tournament) Update(pc uint64, outcome bool) bool {
+	t.Stats.Lookups++
+	pi := t.pcIndex(pc)
+	li := t.localHist[pi] & t.mask
+	gi := (t.globalHist ^ uint32(pc>>2)) & t.mask
+	ci := t.globalHist & t.mask
+
+	localPred := taken(t.localPred[li])
+	globalPred := taken(t.globalPred[gi])
+	useGlobal := taken(t.chooser[ci])
+	pred := localPred
+	if useGlobal {
+		pred = globalPred
+	}
+	correct := pred == outcome
+	if !correct {
+		t.Stats.Mispredicts++
+	}
+
+	// Chooser trains toward the component that was right (only when
+	// they disagree).
+	if localPred != globalPred {
+		t.chooser[ci] = bump(t.chooser[ci], globalPred == outcome)
+	}
+	// Component counters.
+	t.localPred[li] = bump(t.localPred[li], outcome)
+	t.globalPred[gi] = bump(t.globalPred[gi], outcome)
+	// Histories.
+	bit := uint32(0)
+	if outcome {
+		bit = 1
+	}
+	t.localHist[pi] = ((t.localHist[pi] << 1) | bit) & t.histMax
+	t.globalHist = ((t.globalHist << 1) | bit) & t.histMax
+	return correct
+}
+
+// StorageBits estimates the hardware budget: three 2-bit counter tables,
+// the local history table and the tag overhead of Table II.
+func (t *Tournament) StorageBits() uint64 {
+	n := uint64(t.cfg.Entries)
+	counters := 3 * 2 * n
+	history := n * uint64(t.cfg.HistoryBits)
+	tags := n * uint64(t.cfg.TagBits)
+	return counters + history + tags
+}

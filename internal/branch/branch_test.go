@@ -1,0 +1,177 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustNew(t *testing.T, cfg Config) *Tournament {
+	t.Helper()
+	bp, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return bp
+}
+
+func TestDefaultsMatchTableII(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Entries != 4096 || cfg.HistoryBits != 11 || cfg.TagBits != 16 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Entries: 0, HistoryBits: 11},
+		{Entries: 3000, HistoryBits: 11}, // not a power of two
+		{Entries: 1024, HistoryBits: 0},
+		{Entries: 1024, HistoryBits: 40},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v should not validate", c)
+		}
+	}
+}
+
+func TestAlwaysTakenLearned(t *testing.T) {
+	bp := mustNew(t, Config{})
+	for i := 0; i < 64; i++ {
+		bp.Update(0x400100, true)
+	}
+	if !bp.Predict(0x400100) {
+		t.Error("always-taken branch not learned")
+	}
+	if r := bp.Stats.Rate(); r > 0.2 {
+		t.Errorf("mispredict rate %.2f for an always-taken branch", r)
+	}
+}
+
+func TestAlternatingPatternLearned(t *testing.T) {
+	// T,N,T,N...: local history captures it after warmup.
+	bp := mustNew(t, Config{})
+	for i := 0; i < 64; i++ {
+		bp.Update(0x400200, i%2 == 0)
+	}
+	warm := bp.Stats
+	for i := 64; i < 192; i++ {
+		bp.Update(0x400200, i%2 == 0)
+	}
+	late := bp.Stats.Mispredicts - warm.Mispredicts
+	if late > 8 {
+		t.Errorf("%d mispredicts after warmup on an alternating branch", late)
+	}
+}
+
+func TestShortPeriodicPatternLearned(t *testing.T) {
+	// Period-4 pattern (bzip2's w%4 branch).
+	bp := mustNew(t, Config{})
+	for i := 0; i < 128; i++ {
+		bp.Update(0x400300, i%4 == 0)
+	}
+	warm := bp.Stats
+	for i := 128; i < 512; i++ {
+		bp.Update(0x400300, i%4 == 0)
+	}
+	late := bp.Stats.Mispredicts - warm.Mispredicts
+	if float64(late)/384 > 0.1 {
+		t.Errorf("%d/384 mispredicts on a period-4 branch", late)
+	}
+}
+
+func TestLoopBackEdge(t *testing.T) {
+	// Taken 99 times, not-taken once (loop exit), repeatedly: the only
+	// inherent mispredict per loop execution is around the exit.
+	bp := mustNew(t, Config{})
+	for rep := 0; rep < 20; rep++ {
+		for i := 0; i < 99; i++ {
+			bp.Update(0x400400, true)
+		}
+		bp.Update(0x400400, false)
+	}
+	if r := bp.Stats.Rate(); r > 0.05 {
+		t.Errorf("mispredict rate %.3f on a loop back edge", r)
+	}
+}
+
+func TestRandomBranchNearChance(t *testing.T) {
+	bp := mustNew(t, Config{})
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20000; i++ {
+		bp.Update(0x400500, rng.Intn(2) == 0)
+	}
+	r := bp.Stats.Rate()
+	if r < 0.35 || r > 0.65 {
+		t.Errorf("mispredict rate %.3f on a random branch, want ~0.5", r)
+	}
+}
+
+func TestBiasedBranch(t *testing.T) {
+	// 90% taken: rate should approach ~10%.
+	bp := mustNew(t, Config{})
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 20000; i++ {
+		bp.Update(0x400600, rng.Intn(10) != 0)
+	}
+	if r := bp.Stats.Rate(); r > 0.2 {
+		t.Errorf("mispredict rate %.3f on a 90%%-biased branch", r)
+	}
+}
+
+func TestIndependentPCs(t *testing.T) {
+	// Two anti-correlated branches at different PCs must both be
+	// learned (no destructive aliasing for this pair).
+	bp := mustNew(t, Config{})
+	for i := 0; i < 2000; i++ {
+		bp.Update(0x400700, true)
+		bp.Update(0x500704, false)
+	}
+	if !bp.Predict(0x400700) || bp.Predict(0x500704) {
+		t.Error("per-PC behaviour not separated")
+	}
+}
+
+func TestPredictDoesNotMutate(t *testing.T) {
+	bp := mustNew(t, Config{})
+	for i := 0; i < 32; i++ {
+		bp.Update(0x400800, true)
+	}
+	before := bp.Stats
+	for i := 0; i < 100; i++ {
+		bp.Predict(0x400800)
+	}
+	if bp.Stats != before {
+		t.Error("Predict changed state")
+	}
+}
+
+func TestReset(t *testing.T) {
+	bp := mustNew(t, Config{})
+	for i := 0; i < 100; i++ {
+		bp.Update(0x400900, true)
+	}
+	bp.Reset()
+	if bp.Stats.Lookups != 0 {
+		t.Error("stats survived reset")
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	bp := mustNew(t, Config{})
+	// 3 tables × 2 bits × 4096 + 11 × 4096 + 16 × 4096.
+	want := uint64(3*2*4096 + 11*4096 + 16*4096)
+	if got := bp.StorageBits(); got != want {
+		t.Errorf("StorageBits = %d, want %d", got, want)
+	}
+}
+
+func TestRateZeroLookups(t *testing.T) {
+	var s Stats
+	if s.Rate() != 0 {
+		t.Error("rate of zero lookups")
+	}
+}

@@ -1,0 +1,360 @@
+// Package cache implements the simulated memory hierarchy: set-associative
+// caches with LRU replacement and MSHR-limited miss handling, composed
+// into the two-level hierarchy of Table II (32KB 4-way L1D, inclusive 2MB
+// 8-way L2, 300-cycle memory). Prefetches fill into the L2, as in the
+// paper.
+//
+// The model is functional-with-latency: each access is resolved
+// synchronously into a completion cycle. Lines are installed at miss time
+// but carry a fillAt stamp; accesses that arrive before fillAt merge with
+// the outstanding fill, which models MSHR hit-under-miss and late
+// ("shorter-waiting-time") prefetches. The timing model guarantees that
+// access times are monotonically non-decreasing, which the MSHR occupancy
+// accounting relies on.
+package cache
+
+import (
+	"fmt"
+
+	"cbws/internal/mem"
+)
+
+// Config describes one cache level.
+type Config struct {
+	Name          string
+	SizeBytes     int
+	Ways          int
+	LatencyCycles uint64
+	MSHRs         int
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeBytes / (mem.LineSize * c.Ways) }
+
+// Validate checks that the geometry is a realizable power-of-two design.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache %s: size and ways must be positive", c.Name)
+	}
+	if c.SizeBytes%(mem.LineSize*c.Ways) != 0 {
+		return fmt.Errorf("cache %s: size %d not divisible by ways*linesize", c.Name, c.SizeBytes)
+	}
+	if !mem.IsPow2(uint64(c.Sets())) {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, c.Sets())
+	}
+	if c.MSHRs <= 0 {
+		return fmt.Errorf("cache %s: need at least one MSHR", c.Name)
+	}
+	return nil
+}
+
+// line is one cache way.
+type line struct {
+	tag      mem.LineAddr
+	valid    bool
+	prefetch bool   // brought in by a prefetch ...
+	used     bool   // ... and demanded at least once since
+	dirty    bool   // written since fill (write-back policy)
+	fillAt   uint64 // cycle at which the data arrives
+	lru      uint64 // last-touch stamp
+}
+
+// Stats aggregates per-level counters.
+type Stats struct {
+	Accesses   uint64 // demand lookups
+	Hits       uint64 // demand hits on resident, filled lines
+	Misses     uint64 // demand misses (including merges with in-flight fills)
+	MergedMiss uint64 // subset of Misses that merged with an in-flight fill
+
+	PrefetchIssued    uint64 // prefetch fills allocated
+	PrefetchRedundant uint64 // dropped: line already present or in flight
+	PrefetchDropped   uint64 // dropped: no MSHR available
+	PrefetchUseful    uint64 // prefetched lines demanded after fill (timely)
+	PrefetchLate      uint64 // demanded while the prefetch was in flight
+	PrefetchWrong     uint64 // prefetched lines evicted or left unused
+
+	Writebacks uint64 // dirty lines evicted (write-back traffic)
+}
+
+// Cache is one set-associative level.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	lruTick  uint64
+	mshr     []uint64 // fillAt cycles of outstanding fills
+	evictCB  func(l mem.LineAddr, dirty bool)
+	Stats    Stats
+	lastTime uint64
+}
+
+// New builds a cache from cfg; cfg must validate.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := make([][]line, cfg.Sets())
+	backing := make([]line, cfg.Sets()*cfg.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		setMask: uint64(cfg.Sets() - 1),
+		mshr:    make([]uint64, 0, cfg.MSHRs),
+	}, nil
+}
+
+// Config returns the level's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// OnEvict registers a callback invoked with the line address and dirty
+// state of every evicted line; the hierarchy uses it for inclusive
+// back-invalidation and write-back propagation.
+func (c *Cache) OnEvict(fn func(l mem.LineAddr, dirty bool)) { c.evictCB = fn }
+
+// MarkDirty flags line l as written, if resident. Dirty lines charge a
+// write-back on eviction.
+func (c *Cache) MarkDirty(l mem.LineAddr) {
+	for i := range c.set(l) {
+		w := &c.set(l)[i]
+		if w.valid && w.tag == l {
+			w.dirty = true
+			return
+		}
+	}
+}
+
+func (c *Cache) set(l mem.LineAddr) []line { return c.sets[uint64(l)&c.setMask] }
+
+// Probe reports whether l is resident (possibly still in flight) without
+// updating replacement state.
+func (c *Cache) Probe(l mem.LineAddr) (resident bool, fillAt uint64, isPrefetchUnused bool) {
+	for i := range c.set(l) {
+		w := &c.set(l)[i]
+		if w.valid && w.tag == l {
+			return true, w.fillAt, w.prefetch && !w.used
+		}
+	}
+	return false, 0, false
+}
+
+// Contains reports whether l is resident and filled by cycle now.
+func (c *Cache) Contains(l mem.LineAddr, now uint64) bool {
+	resident, fillAt, _ := c.Probe(l)
+	return resident && fillAt <= now
+}
+
+// mshrFree reaps completed entries and reports whether an MSHR is
+// available at cycle now; if not, it returns the earliest cycle at which
+// one frees.
+func (c *Cache) mshrFree(now uint64) (bool, uint64) {
+	out := c.mshr[:0]
+	earliest := ^uint64(0)
+	for _, t := range c.mshr {
+		if t > now {
+			out = append(out, t)
+			if t < earliest {
+				earliest = t
+			}
+		}
+	}
+	c.mshr = out
+	if len(c.mshr) < c.cfg.MSHRs {
+		return true, now
+	}
+	return false, earliest
+}
+
+// victim selects the replacement way in l's set: an invalid way if any,
+// otherwise the LRU way. Ways with outstanding fills are skipped when
+// possible (they are pinned by their MSHR).
+func (c *Cache) victim(l mem.LineAddr, now uint64) *line {
+	set := c.set(l)
+	var lru *line
+	for i := range set {
+		w := &set[i]
+		if !w.valid {
+			return w
+		}
+		if w.fillAt > now {
+			continue // pinned: fill outstanding
+		}
+		if lru == nil || w.lru < lru.lru {
+			lru = w
+		}
+	}
+	if lru == nil {
+		// Every way has an outstanding fill; fall back to plain LRU.
+		lru = &set[0]
+		for i := range set {
+			if set[i].lru < lru.lru {
+				lru = &set[i]
+			}
+		}
+	}
+	return lru
+}
+
+// evict notifies about, and accounts for, the eviction of way w.
+func (c *Cache) evict(w *line) {
+	if !w.valid {
+		return
+	}
+	if w.prefetch && !w.used {
+		c.Stats.PrefetchWrong++
+	}
+	if w.dirty {
+		c.Stats.Writebacks++
+	}
+	if c.evictCB != nil {
+		c.evictCB(w.tag, w.dirty)
+	}
+	w.valid = false
+}
+
+// Invalidate removes l if resident (back-invalidation). The eviction
+// callback is invoked.
+func (c *Cache) Invalidate(l mem.LineAddr) {
+	for i := range c.set(l) {
+		w := &c.set(l)[i]
+		if w.valid && w.tag == l {
+			c.evict(w)
+			return
+		}
+	}
+}
+
+// touch updates LRU state.
+func (c *Cache) touch(w *line) {
+	c.lruTick++
+	w.lru = c.lruTick
+}
+
+// AccessResult describes the outcome of one demand access at a level.
+type AccessResult struct {
+	Hit       bool   // resident and filled
+	Merged    bool   // missed but merged with an outstanding fill
+	MergedPf  bool   // the outstanding fill was a prefetch
+	ReadyAt   uint64 // cycle at which the data is available at this level
+	WasPfHit  bool   // hit on a prefetched line's first demand use
+	FilledNew bool   // a new fill was allocated (caller provides fill latency)
+}
+
+// Access performs a demand lookup of line l at cycle now. If the line
+// misses and does not merge, the caller must complete the fill by calling
+// Fill with the backing-store completion time; Access returns with
+// FilledNew=true and ReadyAt=0 in that case.
+func (c *Cache) Access(l mem.LineAddr, now uint64) AccessResult {
+	c.Stats.Accesses++
+	if now < c.lastTime {
+		now = c.lastTime // enforce monotonic time for MSHR accounting
+	}
+	c.lastTime = now
+	for i := range c.set(l) {
+		w := &c.set(l)[i]
+		if !w.valid || w.tag != l {
+			continue
+		}
+		c.touch(w)
+		if w.fillAt <= now {
+			c.Stats.Hits++
+			res := AccessResult{Hit: true, ReadyAt: now + c.cfg.LatencyCycles}
+			if w.prefetch && !w.used {
+				w.used = true
+				c.Stats.PrefetchUseful++
+				res.WasPfHit = true
+			}
+			return res
+		}
+		// In flight: merge with the outstanding fill.
+		c.Stats.Misses++
+		c.Stats.MergedMiss++
+		res := AccessResult{Merged: true, ReadyAt: w.fillAt}
+		if w.prefetch && !w.used {
+			w.used = true
+			c.Stats.PrefetchLate++
+			res.MergedPf = true
+		}
+		return res
+	}
+	c.Stats.Misses++
+	return AccessResult{FilledNew: true}
+}
+
+// Fill installs line l with data arriving at cycle fillAt, allocated at
+// cycle now (MSHR occupancy spans [now, fillAt)). If no MSHR is free the
+// allocation is delayed and the returned actual fill time reflects the
+// stall; callers use the return value as the completion time.
+func (c *Cache) Fill(l mem.LineAddr, now uint64, latency uint64, isPrefetch bool) (fillAt uint64) {
+	free, at := c.mshrFree(now)
+	if !free {
+		now = at
+		_, _ = c.mshrFree(now) // reap at the new time
+	}
+	fillAt = now + latency
+	c.mshr = append(c.mshr, fillAt)
+	w := c.victim(l, now)
+	c.evict(w)
+	*w = line{tag: l, valid: true, prefetch: isPrefetch, fillAt: fillAt}
+	c.touch(w)
+	if isPrefetch {
+		c.Stats.PrefetchIssued++
+	}
+	return fillAt
+}
+
+// TryPrefetch attempts to allocate a prefetch fill for l at cycle now with
+// the given backing latency. It returns (issued, reason) where reason
+// explains a refusal.
+func (c *Cache) TryPrefetch(l mem.LineAddr, now uint64, latency uint64) (bool, PrefetchRefusal) {
+	if resident, _, _ := c.Probe(l); resident {
+		c.Stats.PrefetchRedundant++
+		return false, RefusedResident
+	}
+	if free, _ := c.mshrFree(now); !free {
+		c.Stats.PrefetchDropped++
+		return false, RefusedNoMSHR
+	}
+	c.Fill(l, now, latency, true)
+	return true, 0
+}
+
+// PrefetchRefusal explains why a prefetch was not issued.
+type PrefetchRefusal int
+
+const (
+	// RefusedResident means the target line is already present or in flight.
+	RefusedResident PrefetchRefusal = iota + 1
+	// RefusedNoMSHR means all MSHRs were busy.
+	RefusedNoMSHR
+)
+
+// DrainWrong counts lines still resident that were prefetched and never
+// used, charging them as wrong predictions. Called once at end of
+// simulation so that unused prefetches are fully accounted.
+func (c *Cache) DrainWrong() {
+	for _, set := range c.sets {
+		for i := range set {
+			w := &set[i]
+			if w.valid && w.prefetch && !w.used {
+				c.Stats.PrefetchWrong++
+				w.used = true
+			}
+		}
+	}
+}
+
+// ResidentLines returns the number of valid lines (for tests).
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,296 @@
+// Package cfg builds control-flow graphs over the mini-IR and performs
+// the structural analyses the annotation pass needs: dominator trees,
+// back-edge detection and natural-loop construction. Together with
+// internal/annotate it reproduces the paper's LLVM pass that discovers
+// and tags innermost tight loops.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"cbws/internal/ir"
+)
+
+// Block is one basic block: instruction indices [Start, End) of the
+// underlying program.
+type Block struct {
+	ID    int
+	Start int
+	End   int
+	Succs []int // successor block IDs
+	Preds []int // predecessor block IDs
+}
+
+// Graph is the CFG of a program.
+type Graph struct {
+	Prog   *ir.Program
+	Blocks []Block
+	// blockOf maps instruction index -> block ID.
+	blockOf []int
+}
+
+// Build constructs the CFG of p. Unreachable instructions still form
+// blocks but have no predecessors.
+func Build(p *ir.Program) (*Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Instrs)
+	leader := make([]bool, n)
+	leader[0] = true
+	for i, in := range p.Instrs {
+		if in.Op.IsBranch() {
+			leader[in.Target] = true
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+		if in.Op == ir.Ret && i+1 < n {
+			leader[i+1] = true
+		}
+	}
+	g := &Graph{Prog: p, blockOf: make([]int, n)}
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i == n || leader[i] {
+			g.Blocks = append(g.Blocks, Block{ID: len(g.Blocks), Start: start, End: i})
+			start = i
+		}
+	}
+	for b := range g.Blocks {
+		for i := g.Blocks[b].Start; i < g.Blocks[b].End; i++ {
+			g.blockOf[i] = b
+		}
+	}
+	for b := range g.Blocks {
+		blk := &g.Blocks[b]
+		last := p.Instrs[blk.End-1]
+		addEdge := func(to int) {
+			toBlk := g.blockOf[to]
+			blk.Succs = append(blk.Succs, toBlk)
+			g.Blocks[toBlk].Preds = append(g.Blocks[toBlk].Preds, b)
+		}
+		switch last.Op {
+		case ir.Jmp:
+			addEdge(last.Target)
+		case ir.BrNZ, ir.BrZ:
+			addEdge(last.Target)
+			if blk.End < n {
+				addEdge(blk.End)
+			}
+		case ir.Ret:
+			// no successors
+		default:
+			if blk.End < n {
+				addEdge(blk.End)
+			}
+		}
+	}
+	return g, nil
+}
+
+// BlockOf returns the block ID containing instruction index i.
+func (g *Graph) BlockOf(i int) int { return g.blockOf[i] }
+
+// Dominators computes the immediate dominator of every block using the
+// Cooper–Harvey–Kennedy iterative algorithm. idom[entry] == entry;
+// unreachable blocks get idom -1.
+func (g *Graph) Dominators() []int {
+	n := len(g.Blocks)
+	// Reverse post-order over the reachable subgraph.
+	rpo := make([]int, 0, n)
+	seen := make([]bool, n)
+	var dfs func(int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, s := range g.Blocks[b].Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		rpo = append(rpo, b)
+	}
+	dfs(0)
+	// rpo currently holds post-order; reverse it.
+	for i, j := 0, len(rpo)-1; i < j; i, j = i+1, j-1 {
+		rpo[i], rpo[j] = rpo[j], rpo[i]
+	}
+	order := make([]int, n) // block -> RPO index
+	for i := range order {
+		order[i] = -1
+	}
+	for i, b := range rpo {
+		order[b] = i
+	}
+
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[0] = 0
+	intersect := func(a, b int) int {
+		for a != b {
+			for order[a] > order[b] {
+				a = idom[a]
+			}
+			for order[b] > order[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Blocks[b].Preds {
+				if idom[p] == -1 {
+					continue // predecessor not yet processed / unreachable
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// dominates reports whether a dominates b under idom.
+func dominates(idom []int, a, b int) bool {
+	for {
+		if b == a {
+			return true
+		}
+		if b == 0 || idom[b] == -1 || idom[b] == b {
+			return a == b
+		}
+		b = idom[b]
+	}
+}
+
+// Loop is a natural loop.
+type Loop struct {
+	Header int   // header block ID
+	Latch  int   // source block of the back edge
+	Blocks []int // all block IDs in the loop body (including header), sorted
+	// StaticInstrs is the number of IR instructions across the body.
+	StaticInstrs int
+}
+
+// contains reports whether block b is in the loop body.
+func (l *Loop) contains(b int) bool {
+	i := sort.SearchInts(l.Blocks, b)
+	return i < len(l.Blocks) && l.Blocks[i] == b
+}
+
+// Loops finds all natural loops: for every back edge u→h (h dominates
+// u), the loop body is h plus every block that reaches u without passing
+// through h. Multiple back edges to one header are merged into a single
+// loop, matching LLVM's loop representation.
+func (g *Graph) Loops() []Loop {
+	idom := g.Dominators()
+	byHeader := make(map[int]*Loop)
+	for u := range g.Blocks {
+		for _, h := range g.Blocks[u].Succs {
+			if idom[u] == -1 || !dominates(idom, h, u) {
+				continue
+			}
+			l, ok := byHeader[h]
+			if !ok {
+				l = &Loop{Header: h, Latch: u}
+				byHeader[h] = l
+			}
+			l.Latch = u // keep the most recently found latch
+			// Reverse reachability from u, stopping at h: the body is
+			// every block that reaches the latch without passing
+			// through the header. The header's own predecessors are
+			// never explored (h seeds the visited set).
+			inBody := map[int]bool{h: true}
+			var stack []int
+			if !inBody[u] {
+				inBody[u] = true
+				stack = append(stack, u)
+			}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, p := range g.Blocks[b].Preds {
+					if !inBody[p] {
+						inBody[p] = true
+						stack = append(stack, p)
+					}
+				}
+			}
+			for b := range inBody {
+				if !l.contains(b) {
+					l.Blocks = append(l.Blocks, b)
+					sort.Ints(l.Blocks)
+				}
+			}
+		}
+	}
+	loops := make([]Loop, 0, len(byHeader))
+	for _, l := range byHeader {
+		for _, b := range l.Blocks {
+			l.StaticInstrs += g.Blocks[b].End - g.Blocks[b].Start
+		}
+		loops = append(loops, *l)
+	}
+	sort.Slice(loops, func(i, j int) bool { return loops[i].Header < loops[j].Header })
+	return loops
+}
+
+// Innermost filters loops to those whose body contains no other loop's
+// header — the paper's tight innermost loops, before the size filter.
+func Innermost(loops []Loop) []Loop {
+	var out []Loop
+	for i := range loops {
+		inner := true
+		for j := range loops {
+			if i == j {
+				continue
+			}
+			if loops[i].contains(loops[j].Header) && loops[i].Header != loops[j].Header {
+				inner = false
+				break
+			}
+		}
+		if inner {
+			out = append(out, loops[i])
+		}
+	}
+	return out
+}
+
+// ExitEdges returns the (from, to) block pairs leaving the loop.
+func (g *Graph) ExitEdges(l Loop) [][2]int {
+	var out [][2]int
+	for _, b := range l.Blocks {
+		for _, s := range g.Blocks[b].Succs {
+			if !l.contains(s) {
+				out = append(out, [2]int{b, s})
+			}
+		}
+	}
+	return out
+}
+
+// String renders the CFG for debugging.
+func (g *Graph) String() string {
+	s := fmt.Sprintf("cfg of %q: %d blocks\n", g.Prog.Name, len(g.Blocks))
+	for _, b := range g.Blocks {
+		s += fmt.Sprintf("  B%d [%d,%d) -> %v\n", b.ID, b.Start, b.End, b.Succs)
+	}
+	return s
+}

@@ -1,0 +1,250 @@
+package cfg
+
+import (
+	"testing"
+
+	"cbws/internal/ir"
+)
+
+// singleLoop builds: entry; loop body with conditional back edge; exit.
+func singleLoop() *ir.Program {
+	b := ir.NewBuilder("single")
+	i := b.Const(0)
+	n := b.Const(10)
+	cond := b.Reg()
+	b.Label("head")
+	b.AddI(i, i, 1)
+	b.CmpLT(cond, i, n)
+	b.BrNZ(cond, "head")
+	b.Ret()
+	return b.MustBuild()
+}
+
+// nestedLoops builds a classic doubly-nested counted loop.
+func nestedLoops() *ir.Program {
+	b := ir.NewBuilder("nested")
+	i := b.Const(0)
+	j := b.Reg()
+	n := b.Const(4)
+	ci := b.Reg()
+	cj := b.Reg()
+	b.Label("outer")
+	b.ConstTo(j, 0)
+	b.Label("inner")
+	b.AddI(j, j, 1)
+	b.CmpLT(cj, j, n)
+	b.BrNZ(cj, "inner")
+	b.AddI(i, i, 1)
+	b.CmpLT(ci, i, n)
+	b.BrNZ(ci, "outer")
+	b.Ret()
+	return b.MustBuild()
+}
+
+func TestBuildBlocksSingleLoop(t *testing.T) {
+	g, err := Build(singleLoop())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Blocks: [consts][head..brnz][ret]
+	if len(g.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3\n%v", len(g.Blocks), g)
+	}
+	// The loop block has two successors (itself + exit).
+	loop := g.Blocks[1]
+	if len(loop.Succs) != 2 {
+		t.Errorf("loop succs = %v", loop.Succs)
+	}
+	// Every instruction maps back to its block.
+	for i := range g.Prog.Instrs {
+		b := g.BlockOf(i)
+		if i < g.Blocks[b].Start || i >= g.Blocks[b].End {
+			t.Errorf("instr %d mapped to block %d [%d,%d)", i, b, g.Blocks[b].Start, g.Blocks[b].End)
+		}
+	}
+}
+
+func TestDominatorsSingleLoop(t *testing.T) {
+	g, _ := Build(singleLoop())
+	idom := g.Dominators()
+	if idom[0] != 0 {
+		t.Errorf("entry idom = %d", idom[0])
+	}
+	// Block 1 (loop) and block 2 (exit) are dominated by their
+	// predecessors on the straight-line path.
+	if idom[1] != 0 {
+		t.Errorf("idom[1] = %d, want 0", idom[1])
+	}
+	if idom[2] != 1 {
+		t.Errorf("idom[2] = %d, want 1", idom[2])
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	// if/else diamond: entry -> (then | else) -> join.
+	b := ir.NewBuilder("diamond")
+	c := b.Const(1)
+	x := b.Reg()
+	b.BrZ(c, "else")
+	b.ConstTo(x, 1)
+	b.Jmp("join")
+	b.Label("else")
+	b.ConstTo(x, 2)
+	b.Label("join")
+	b.Ret()
+	g, _ := Build(b.MustBuild())
+	idom := g.Dominators()
+	// The join block's immediate dominator must be the entry block,
+	// not either branch arm.
+	join := g.BlockOf(len(g.Prog.Instrs) - 1)
+	if idom[join] != 0 {
+		t.Errorf("idom[join] = %d, want 0", idom[join])
+	}
+}
+
+func TestLoopsSingle(t *testing.T) {
+	g, _ := Build(singleLoop())
+	loops := g.Loops()
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header != 1 || l.Latch != 1 {
+		t.Errorf("loop = %+v", l)
+	}
+	if len(l.Blocks) != 1 || l.Blocks[0] != 1 {
+		t.Errorf("body = %v", l.Blocks)
+	}
+	if l.StaticInstrs != 3 {
+		t.Errorf("static instrs = %d, want 3", l.StaticInstrs)
+	}
+}
+
+func TestLoopsNested(t *testing.T) {
+	g, _ := Build(nestedLoops())
+	loops := g.Loops()
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d, want 2\n%v", len(loops), g)
+	}
+	inner := Innermost(loops)
+	if len(inner) != 1 {
+		t.Fatalf("innermost = %d, want 1", len(inner))
+	}
+	// The innermost loop must be the smaller one.
+	var outer Loop
+	for _, l := range loops {
+		if l.Header != inner[0].Header {
+			outer = l
+		}
+	}
+	if len(inner[0].Blocks) >= len(outer.Blocks) {
+		t.Errorf("innermost body %v not smaller than outer %v", inner[0].Blocks, outer.Blocks)
+	}
+	// The outer loop's body must contain the inner loop's header.
+	found := false
+	for _, b := range outer.Blocks {
+		if b == inner[0].Header {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("outer loop does not contain inner header")
+	}
+}
+
+func TestExitEdges(t *testing.T) {
+	g, _ := Build(singleLoop())
+	loops := g.Loops()
+	exits := g.ExitEdges(loops[0])
+	if len(exits) != 1 {
+		t.Fatalf("exits = %v", exits)
+	}
+	if exits[0][0] != 1 || exits[0][1] != 2 {
+		t.Errorf("exit edge = %v, want [1 2]", exits[0])
+	}
+}
+
+func TestWhileStyleLoop(t *testing.T) {
+	// Header tests the condition and exits; body is a separate block
+	// with an unconditional back edge.
+	b := ir.NewBuilder("while")
+	i := b.Const(0)
+	n := b.Const(8)
+	cond := b.Reg()
+	b.Label("head")
+	b.CmpLT(cond, i, n)
+	b.BrZ(cond, "exit")
+	b.AddI(i, i, 1)
+	b.Jmp("head")
+	b.Label("exit")
+	b.Ret()
+	g, _ := Build(b.MustBuild())
+	loops := g.Loops()
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	l := loops[0]
+	if len(l.Blocks) != 2 {
+		t.Errorf("body = %v, want header+body", l.Blocks)
+	}
+	if l.Header == l.Latch {
+		t.Error("while loop should have distinct header and latch")
+	}
+}
+
+func TestMultipleBackEdgesMerged(t *testing.T) {
+	// A loop with a continue-style second back edge: both back edges
+	// share the header, producing a single merged loop.
+	b := ir.NewBuilder("continue")
+	i := b.Const(0)
+	n := b.Const(100)
+	cond := b.Reg()
+	parity := b.Reg()
+	two := b.Const(2)
+	b.Label("head")
+	b.AddI(i, i, 1)
+	b.Mod(parity, i, two)
+	b.BrNZ(parity, "head") // continue
+	b.CmpLT(cond, i, n)
+	b.BrNZ(cond, "head") // loop
+	b.Ret()
+	g, _ := Build(b.MustBuild())
+	loops := g.Loops()
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1 merged loop", len(loops))
+	}
+	if len(loops[0].Blocks) != 2 {
+		t.Errorf("merged body = %v", loops[0].Blocks)
+	}
+}
+
+func TestUnreachableCode(t *testing.T) {
+	b := ir.NewBuilder("dead")
+	b.Ret()
+	b.Nop() // unreachable
+	b.Ret()
+	g, err := Build(b.MustBuild())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(g.Loops()) != 0 {
+		t.Error("unreachable code produced loops")
+	}
+	idom := g.Dominators()
+	// The unreachable block has no dominator.
+	dead := g.BlockOf(1)
+	if idom[dead] != -1 {
+		t.Errorf("unreachable block idom = %d, want -1", idom[dead])
+	}
+}
+
+func TestNoLoops(t *testing.T) {
+	b := ir.NewBuilder("straight")
+	r := b.Const(1)
+	b.AddI(r, r, 2)
+	b.Ret()
+	g, _ := Build(b.MustBuild())
+	if len(g.Loops()) != 0 {
+		t.Error("straight-line code has loops")
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"cbws/internal/mem"
+	"cbws/internal/prefetch"
+)
+
+// Composite is the integrated CBWS+fallback prefetcher of Section VII:
+// the CBWS prefetcher is an add-on that issues working-set predictions
+// when the current access pattern hits in its history table, while the
+// fallback scheme (SMS in the paper) covers the access patterns CBWS has
+// no confident prediction for. Both schemes train on the full access
+// stream.
+//
+// With Exclusive set, the fallback is suppressed whenever the CBWS
+// context is confident — the strictest reading of the paper's issue
+// policy. The default (inclusive) policy lets the fallback keep issuing;
+// redundant candidates are dropped by the cache's residency check. The
+// inclusive policy is the better performer whenever CBWS predictions are
+// confident but late (dense unit-stride loops), and the difference is
+// exposed as an ablation benchmark.
+type Composite struct {
+	cbws      *Prefetcher
+	fallback  prefetch.Prefetcher
+	exclusive bool
+}
+
+var _ prefetch.Prefetcher = (*Composite)(nil)
+
+// dropIssue swallows fallback prefetches while the CBWS context is
+// confident, implementing the exclusive issue policy.
+func dropIssue(mem.LineAddr) {}
+
+// NewComposite integrates a CBWS prefetcher with a fallback scheme using
+// the default inclusive issue policy.
+func NewComposite(cbws *Prefetcher, fallback prefetch.Prefetcher) *Composite {
+	return &Composite{cbws: cbws, fallback: fallback}
+}
+
+// NewExclusiveComposite integrates with the exclusive policy: the
+// fallback issues only when the CBWS history table has no prediction.
+func NewExclusiveComposite(cbws *Prefetcher, fallback prefetch.Prefetcher) *Composite {
+	return &Composite{cbws: cbws, fallback: fallback, exclusive: true}
+}
+
+// Name implements prefetch.Prefetcher.
+func (c *Composite) Name() string { return c.cbws.Name() + "+" + c.fallback.Name() }
+
+// CBWS exposes the wrapped CBWS prefetcher (for stats inspection).
+func (c *Composite) CBWS() *Prefetcher { return c.cbws }
+
+// OnAccess trains both schemes.
+func (c *Composite) OnAccess(a prefetch.Access, issue prefetch.IssueFunc) {
+	c.cbws.OnAccess(a, issue)
+	if c.exclusive && c.cbws.inBlock && c.cbws.confident {
+		c.fallback.OnAccess(a, dropIssue)
+		return
+	}
+	c.fallback.OnAccess(a, issue)
+}
+
+// OnBlockBegin forwards the marker to both schemes.
+func (c *Composite) OnBlockBegin(id int) {
+	c.cbws.OnBlockBegin(id)
+	c.fallback.OnBlockBegin(id)
+}
+
+// OnBlockEnd lets the CBWS prefetcher predict; the fallback (blockless)
+// is still notified for interface completeness.
+func (c *Composite) OnBlockEnd(id int, issue prefetch.IssueFunc) {
+	c.cbws.OnBlockEnd(id, issue)
+	c.fallback.OnBlockEnd(id, issue)
+}
+
+// StorageBits is the sum of both schemes' budgets.
+func (c *Composite) StorageBits() uint64 {
+	return c.cbws.StorageBits() + c.fallback.StorageBits()
+}
+
+// OnCacheEvict forwards cache evictions to the fallback scheme (SMS uses
+// them to end spatial-region generations; CBWS has no use for them).
+func (c *Composite) OnCacheEvict(l mem.LineAddr) {
+	if eo, ok := c.fallback.(prefetch.EvictionObserver); ok {
+		eo.OnCacheEvict(l)
+	}
+}
+
+var _ prefetch.EvictionObserver = (*Composite)(nil)
+
+// Reset implements prefetch.Prefetcher.
+func (c *Composite) Reset() {
+	c.cbws.Reset()
+	c.fallback.Reset()
+}

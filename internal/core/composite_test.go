@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"cbws/internal/mem"
+	"cbws/internal/prefetch"
+)
+
+// fakeFallback records training and issues a fixed line per access.
+type fakeFallback struct {
+	prefetch.NoBlocks
+	accesses int
+	evicts   int
+	emit     mem.LineAddr
+}
+
+func (f *fakeFallback) Name() string { return "fake" }
+func (f *fakeFallback) OnAccess(a prefetch.Access, issue prefetch.IssueFunc) {
+	f.accesses++
+	if f.emit != 0 {
+		issue(f.emit)
+	}
+}
+func (f *fakeFallback) StorageBits() uint64       { return 1000 }
+func (f *fakeFallback) Reset()                    { f.accesses = 0 }
+func (f *fakeFallback) OnCacheEvict(mem.LineAddr) { f.evicts++ }
+
+func runBlocks(c *Composite, issued *[]mem.LineAddr, from, n int) {
+	issue := func(l mem.LineAddr) { *issued = append(*issued, l) }
+	for i := from; i < from+n; i++ {
+		c.OnBlockBegin(0)
+		for _, l := range stridedBlock(i, 3, 100, 7) {
+			c.OnAccess(prefetch.Access{Addr: l.Byte(), Line: l}, issue)
+		}
+		c.OnBlockEnd(0, issue)
+	}
+}
+
+func TestCompositeName(t *testing.T) {
+	c := NewComposite(New(Config{}), &fakeFallback{})
+	if c.Name() != "cbws+fake" {
+		t.Errorf("name = %q", c.Name())
+	}
+}
+
+func TestCompositeTrainsBoth(t *testing.T) {
+	fb := &fakeFallback{}
+	c := NewComposite(New(Config{}), fb)
+	var issued []mem.LineAddr
+	runBlocks(c, &issued, 0, 10)
+	if fb.accesses != 30 {
+		t.Errorf("fallback saw %d accesses, want 30", fb.accesses)
+	}
+	if c.CBWS().Stats.Blocks != 10 {
+		t.Errorf("cbws saw %d blocks", c.CBWS().Stats.Blocks)
+	}
+}
+
+func TestInclusiveCompositeUnionIssues(t *testing.T) {
+	fb := &fakeFallback{emit: 0xDEAD}
+	c := NewComposite(New(Config{}), fb)
+	var issued []mem.LineAddr
+	runBlocks(c, &issued, 0, 10)
+	// The inclusive policy lets the fallback issue even when CBWS is
+	// confident.
+	found := false
+	for _, l := range issued {
+		if l == 0xDEAD {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("inclusive composite suppressed the fallback")
+	}
+	if !c.CBWS().Confident() {
+		t.Fatal("CBWS should be confident on a constant stride")
+	}
+}
+
+func TestExclusiveCompositeSuppressesWhenConfident(t *testing.T) {
+	fb := &fakeFallback{emit: 0xDEAD}
+	c := NewExclusiveComposite(New(Config{}), fb)
+	var issued []mem.LineAddr
+	runBlocks(c, &issued, 0, 20)
+	if !c.CBWS().Confident() {
+		t.Fatal("CBWS should be confident")
+	}
+	// Once confident, in-block fallback issues must be suppressed; the
+	// early (unconfident) blocks may have let some through.
+	issued = nil
+	runBlocks(c, &issued, 20, 3)
+	for _, l := range issued {
+		if l == 0xDEAD {
+			t.Fatal("exclusive composite let the fallback issue while confident")
+		}
+	}
+	// CBWS's own predictions still flow.
+	if len(issued) == 0 {
+		t.Error("no CBWS predictions issued")
+	}
+}
+
+func TestExclusiveCompositeFallsBackWhenNotConfident(t *testing.T) {
+	fb := &fakeFallback{emit: 0xDEAD}
+	c := NewExclusiveComposite(New(Config{}), fb)
+	var issued []mem.LineAddr
+	issue := func(l mem.LineAddr) { issued = append(issued, l) }
+	// Random blocks: CBWS never confident, fallback issues freely.
+	rng := uint64(99)
+	for i := 0; i < 10; i++ {
+		c.OnBlockBegin(0)
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		l := mem.LineAddr(rng >> 20)
+		c.OnAccess(prefetch.Access{Addr: l.Byte(), Line: l}, issue)
+		c.OnBlockEnd(0, issue)
+	}
+	found := false
+	for _, l := range issued {
+		if l == 0xDEAD {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fallback suppressed despite no CBWS confidence")
+	}
+}
+
+func TestCompositeStorageSums(t *testing.T) {
+	cb := New(Config{})
+	fb := &fakeFallback{}
+	c := NewComposite(cb, fb)
+	if c.StorageBits() != cb.StorageBits()+1000 {
+		t.Errorf("storage = %d", c.StorageBits())
+	}
+}
+
+func TestCompositeForwardsEvictions(t *testing.T) {
+	fb := &fakeFallback{}
+	c := NewComposite(New(Config{}), fb)
+	c.OnCacheEvict(123)
+	if fb.evicts != 1 {
+		t.Error("eviction not forwarded to fallback")
+	}
+}
+
+func TestCompositeReset(t *testing.T) {
+	fb := &fakeFallback{}
+	c := NewComposite(New(Config{}), fb)
+	var issued []mem.LineAddr
+	runBlocks(c, &issued, 0, 10)
+	c.Reset()
+	if fb.accesses != 0 || c.CBWS().Stats.Blocks != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestCompositeWithRealSMS(t *testing.T) {
+	c := NewComposite(New(Config{}), prefetch.NewSMS(prefetch.SMSConfig{}))
+	if c.Name() != "cbws+sms" {
+		t.Errorf("name = %q", c.Name())
+	}
+	var issued []mem.LineAddr
+	runBlocks(c, &issued, 0, 10)
+	// Smoke: no panic, both trained.
+	if c.CBWS().Stats.Blocks != 10 {
+		t.Error("cbws not trained")
+	}
+}

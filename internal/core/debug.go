@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TableEntryView is a read-only snapshot of one differential history
+// table slot, for debugging and introspection.
+type TableEntryView struct {
+	Valid bool
+	Tag   uint16
+	Diff  Diff
+}
+
+// TableDump snapshots the differential history table.
+func (p *Prefetcher) TableDump() []TableEntryView {
+	out := make([]TableEntryView, len(p.table))
+	for i, e := range p.table {
+		v := TableEntryView{Valid: e.valid, Tag: e.tag}
+		if e.valid {
+			v.Diff = make(Diff, 0, len(e.diff))
+			for _, s := range e.diff {
+				if s == invalidStride {
+					continue
+				}
+				v.Diff = append(v.Diff, int64(s))
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// CurrentCBWS returns the working set being traced for the active block
+// (empty outside blocks).
+func (p *Prefetcher) CurrentCBWS() Vector {
+	return append(Vector(nil), p.cur...)
+}
+
+// LastCBWS returns the working set of the i-th previous block instance
+// (0 = most recent), or nil if none is recorded.
+func (p *Prefetcher) LastCBWS(i int) Vector {
+	if i < 0 || i >= len(p.last) || p.last[i] == nil {
+		return nil
+	}
+	return append(Vector(nil), p.last[i]...)
+}
+
+// String summarizes the prefetcher state: active context, table
+// occupancy and counters.
+func (p *Prefetcher) String() string {
+	var b strings.Builder
+	occupied := 0
+	for _, e := range p.table {
+		if e.valid {
+			occupied++
+		}
+	}
+	fmt.Fprintf(&b, "cbws{block=%d inBlock=%v confident=%v table=%d/%d", p.curBlock, p.inBlock, p.confident, occupied, len(p.table))
+	fmt.Fprintf(&b, " blocks=%d hits=%d misses=%d predicted=%d overflows=%d}",
+		p.Stats.Blocks, p.Stats.TableHits, p.Stats.TableMisses, p.Stats.LinesPredicted, p.Stats.Overflows)
+	return b.String()
+}

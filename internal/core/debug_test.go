@@ -1,0 +1,103 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cbws/internal/mem"
+)
+
+func TestTableDump(t *testing.T) {
+	d := newDriver(Config{})
+	for n := 0; n < 10; n++ {
+		d.block(0, stridedBlock(n, 3, 100, 7))
+	}
+	dump := d.p.TableDump()
+	if len(dump) != 16 {
+		t.Fatalf("dump size %d", len(dump))
+	}
+	occupied := 0
+	for _, e := range dump {
+		if !e.Valid {
+			continue
+		}
+		occupied++
+		// Every valid entry of a constant-stride loop stores a
+		// constant multiple of the base stride: step k records 7k.
+		for _, s := range e.Diff {
+			if s <= 0 || s%7 != 0 || s > 4*7 {
+				t.Errorf("entry diff %v, want constant multiples of 7", e.Diff)
+			}
+		}
+	}
+	if occupied == 0 {
+		t.Error("table empty after training")
+	}
+}
+
+func TestCurrentAndLastCBWS(t *testing.T) {
+	d := newDriver(Config{})
+	d.block(0, stridedBlock(0, 3, 100, 7))
+	last := d.p.LastCBWS(0)
+	if len(last) != 3 {
+		t.Fatalf("last CBWS %v", last)
+	}
+	want := stridedBlock(0, 3, 100, 7)
+	for i := range want {
+		if last[i] != want[i] {
+			t.Errorf("last[%d] = %v, want %v", i, last[i], want[i])
+		}
+	}
+	if d.p.LastCBWS(3) != nil {
+		t.Error("unrecorded predecessor should be nil")
+	}
+	if d.p.LastCBWS(-1) != nil || d.p.LastCBWS(99) != nil {
+		t.Error("out-of-range predecessor should be nil")
+	}
+	// A fresh block begin clears the current CBWS.
+	d.p.OnBlockBegin(0)
+	if len(d.p.CurrentCBWS()) != 0 {
+		t.Error("current CBWS not cleared at block begin")
+	}
+}
+
+func TestDumpIsACopy(t *testing.T) {
+	d := newDriver(Config{})
+	for n := 0; n < 10; n++ {
+		d.block(0, stridedBlock(n, 2, 50, 3))
+	}
+	dump := d.p.TableDump()
+	for i := range dump {
+		if dump[i].Valid && len(dump[i].Diff) > 0 {
+			dump[i].Diff[0] = 999999
+		}
+	}
+	for _, e := range d.p.TableDump() {
+		for _, s := range e.Diff {
+			if s == 999999 {
+				t.Fatal("dump aliases internal state")
+			}
+		}
+	}
+	// LastCBWS must also be a copy.
+	last := d.p.LastCBWS(0)
+	if last != nil && len(last) > 0 {
+		last[0] = mem.LineAddr(0xDEAD)
+		if d.p.LastCBWS(0)[0] == 0xDEAD {
+			t.Fatal("LastCBWS aliases internal state")
+		}
+	}
+}
+
+func TestPrefetcherString(t *testing.T) {
+	d := newDriver(Config{})
+	for n := 0; n < 5; n++ {
+		d.block(0, stridedBlock(n, 2, 50, 3))
+	}
+	s := d.p.String()
+	for _, want := range []string{"cbws{", "blocks=5", "table="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,396 @@
+package core
+
+import (
+	"cbws/internal/mem"
+	"cbws/internal/prefetch"
+)
+
+// Config parametrizes the CBWS prefetcher hardware (Figure 8 / Table II
+// defaults via DefaultConfig).
+type Config struct {
+	// MaxVector bounds the lines traced per code block (16 covers >98%
+	// of dynamic blocks in the paper's benchmarks).
+	MaxVector int
+	// Steps is the number of predecessor CBWSs kept and therefore the
+	// multi-step prediction depth (paper: 4).
+	Steps int
+	// HistoryDepth is the depth of each history shift register
+	// (paper: 3 differentials).
+	HistoryDepth int
+	// TableEntries sizes the fully-associative differential history
+	// table (paper: 16, random replacement).
+	TableEntries int
+	// HashBits is the width of the bit-select hash of one differential
+	// vector (paper: 12).
+	HashBits int
+	// StrideBits is the stored stride width (paper: 16); strides are
+	// clamped into this range like the hardware's narrow adders.
+	StrideBits int
+	// AddrBits is the stored line-address width (paper: lower 32 bits).
+	AddrBits int
+}
+
+// DefaultConfig returns the paper's sub-1KB configuration.
+func DefaultConfig() Config {
+	return Config{
+		MaxVector:    16,
+		Steps:        4,
+		HistoryDepth: 3,
+		TableEntries: 16,
+		HashBits:     12,
+		StrideBits:   16,
+		AddrBits:     32,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MaxVector == 0 {
+		c.MaxVector = d.MaxVector
+	}
+	if c.Steps == 0 {
+		c.Steps = d.Steps
+	}
+	if c.HistoryDepth == 0 {
+		c.HistoryDepth = d.HistoryDepth
+	}
+	if c.TableEntries == 0 {
+		c.TableEntries = d.TableEntries
+	}
+	if c.HashBits == 0 {
+		c.HashBits = d.HashBits
+	}
+	if c.StrideBits == 0 {
+		c.StrideBits = d.StrideBits
+	}
+	if c.AddrBits == 0 {
+		c.AddrBits = d.AddrBits
+	}
+	return c
+}
+
+// tableEntry is one differential history table slot.
+type tableEntry struct {
+	valid bool
+	tag   uint16
+	diff  []int32 // clamped strides; length ≤ MaxVector
+}
+
+// shiftReg is a history shift register: the HistoryDepth most recent
+// differential hashes for one step, newest last.
+type shiftReg struct {
+	vals  []uint16
+	count int // total enqueued, to gate predictions until warm
+}
+
+func (r *shiftReg) push(h uint16) {
+	copy(r.vals, r.vals[1:])
+	r.vals[len(r.vals)-1] = h
+	r.count++
+}
+
+func (r *shiftReg) warm() bool { return r.count >= len(r.vals) }
+
+// Stats counts prefetcher-internal events.
+type Stats struct {
+	Blocks         uint64 // block instances observed
+	Overflows      uint64 // blocks whose working set exceeded MaxVector
+	TableHits      uint64 // predictions served by the history table
+	TableMisses    uint64 // lookups that missed (no prefetch issued)
+	LinesPredicted uint64 // total lines handed to the issue callback
+}
+
+// Prefetcher is the hardware CBWS prefetcher of Section V: it constructs
+// the current CBWS and its differentials incrementally on every memory
+// access inside an annotated block, and at BLOCK_END stores the
+// differentials in the history table and predicts the working sets of
+// the next Steps iterations.
+type Prefetcher struct {
+	cfg Config
+
+	inBlock  bool
+	curBlock int
+
+	cur     []mem.LineAddr   // current CBWS buffer
+	last    [][]mem.LineAddr // last[i] = CBWS of the (i+1)-th previous block
+	curDiff [][]int32        // curDiff[i] = differential vs last[i]
+	hist    []shiftReg       // one shift register per step
+
+	table []tableEntry
+	rng   uint32 // xorshift32 for random replacement
+
+	strideMin, strideMax int64
+	hashMask             uint16
+
+	confident bool // last BLOCK_END lookup hit the table (for CBWS+SMS)
+
+	Stats Stats
+}
+
+var _ prefetch.Prefetcher = (*Prefetcher)(nil)
+
+// New builds a CBWS prefetcher; zero-value fields of cfg fall back to the
+// paper's defaults.
+func New(cfg Config) *Prefetcher {
+	cfg = cfg.withDefaults()
+	p := &Prefetcher{cfg: cfg}
+	p.Reset()
+	return p
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "cbws" }
+
+// Config returns the active configuration.
+func (p *Prefetcher) Config() Config { return p.cfg }
+
+// Reset implements prefetch.Prefetcher.
+func (p *Prefetcher) Reset() {
+	c := p.cfg
+	p.inBlock = false
+	p.curBlock = -1
+	p.cur = make([]mem.LineAddr, 0, c.MaxVector)
+	p.last = make([][]mem.LineAddr, c.Steps)
+	p.curDiff = make([][]int32, c.Steps)
+	for i := range p.curDiff {
+		p.curDiff[i] = make([]int32, 0, c.MaxVector)
+	}
+	p.hist = make([]shiftReg, c.Steps)
+	for i := range p.hist {
+		p.hist[i] = shiftReg{vals: make([]uint16, c.HistoryDepth)}
+	}
+	p.table = make([]tableEntry, c.TableEntries)
+	p.rng = 0x20140612 // deterministic seed (MICRO 2014)
+	p.strideMax = 1<<(uint(c.StrideBits)-1) - 1
+	p.strideMin = -(1 << (uint(c.StrideBits) - 1))
+	p.hashMask = uint16(1<<uint(c.HashBits) - 1)
+	p.confident = false
+	p.Stats = Stats{}
+}
+
+// Confident reports whether the most recent BLOCK_END produced at least
+// one history-table hit; the CBWS+SMS integration uses it to decide when
+// to fall back to SMS.
+func (p *Prefetcher) Confident() bool { return p.confident }
+
+// invalidStride marks a differential element whose stride overflows the
+// StrideBits-wide field. The hardware detects the saturation and never
+// predicts with such an element: an overflowing delta means the two
+// aligned accesses are unrelated (e.g. divergence shifted the vectors),
+// so a prediction built from it would be garbage far outside the
+// working set.
+const invalidStride int32 = 1<<31 - 1
+
+func (p *Prefetcher) clamp(d int64) int32 {
+	if d > p.strideMax || d < p.strideMin {
+		return invalidStride
+	}
+	return int32(d)
+}
+
+// storedLine narrows a line address to AddrBits, as the hardware stores
+// only the lower bits (Figure 8).
+func (p *Prefetcher) storedLine(l mem.LineAddr) mem.LineAddr {
+	if p.cfg.AddrBits >= 64 {
+		return l
+	}
+	return l & mem.LineAddr(1<<uint(p.cfg.AddrBits)-1)
+}
+
+// hashDiff bit-selects a differential vector into HashBits bits: each
+// stride contributes its low bits at a position-dependent rotation, and
+// the vector length is mixed in so that divergent iterations hash apart.
+func (p *Prefetcher) hashDiff(d []int32) uint16 {
+	hb := uint(p.cfg.HashBits)
+	h := uint32(len(d)) * 0x9E5
+	for i, s := range d {
+		v := uint32(s) & uint32(p.hashMask)
+		rot := uint(i*5) % hb
+		v = (v<<rot | v>>(hb-rot)) & uint32(p.hashMask)
+		h ^= v
+	}
+	return uint16(h) & p.hashMask
+}
+
+// foldTag xor-folds a history register's concatenated hashes into a
+// 16-bit table tag (the paper xor-folds 48 bits to 16).
+func (p *Prefetcher) foldTag(r *shiftReg) uint16 {
+	var x uint64
+	for _, v := range r.vals {
+		x = x<<uint(p.cfg.HashBits) | uint64(v)
+	}
+	return uint16(x) ^ uint16(x>>16) ^ uint16(x>>32) ^ uint16(x>>48)
+}
+
+func (p *Prefetcher) xorshift() uint32 {
+	x := p.rng
+	x ^= x << 13
+	x ^= x >> 17
+	x ^= x << 5
+	p.rng = x
+	return x
+}
+
+// tableLookup returns the entry matching tag, if any.
+func (p *Prefetcher) tableLookup(tag uint16) *tableEntry {
+	for i := range p.table {
+		if p.table[i].valid && p.table[i].tag == tag {
+			return &p.table[i]
+		}
+	}
+	return nil
+}
+
+// tableStore writes diff under tag, using random replacement on a full
+// table (Table II: "History Table Repl. Random").
+func (p *Prefetcher) tableStore(tag uint16, diff []int32) {
+	e := p.tableLookup(tag)
+	if e == nil {
+		for i := range p.table {
+			if !p.table[i].valid {
+				e = &p.table[i]
+				break
+			}
+		}
+	}
+	if e == nil {
+		e = &p.table[p.xorshift()%uint32(len(p.table))]
+	}
+	e.valid = true
+	e.tag = tag
+	e.diff = append(e.diff[:0], diff...)
+}
+
+// OnBlockBegin implements the BLOCK_BEGIN flow (Figure 9): clear the
+// current CBWS and differential tracing. A change of static block ID
+// also clears the predecessor CBWSs and histories, since the single
+// tracking context now belongs to a different loop.
+func (p *Prefetcher) OnBlockBegin(id int) {
+	if id != p.curBlock {
+		p.curBlock = id
+		for i := range p.last {
+			p.last[i] = nil
+		}
+		for i := range p.hist {
+			p.hist[i] = shiftReg{vals: make([]uint16, p.cfg.HistoryDepth)}
+		}
+		p.confident = false
+	}
+	p.inBlock = true
+	p.cur = p.cur[:0]
+	for i := range p.curDiff {
+		p.curDiff[i] = p.curDiff[i][:0]
+	}
+}
+
+// OnAccess implements the memory-access flow (Figure 10): push the line
+// into the current CBWS if new, and incrementally extend each step's
+// differential against the correlated entry of the predecessor CBWS.
+// The CBWS prefetcher tracks all L1 accesses inside annotated blocks
+// (hits and misses) — the aggressive policy the compiler hint licenses.
+func (p *Prefetcher) OnAccess(a prefetch.Access, issue prefetch.IssueFunc) {
+	if !p.inBlock {
+		return
+	}
+	line := p.storedLine(a.Line)
+	if len(p.cur) >= p.cfg.MaxVector {
+		p.Stats.Overflows++
+		return
+	}
+	for _, x := range p.cur {
+		if x == line {
+			return // already in the working set
+		}
+	}
+	idx := len(p.cur)
+	p.cur = append(p.cur, line)
+	for i := 0; i < p.cfg.Steps; i++ {
+		if idx < len(p.last[i]) {
+			stride := line.Delta(p.last[i][idx])
+			p.curDiff[i] = append(p.curDiff[i], p.clamp(stride))
+		}
+	}
+}
+
+// OnBlockEnd implements the BLOCK_END flow (Figure 11 / Algorithm 1):
+// store the step differentials in the history table keyed by the
+// pre-update history registers, enqueue them, rotate the predecessor
+// CBWSs, then look up the post-update histories and prefetch the
+// predicted future working sets.
+func (p *Prefetcher) OnBlockEnd(id int, issue prefetch.IssueFunc) {
+	if !p.inBlock || id != p.curBlock {
+		p.inBlock = false
+		return
+	}
+	p.inBlock = false
+	p.Stats.Blocks++
+
+	// 1. Update the tracing + prediction DB. The table learns that the
+	// history prefix (pre-enqueue) was followed by the current
+	// differential.
+	for i := 0; i < p.cfg.Steps; i++ {
+		if len(p.curDiff[i]) > 0 {
+			if p.hist[i].warm() {
+				p.tableStore(p.foldTag(&p.hist[i]), p.curDiff[i])
+			}
+			p.hist[i].push(p.hashDiff(p.curDiff[i]))
+		}
+	}
+
+	// 2. Rotate the predecessor CBWS buffers: last[0] becomes the block
+	// that just finished.
+	oldest := p.last[len(p.last)-1]
+	copy(p.last[1:], p.last[:len(p.last)-1])
+	if oldest != nil {
+		p.last[0] = append(oldest[:0], p.cur...)
+	} else {
+		p.last[0] = append([]mem.LineAddr(nil), p.cur...)
+	}
+
+	// 3. Predict: for each step i, the post-update history selects the
+	// differential expected between the just-finished block and the
+	// block i+1 iterations ahead; adding it to the current CBWS yields
+	// that block's predicted working set.
+	p.confident = false
+	cur := p.last[0]
+	for i := 0; i < p.cfg.Steps; i++ {
+		if !p.hist[i].warm() {
+			continue
+		}
+		e := p.tableLookup(p.foldTag(&p.hist[i]))
+		if e == nil {
+			p.Stats.TableMisses++
+			continue
+		}
+		p.Stats.TableHits++
+		p.confident = true
+		n := len(e.diff)
+		if len(cur) < n {
+			n = len(cur)
+		}
+		for j := 0; j < n; j++ {
+			if e.diff[j] == 0 || e.diff[j] == invalidStride {
+				// Zero stride: the line is the current iteration's,
+				// already resident or in flight. Invalid stride: the
+				// element saturated when recorded; no prediction.
+				continue
+			}
+			issue(cur[j].Add(int64(e.diff[j])))
+			p.Stats.LinesPredicted++
+		}
+	}
+}
+
+// StorageBits returns the hardware budget of Figure 8: with the default
+// configuration 16×32b current CBWS + 4×16×32b predecessors +
+// 4×16×16b differentials + 4×36b history registers + 16×(16b+16×16b)
+// table ≈ 8080 bits, i.e. just under 1KB.
+func (p *Prefetcher) StorageBits() uint64 {
+	c := p.cfg
+	cur := uint64(c.MaxVector * c.AddrBits)
+	last := uint64(c.Steps * c.MaxVector * c.AddrBits)
+	diffs := uint64(c.Steps * c.MaxVector * c.StrideBits)
+	regs := uint64(c.Steps * c.HistoryDepth * c.HashBits)
+	table := uint64(c.TableEntries) * uint64(16+c.MaxVector*c.StrideBits)
+	return cur + last + diffs + regs + table
+}

@@ -1,0 +1,287 @@
+// Package engine implements the trace-driven out-of-order timing model:
+// a W-wide core with an R-entry reorder buffer whose IPC responds to
+// memory latency and memory-level parallelism, which is the property a
+// prefetcher study needs from its core model.
+//
+// The model processes the committed instruction stream in program order.
+// Each instruction occupies a ROB slot from dispatch to commit; loads
+// start their cache access at dispatch and block commit until the data
+// returns, so independent misses overlap up to the ROB size and the MSHR
+// count — the same first-order behaviour as the paper's gem5 core
+// (4-wide, 128-entry ROB, Table II).
+//
+// Internally the core clock is kept in "slot" units of 1/Width cycles so
+// that fetch and commit bandwidth are enforced with integer arithmetic.
+package engine
+
+import (
+	"fmt"
+
+	"cbws/internal/mem"
+	"cbws/internal/trace"
+)
+
+// Config describes the core (Table II defaults via DefaultConfig).
+type Config struct {
+	Width      int // fetch/commit width
+	ROBEntries int
+	LDQEntries int
+	STQEntries int
+	// MispredictPenalty is the front-end refill charged per branch
+	// misprediction, in cycles. Ignored when no predictor is attached.
+	MispredictPenalty uint64
+}
+
+// DefaultConfig returns the paper's core: 4-wide, 128-entry ROB,
+// 32-entry load and store queues, 15-cycle misprediction refill.
+func DefaultConfig() Config {
+	return Config{Width: 4, ROBEntries: 128, LDQEntries: 32, STQEntries: 32, MispredictPenalty: 15}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.ROBEntries <= 0 || c.LDQEntries <= 0 || c.STQEntries <= 0 {
+		return fmt.Errorf("engine: all structure sizes must be positive, got %+v", c)
+	}
+	return nil
+}
+
+// BranchPredictor is the engine's view of the branch predictor (see
+// internal/branch). Update records the outcome and reports whether the
+// prediction was correct.
+type BranchPredictor interface {
+	Update(pc uint64, outcome bool) (correct bool)
+}
+
+// MemPort is the engine's view of the memory hierarchy. Load and Store
+// are called at dispatch time (cycle now) and return the cycle at which
+// the access data is available. Calls are made with monotonically
+// non-decreasing now.
+type MemPort interface {
+	Load(pc uint64, addr mem.Addr, now uint64) (readyAt uint64)
+	Store(pc uint64, addr mem.Addr, now uint64) (readyAt uint64)
+}
+
+// BlockObserver receives block boundary markers in commit order. The
+// prefetcher wrapper implements it; a no-op implementation is used when
+// no prefetcher is attached.
+type BlockObserver interface {
+	BlockBegin(id int)
+	BlockEnd(id int)
+}
+
+// NopBlocks is a BlockObserver that ignores all markers.
+type NopBlocks struct{}
+
+// BlockBegin implements BlockObserver.
+func (NopBlocks) BlockBegin(int) {}
+
+// BlockEnd implements BlockObserver.
+func (NopBlocks) BlockEnd(int) {}
+
+// Stats holds the engine's outputs.
+type Stats struct {
+	Instructions uint64
+	Cycles       uint64
+	Loads        uint64
+	Stores       uint64
+	Branches     uint64
+	Mispredicts  uint64
+	Blocks       uint64 // dynamic block (loop iteration) count
+	BlockSlots   uint64 // slot-units of runtime spent inside blocks
+	TotalSlots   uint64 // slot-units of total runtime
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// LoopResidency returns the fraction of runtime spent inside annotated
+// blocks (Figure 1).
+func (s Stats) LoopResidency() float64 {
+	if s.TotalSlots == 0 {
+		return 0
+	}
+	return float64(s.BlockSlots) / float64(s.TotalSlots)
+}
+
+// Engine is the timing model. It implements trace.Sink.
+type Engine struct {
+	cfg    Config
+	memsys MemPort
+	blocks BlockObserver
+	bp     BranchPredictor // nil: branches always predicted correctly
+
+	width   uint64
+	fetchQ  uint64   // fetch clock, in slot units (1 slot = 1/Width cycle)
+	commitQ uint64   // commit clock, in slot units
+	rob     []uint64 // per-slot cycle at which the previous occupant committed
+	robPos  int
+	ldq     []uint64 // completion cycles of the last LDQEntries loads
+	ldqPos  int
+	stq     []uint64
+	stqPos  int
+
+	inBlock     bool
+	blockStartQ uint64
+
+	Stats Stats
+}
+
+// New builds an engine over the given memory port. blocks may be nil.
+func New(cfg Config, memsys MemPort, blocks BlockObserver) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if blocks == nil {
+		blocks = NopBlocks{}
+	}
+	return &Engine{
+		cfg:    cfg,
+		memsys: memsys,
+		blocks: blocks,
+		width:  uint64(cfg.Width),
+		rob:    make([]uint64, cfg.ROBEntries),
+		ldq:    make([]uint64, cfg.LDQEntries),
+		stq:    make([]uint64, cfg.STQEntries),
+	}, nil
+}
+
+// AttachBranchPredictor installs bp; a nil predictor means branches are
+// always predicted correctly (an ideal front end).
+func (e *Engine) AttachBranchPredictor(bp BranchPredictor) { e.bp = bp }
+
+// dispatch advances the fetch clock by one instruction and returns the
+// cycle at which the instruction enters the ROB, accounting for ROB
+// back-pressure.
+func (e *Engine) dispatch() uint64 {
+	e.fetchQ++
+	enter := e.fetchQ / e.width
+	if free := e.rob[e.robPos]; free > enter {
+		enter = free
+		e.fetchQ = enter * e.width // fetch stalls until the slot frees
+	}
+	return enter
+}
+
+// commit retires the instruction that completed at cycle complete,
+// honoring in-order commit and commit width, and frees its ROB slot.
+func (e *Engine) commit(complete uint64) {
+	q := complete * e.width
+	if q < e.commitQ+1 {
+		q = e.commitQ + 1
+	}
+	e.commitQ = q
+	e.rob[e.robPos] = q / e.width
+	e.robPos++
+	if e.robPos == len(e.rob) {
+		e.robPos = 0
+	}
+	e.Stats.Instructions++
+}
+
+// Consume processes one trace event.
+func (e *Engine) Consume(ev trace.Event) {
+	switch ev.Kind {
+	case trace.Instr:
+		for n := ev.Count(); n > 0; n-- {
+			enter := e.dispatch()
+			e.commit(enter + 1)
+		}
+	case trace.Load:
+		enter := e.dispatch()
+		// LDQ back-pressure: at most LDQEntries loads in flight.
+		if free := e.ldq[e.ldqPos]; free > enter {
+			enter = free
+		}
+		ready := e.memsys.Load(ev.PC, ev.Addr, enter)
+		e.ldq[e.ldqPos] = ready
+		e.ldqPos++
+		if e.ldqPos == len(e.ldq) {
+			e.ldqPos = 0
+		}
+		e.commit(ready)
+		e.Stats.Loads++
+	case trace.Store:
+		enter := e.dispatch()
+		if free := e.stq[e.stqPos]; free > enter {
+			enter = free
+		}
+		ready := e.memsys.Store(ev.PC, ev.Addr, enter)
+		e.stq[e.stqPos] = ready
+		e.stqPos++
+		if e.stqPos == len(e.stq) {
+			e.stqPos = 0
+		}
+		// Stores retire through the store buffer without blocking
+		// commit on the cache fill.
+		e.commit(enter + 1)
+		e.Stats.Stores++
+	case trace.Branch:
+		enter := e.dispatch()
+		e.commit(enter + 1)
+		e.Stats.Branches++
+		if e.bp != nil && !e.bp.Update(ev.PC, ev.Taken) {
+			e.Stats.Mispredicts++
+			// Squash: everything fetched past the branch is discarded,
+			// so younger instructions dispatch only after the branch
+			// resolves plus the refill penalty. Without operand
+			// tracking, the branch's commit time is the resolution
+			// estimate — data-dependent branches (the ones that
+			// actually mispredict) resolve when their feeding loads
+			// complete, which in-order commit approximates.
+			stallUntil := e.commitQ + e.cfg.MispredictPenalty*e.width
+			if stallUntil > e.fetchQ {
+				e.fetchQ = stallUntil
+			}
+		}
+	case trace.BlockBegin:
+		// Block markers are real (single-cycle) instructions in the
+		// paper's extended ISA.
+		enter := e.dispatch()
+		e.commit(enter + 1)
+		if !e.inBlock {
+			e.inBlock = true
+			e.blockStartQ = e.commitQ
+		}
+		e.blocks.BlockBegin(ev.Block)
+	case trace.BlockEnd:
+		enter := e.dispatch()
+		e.commit(enter + 1)
+		if e.inBlock {
+			e.inBlock = false
+			e.Stats.BlockSlots += e.commitQ - e.blockStartQ
+			e.Stats.Blocks++
+		}
+		e.blocks.BlockEnd(ev.Block)
+	}
+}
+
+// Snapshot returns the statistics as of now, with the clock fields
+// filled from the current commit state. Used to mark the end of a
+// warmup window so measured metrics cover only the region of interest.
+func (e *Engine) Snapshot() Stats {
+	s := e.Stats
+	s.Cycles = (e.commitQ + e.width - 1) / e.width
+	s.TotalSlots = e.commitQ
+	if e.inBlock {
+		s.BlockSlots += e.commitQ - e.blockStartQ
+	}
+	return s
+}
+
+// Finish settles the clocks and returns the final statistics.
+func (e *Engine) Finish() Stats {
+	if e.inBlock {
+		e.inBlock = false
+		e.Stats.BlockSlots += e.commitQ - e.blockStartQ
+		e.Stats.Blocks++
+	}
+	e.Stats.Cycles = (e.commitQ + e.width - 1) / e.width
+	e.Stats.TotalSlots = e.commitQ
+	return e.Stats
+}

@@ -1,0 +1,146 @@
+// Package harness runs the paper's evaluation: every workload × every
+// prefetcher on the Table II system, memoizing results so that all
+// figures derive from one simulation matrix, and rendering each figure
+// and table of the paper as a report.Table.
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"cbws/internal/core"
+	"cbws/internal/prefetch"
+	"cbws/internal/sim"
+	"cbws/internal/workload"
+)
+
+// Factory names and constructs one prefetching scheme.
+type Factory struct {
+	Name string
+	New  func() prefetch.Prefetcher
+}
+
+// Prefetchers returns the six evaluated schemes in the paper's plotting
+// order: no-prefetch, stride, GHB PC/DC, GHB G/DC, SMS, CBWS, CBWS+SMS.
+func Prefetchers() []Factory {
+	return []Factory{
+		{Name: "none", New: func() prefetch.Prefetcher { return prefetch.NewNone() }},
+		{Name: "stride", New: func() prefetch.Prefetcher { return prefetch.NewStride(prefetch.StrideConfig{}) }},
+		{Name: "ghb-pc/dc", New: func() prefetch.Prefetcher { return prefetch.NewGHB(prefetch.GHBConfig{Mode: prefetch.PCDC}) }},
+		{Name: "ghb-g/dc", New: func() prefetch.Prefetcher { return prefetch.NewGHB(prefetch.GHBConfig{Mode: prefetch.GlobalDC}) }},
+		{Name: "sms", New: func() prefetch.Prefetcher { return prefetch.NewSMS(prefetch.SMSConfig{}) }},
+		{Name: "cbws", New: func() prefetch.Prefetcher { return core.New(core.Config{}) }},
+		{Name: "cbws+sms", New: func() prefetch.Prefetcher {
+			return core.NewComposite(core.New(core.Config{}), prefetch.NewSMS(prefetch.SMSConfig{}))
+		}},
+	}
+}
+
+// ExtendedPrefetchers returns the evaluated schemes plus extension
+// baselines beyond the paper's roster (AMPM and Markov, which the
+// paper's related-work section discusses but does not evaluate).
+func ExtendedPrefetchers() []Factory {
+	return append(Prefetchers(),
+		Factory{Name: "ampm", New: func() prefetch.Prefetcher { return prefetch.NewAMPM(prefetch.AMPMConfig{}) }},
+		Factory{Name: "markov", New: func() prefetch.Prefetcher { return prefetch.NewMarkov(prefetch.MarkovConfig{}) }},
+	)
+}
+
+// FactoryByName looks up an evaluated or extension scheme.
+func FactoryByName(name string) (Factory, bool) {
+	for _, f := range ExtendedPrefetchers() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Factory{}, false
+}
+
+// Options configures a harness run.
+type Options struct {
+	Sim sim.Config
+	// Parallel runs independent simulations on multiple goroutines.
+	Parallel int
+}
+
+// DefaultOptions returns the Table II system with a 4M-instruction
+// window per run, the first 1M excluded from metrics as warmup (the
+// paper simulates 1e9 instructions starting at each benchmark's
+// region of interest).
+func DefaultOptions() Options {
+	cfg := sim.DefaultConfig()
+	cfg.MaxInstructions = 4_000_000
+	cfg.WarmupInstructions = 1_000_000
+	return Options{Sim: cfg, Parallel: 4}
+}
+
+// Matrix memoizes workload × prefetcher simulation results.
+type Matrix struct {
+	opts Options
+
+	mu      sync.Mutex
+	results map[string]sim.Result
+}
+
+// NewMatrix creates an empty result matrix.
+func NewMatrix(opts Options) *Matrix {
+	return &Matrix{opts: opts, results: make(map[string]sim.Result)}
+}
+
+// Options returns the matrix configuration.
+func (m *Matrix) Options() Options { return m.opts }
+
+// Get simulates (or returns the memoized result of) one cell.
+func (m *Matrix) Get(spec workload.Spec, f Factory) (sim.Result, error) {
+	key := spec.Name + "\x00" + f.Name
+	m.mu.Lock()
+	if r, ok := m.results[key]; ok {
+		m.mu.Unlock()
+		return r, nil
+	}
+	m.mu.Unlock()
+	r, err := sim.Run(m.opts.Sim, spec.Make(), f.New())
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("harness: %s/%s: %w", spec.Name, f.Name, err)
+	}
+	m.mu.Lock()
+	m.results[key] = r
+	m.mu.Unlock()
+	return r, nil
+}
+
+// Fill simulates every cell of specs × factories, using up to
+// opts.Parallel goroutines. Each simulation is fully independent, so
+// parallel cells share nothing.
+func (m *Matrix) Fill(specs []workload.Spec, factories []Factory) error {
+	type job struct {
+		s workload.Spec
+		f Factory
+	}
+	var jobs []job
+	for _, s := range specs {
+		for _, f := range factories {
+			jobs = append(jobs, job{s, f})
+		}
+	}
+	par := m.opts.Parallel
+	if par < 1 {
+		par = 1
+	}
+	sem := make(chan struct{}, par)
+	errs := make(chan error, len(jobs))
+	for _, j := range jobs {
+		sem <- struct{}{}
+		go func(j job) {
+			defer func() { <-sem }()
+			_, err := m.Get(j.s, j.f)
+			errs <- err
+		}(j)
+	}
+	for range jobs {
+		if err := <-errs; err != nil {
+			return err
+		}
+	}
+	return nil
+}

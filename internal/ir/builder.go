@@ -1,0 +1,142 @@
+package ir
+
+import "fmt"
+
+// Builder assembles Programs with named labels so that kernels read like
+// structured code. Branch targets may reference labels defined later;
+// they are resolved by Build.
+type Builder struct {
+	name    string
+	instrs  []Instr
+	numRegs int
+	labels  map[string]int
+	fixups  map[int]string // instr index -> unresolved label
+}
+
+// NewBuilder starts a program.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int), fixups: make(map[int]string)}
+}
+
+// Reg allocates a fresh virtual register.
+func (b *Builder) Reg() Reg {
+	b.numRegs++
+	return Reg(b.numRegs - 1)
+}
+
+// Label binds name to the next instruction index.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		panic(fmt.Sprintf("ir: duplicate label %q", name))
+	}
+	b.labels[name] = len(b.instrs)
+}
+
+func (b *Builder) emit(in Instr) { b.instrs = append(b.instrs, in) }
+
+func (b *Builder) emitBranch(in Instr, label string) {
+	b.fixups[len(b.instrs)] = label
+	b.emit(in)
+}
+
+// Const emits dst = imm and returns a fresh register holding imm.
+func (b *Builder) Const(imm int64) Reg {
+	r := b.Reg()
+	b.emit(Instr{Op: Const, Dst: r, Imm: imm})
+	return r
+}
+
+// ConstTo emits dst = imm.
+func (b *Builder) ConstTo(dst Reg, imm int64) { b.emit(Instr{Op: Const, Dst: dst, Imm: imm}) }
+
+// Mov emits dst = a.
+func (b *Builder) Mov(dst, a Reg) { b.emit(Instr{Op: Mov, Dst: dst, A: a}) }
+
+// Add emits dst = a + b2.
+func (b *Builder) Add(dst, a, b2 Reg) { b.emit(Instr{Op: Add, Dst: dst, A: a, B: b2}) }
+
+// AddI emits dst = a + imm.
+func (b *Builder) AddI(dst, a Reg, imm int64) { b.emit(Instr{Op: AddI, Dst: dst, A: a, Imm: imm}) }
+
+// Sub emits dst = a - b2.
+func (b *Builder) Sub(dst, a, b2 Reg) { b.emit(Instr{Op: Sub, Dst: dst, A: a, B: b2}) }
+
+// Mul emits dst = a * b2.
+func (b *Builder) Mul(dst, a, b2 Reg) { b.emit(Instr{Op: Mul, Dst: dst, A: a, B: b2}) }
+
+// MulI emits dst = a * imm.
+func (b *Builder) MulI(dst, a Reg, imm int64) { b.emit(Instr{Op: MulI, Dst: dst, A: a, Imm: imm}) }
+
+// Div emits dst = a / b2.
+func (b *Builder) Div(dst, a, b2 Reg) { b.emit(Instr{Op: Div, Dst: dst, A: a, B: b2}) }
+
+// Mod emits dst = a % b2.
+func (b *Builder) Mod(dst, a, b2 Reg) { b.emit(Instr{Op: Mod, Dst: dst, A: a, B: b2}) }
+
+// And emits dst = a & b2.
+func (b *Builder) And(dst, a, b2 Reg) { b.emit(Instr{Op: And, Dst: dst, A: a, B: b2}) }
+
+// Xor emits dst = a ^ b2.
+func (b *Builder) Xor(dst, a, b2 Reg) { b.emit(Instr{Op: Xor, Dst: dst, A: a, B: b2}) }
+
+// Shl emits dst = a << b2.
+func (b *Builder) Shl(dst, a, b2 Reg) { b.emit(Instr{Op: Shl, Dst: dst, A: a, B: b2}) }
+
+// Shr emits dst = a >> b2.
+func (b *Builder) Shr(dst, a, b2 Reg) { b.emit(Instr{Op: Shr, Dst: dst, A: a, B: b2}) }
+
+// CmpLT emits dst = (a < b2).
+func (b *Builder) CmpLT(dst, a, b2 Reg) { b.emit(Instr{Op: CmpLT, Dst: dst, A: a, B: b2}) }
+
+// CmpEQ emits dst = (a == b2).
+func (b *Builder) CmpEQ(dst, a, b2 Reg) { b.emit(Instr{Op: CmpEQ, Dst: dst, A: a, B: b2}) }
+
+// Load emits dst = memory[a + imm].
+func (b *Builder) Load(dst, a Reg, imm int64) { b.emit(Instr{Op: Load, Dst: dst, A: a, Imm: imm}) }
+
+// Store emits memory[a + imm] = v.
+func (b *Builder) Store(a Reg, imm int64, v Reg) {
+	b.emit(Instr{Op: Store, A: a, Imm: imm, B: v})
+}
+
+// Jmp emits an unconditional branch to label.
+func (b *Builder) Jmp(label string) { b.emitBranch(Instr{Op: Jmp}, label) }
+
+// BrNZ emits a branch to label taken when cond != 0.
+func (b *Builder) BrNZ(cond Reg, label string) { b.emitBranch(Instr{Op: BrNZ, A: cond}, label) }
+
+// BrZ emits a branch to label taken when cond == 0.
+func (b *Builder) BrZ(cond Reg, label string) { b.emitBranch(Instr{Op: BrZ, A: cond}, label) }
+
+// Ret emits a return.
+func (b *Builder) Ret() { b.emit(Instr{Op: Ret}) }
+
+// Nop emits a no-op (useful as padding to de-tighten a loop in tests).
+func (b *Builder) Nop() { b.emit(Instr{Op: Nop}) }
+
+// Build resolves labels and validates the program.
+func (b *Builder) Build() (*Program, error) {
+	instrs := make([]Instr, len(b.instrs))
+	copy(instrs, b.instrs)
+	for idx, label := range b.fixups {
+		target, ok := b.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("ir: undefined label %q", label)
+		}
+		instrs[idx].Target = target
+	}
+	p := &Program{Name: b.name, Instrs: instrs, NumRegs: b.numRegs}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for statically-known kernels.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,211 @@
+// Package ir defines a small register-based intermediate representation
+// used to reproduce the paper's compiler side: kernels are written (or
+// lowered) into this IR, the internal/cfg package discovers their loop
+// structure, the internal/annotate pass wraps innermost tight loops in
+// BLOCK_BEGIN/BLOCK_END markers, and internal/interp executes the result
+// into the annotated trace the simulator consumes.
+//
+// The IR is deliberately minimal: flat instruction list, virtual
+// registers holding int64 values, absolute branch targets. Loads and
+// stores address a byte-addressed memory through a register plus an
+// immediate offset.
+package ir
+
+import (
+	"fmt"
+)
+
+// Reg is a virtual register index.
+type Reg int
+
+// Opcode enumerates IR operations.
+type Opcode uint8
+
+const (
+	// Nop does nothing.
+	Nop Opcode = iota
+	// Const sets Dst = Imm.
+	Const
+	// Mov sets Dst = A.
+	Mov
+	// Add sets Dst = A + B.
+	Add
+	// AddI sets Dst = A + Imm.
+	AddI
+	// Sub sets Dst = A - B.
+	Sub
+	// Mul sets Dst = A * B.
+	Mul
+	// MulI sets Dst = A * Imm.
+	MulI
+	// Div sets Dst = A / B (B==0 yields 0).
+	Div
+	// Mod sets Dst = A % B (B==0 yields 0).
+	Mod
+	// And sets Dst = A & B.
+	And
+	// Shl sets Dst = A << (B & 63).
+	Shl
+	// Shr sets Dst = uint64(A) >> (B & 63).
+	Shr
+	// Xor sets Dst = A ^ B.
+	Xor
+	// CmpLT sets Dst = 1 if A < B else 0.
+	CmpLT
+	// CmpEQ sets Dst = 1 if A == B else 0.
+	CmpEQ
+	// Jmp branches unconditionally to Target.
+	Jmp
+	// BrNZ branches to Target if A != 0.
+	BrNZ
+	// BrZ branches to Target if A == 0.
+	BrZ
+	// Load sets Dst = memory[A + Imm] (byte address, 8-byte word).
+	Load
+	// Store sets memory[A + Imm] = B.
+	Store
+	// Ret ends execution.
+	Ret
+	// BlockBegin marks the start of annotated code block Imm. Inserted
+	// by the annotation pass; hand-written programs normally omit it.
+	BlockBegin
+	// BlockEnd marks the end of annotated code block Imm.
+	BlockEnd
+)
+
+var opNames = map[Opcode]string{
+	Nop: "nop", Const: "const", Mov: "mov", Add: "add", AddI: "addi",
+	Sub: "sub", Mul: "mul", MulI: "muli", Div: "div", Mod: "mod",
+	And: "and", Shl: "shl", Shr: "shr", Xor: "xor",
+	CmpLT: "cmplt", CmpEQ: "cmpeq",
+	Jmp: "jmp", BrNZ: "brnz", BrZ: "brz",
+	Load: "load", Store: "store", Ret: "ret",
+	BlockBegin: "block_begin", BlockEnd: "block_end",
+}
+
+func (op Opcode) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IsBranch reports whether op transfers control.
+func (op Opcode) IsBranch() bool { return op == Jmp || op == BrNZ || op == BrZ }
+
+// IsTerminator reports whether op ends a basic block.
+func (op Opcode) IsTerminator() bool { return op.IsBranch() || op == Ret }
+
+// Instr is one IR instruction.
+type Instr struct {
+	Op     Opcode
+	Dst    Reg
+	A, B   Reg
+	Imm    int64
+	Target int // branch target: instruction index
+}
+
+func (in Instr) String() string {
+	switch in.Op {
+	case Const:
+		return fmt.Sprintf("r%d = const %d", in.Dst, in.Imm)
+	case Mov:
+		return fmt.Sprintf("r%d = r%d", in.Dst, in.A)
+	case AddI, MulI:
+		return fmt.Sprintf("r%d = %v r%d, %d", in.Dst, in.Op, in.A, in.Imm)
+	case Add, Sub, Mul, Div, Mod, And, Shl, Shr, Xor, CmpLT, CmpEQ:
+		return fmt.Sprintf("r%d = %v r%d, r%d", in.Dst, in.Op, in.A, in.B)
+	case Jmp:
+		return fmt.Sprintf("jmp @%d", in.Target)
+	case BrNZ:
+		return fmt.Sprintf("brnz r%d, @%d", in.A, in.Target)
+	case BrZ:
+		return fmt.Sprintf("brz r%d, @%d", in.A, in.Target)
+	case Load:
+		return fmt.Sprintf("r%d = load [r%d+%d]", in.Dst, in.A, in.Imm)
+	case Store:
+		return fmt.Sprintf("store [r%d+%d], r%d", in.A, in.Imm, in.B)
+	case BlockBegin, BlockEnd:
+		return fmt.Sprintf("%v %d", in.Op, in.Imm)
+	default:
+		return in.Op.String()
+	}
+}
+
+// Program is a flat IR function.
+type Program struct {
+	Name   string
+	Instrs []Instr
+	// NumRegs is the register file size; registers are r0..NumRegs-1.
+	NumRegs int
+}
+
+// Validate checks structural invariants: targets in range, registers in
+// range, and a terminating instruction reachable from every fallthrough
+// (the last instruction must be a terminator).
+func (p *Program) Validate() error {
+	if len(p.Instrs) == 0 {
+		return fmt.Errorf("ir: program %q is empty", p.Name)
+	}
+	checkReg := func(i int, r Reg, what string) error {
+		if r < 0 || int(r) >= p.NumRegs {
+			return fmt.Errorf("ir: %q instr %d: %s register r%d out of range [0,%d)", p.Name, i, what, r, p.NumRegs)
+		}
+		return nil
+	}
+	for i, in := range p.Instrs {
+		if in.Op.IsBranch() {
+			if in.Target < 0 || in.Target >= len(p.Instrs) {
+				return fmt.Errorf("ir: %q instr %d: branch target %d out of range", p.Name, i, in.Target)
+			}
+		}
+		switch in.Op {
+		case Const:
+			if err := checkReg(i, in.Dst, "dst"); err != nil {
+				return err
+			}
+		case Mov, AddI, MulI, Load:
+			if err := checkReg(i, in.Dst, "dst"); err != nil {
+				return err
+			}
+			if err := checkReg(i, in.A, "src"); err != nil {
+				return err
+			}
+		case Add, Sub, Mul, Div, Mod, And, Shl, Shr, Xor, CmpLT, CmpEQ:
+			if err := checkReg(i, in.Dst, "dst"); err != nil {
+				return err
+			}
+			if err := checkReg(i, in.A, "a"); err != nil {
+				return err
+			}
+			if err := checkReg(i, in.B, "b"); err != nil {
+				return err
+			}
+		case BrNZ, BrZ:
+			if err := checkReg(i, in.A, "cond"); err != nil {
+				return err
+			}
+		case Store:
+			if err := checkReg(i, in.A, "addr"); err != nil {
+				return err
+			}
+			if err := checkReg(i, in.B, "val"); err != nil {
+				return err
+			}
+		}
+	}
+	last := p.Instrs[len(p.Instrs)-1].Op
+	if !last.IsTerminator() {
+		return fmt.Errorf("ir: %q must end in a terminator, ends in %v", p.Name, last)
+	}
+	return nil
+}
+
+// String disassembles the program.
+func (p *Program) String() string {
+	s := fmt.Sprintf("program %q (%d regs)\n", p.Name, p.NumRegs)
+	for i, in := range p.Instrs {
+		s += fmt.Sprintf("%4d: %v\n", i, in)
+	}
+	return s
+}

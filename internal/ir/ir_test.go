@@ -1,0 +1,153 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// loopProgram builds a simple counted loop:
+//
+//	r0 = 0; r1 = N
+//	loop: r2 = (r0 < r1); brz r2, exit
+//	       load r3, [r0*8 + base]; r0++
+//	       jmp loop
+//	exit: ret
+func loopProgram(n int64) *Builder {
+	b := NewBuilder("loop")
+	i := b.Const(0)
+	limit := b.Const(n)
+	cond := b.Reg()
+	addr := b.Reg()
+	val := b.Reg()
+	b.Label("loop")
+	b.CmpLT(cond, i, limit)
+	b.BrZ(cond, "exit")
+	b.MulI(addr, i, 8)
+	b.Load(val, addr, 1<<20)
+	b.AddI(i, i, 1)
+	b.Jmp("loop")
+	b.Label("exit")
+	b.Ret()
+	return b
+}
+
+func TestBuilderBuildsValidProgram(t *testing.T) {
+	p, err := loopProgram(10).Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if p.NumRegs != 5 {
+		t.Errorf("NumRegs = %d", p.NumRegs)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Jmp("nowhere")
+	b.Ret()
+	if _, err := b.Build(); err == nil {
+		t.Error("expected undefined-label error")
+	}
+}
+
+func TestBuilderDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate label")
+		}
+	}()
+	b := NewBuilder("dup")
+	b.Label("x")
+	b.Label("x")
+}
+
+func TestValidateEmptyProgram(t *testing.T) {
+	p := &Program{Name: "empty"}
+	if err := p.Validate(); err == nil {
+		t.Error("empty program must not validate")
+	}
+}
+
+func TestValidateBadTerminator(t *testing.T) {
+	p := &Program{Name: "noterm", NumRegs: 1, Instrs: []Instr{{Op: Const, Dst: 0, Imm: 1}}}
+	if err := p.Validate(); err == nil {
+		t.Error("program without terminator must not validate")
+	}
+}
+
+func TestValidateRegisterRange(t *testing.T) {
+	p := &Program{Name: "badreg", NumRegs: 1, Instrs: []Instr{
+		{Op: Add, Dst: 0, A: 0, B: 5}, // r5 out of range
+		{Op: Ret},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range register must not validate")
+	}
+}
+
+func TestValidateBranchTarget(t *testing.T) {
+	p := &Program{Name: "badbr", NumRegs: 1, Instrs: []Instr{
+		{Op: Jmp, Target: 99},
+		{Op: Ret},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range branch target must not validate")
+	}
+}
+
+func TestOpcodePredicates(t *testing.T) {
+	if !Jmp.IsBranch() || !BrNZ.IsBranch() || !BrZ.IsBranch() {
+		t.Error("branch predicates")
+	}
+	if Add.IsBranch() || Ret.IsBranch() {
+		t.Error("non-branches misclassified")
+	}
+	if !Ret.IsTerminator() || !Jmp.IsTerminator() {
+		t.Error("terminator predicates")
+	}
+	if Load.IsTerminator() {
+		t.Error("load is not a terminator")
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	p := loopProgram(3).MustBuild()
+	s := p.String()
+	for _, want := range []string{"cmplt", "brz", "load", "jmp", "ret", `program "loop"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestInstrStrings(t *testing.T) {
+	cases := map[string]Instr{
+		"r1 = const 5":      {Op: Const, Dst: 1, Imm: 5},
+		"r2 = addi r1, 4":   {Op: AddI, Dst: 2, A: 1, Imm: 4},
+		"r0 = load [r1+16]": {Op: Load, Dst: 0, A: 1, Imm: 16},
+		"store [r1+8], r2":  {Op: Store, A: 1, Imm: 8, B: 2},
+		"brnz r3, @7":       {Op: BrNZ, A: 3, Target: 7},
+		"block_begin 2":     {Op: BlockBegin, Imm: 2},
+		"r4 = cmplt r1, r2": {Op: CmpLT, Dst: 4, A: 1, B: 2},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	b := NewBuilder("bad")
+	b.Jmp("missing")
+	b.Ret()
+	b.MustBuild()
+}

@@ -1,0 +1,151 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineOf(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		want LineAddr
+	}{
+		{0, 0},
+		{1, 0},
+		{63, 0},
+		{64, 1},
+		{65, 1},
+		{127, 1},
+		{128, 2},
+		{0xFE50, 0x3F9},
+		{0x4800, 0x120},
+		{0x7FE0, 0x1FF},
+	}
+	for _, c := range cases {
+		if got := LineOf(c.addr); got != c.want {
+			t.Errorf("LineOf(%#x) = %#x, want %#x", uint64(c.addr), uint64(got), uint64(c.want))
+		}
+	}
+}
+
+func TestLineByteRoundTrip(t *testing.T) {
+	f := func(l uint32) bool {
+		line := LineAddr(l)
+		return LineOf(line.Byte()) == line
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineOfIsMonotoneAndBlocky(t *testing.T) {
+	// Property: all addresses within one line map to the same line, and
+	// the next line starts exactly LineSize bytes later.
+	f := func(a uint32) bool {
+		base := Addr(a) & ^Addr(LineSize-1)
+		l := LineOf(base)
+		for off := Addr(0); off < LineSize; off++ {
+			if LineOf(base+off) != l {
+				return false
+			}
+		}
+		return LineOf(base+LineSize) == l+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddDelta(t *testing.T) {
+	l := LineAddr(100)
+	if got := l.Add(5); got != 105 {
+		t.Errorf("Add(5) = %d", got)
+	}
+	if got := l.Add(-5); got != 95 {
+		t.Errorf("Add(-5) = %d", got)
+	}
+	if got := LineAddr(105).Delta(l); got != 5 {
+		t.Errorf("Delta = %d, want 5", got)
+	}
+	if got := l.Delta(LineAddr(105)); got != -5 {
+		t.Errorf("Delta = %d, want -5", got)
+	}
+}
+
+func TestAddDeltaInverse(t *testing.T) {
+	f := func(a uint32, d int32) bool {
+		l := LineAddr(a)
+		return l.Add(int64(d)).Delta(l) == int64(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionConfig(t *testing.T) {
+	rc := RegionConfig{SizeBytes: 2 << 10}
+	if got := rc.LinesPerRegion(); got != 32 {
+		t.Fatalf("LinesPerRegion = %d, want 32", got)
+	}
+	if got := rc.RegionOf(0); got != 0 {
+		t.Errorf("RegionOf(0) = %d", got)
+	}
+	if got := rc.RegionOf(2047); got != 0 {
+		t.Errorf("RegionOf(2047) = %d", got)
+	}
+	if got := rc.RegionOf(2048); got != 1 {
+		t.Errorf("RegionOf(2048) = %d", got)
+	}
+	if got := rc.OffsetOf(2048 + 3*64 + 7); got != 3 {
+		t.Errorf("OffsetOf = %d, want 3", got)
+	}
+	if got := rc.Base(2); got != 4096 {
+		t.Errorf("Base(2) = %d", got)
+	}
+	if got := rc.LineAt(1, 5); got != LineOf(2048+5*64) {
+		t.Errorf("LineAt = %v", got)
+	}
+}
+
+func TestRegionOffsetConsistency(t *testing.T) {
+	rc := RegionConfig{SizeBytes: 2 << 10}
+	f := func(a uint32) bool {
+		addr := Addr(a)
+		r := rc.RegionOf(addr)
+		off := rc.OffsetOf(addr)
+		// Reconstructing the line from (region, offset) must match
+		// the line of the original address.
+		return rc.LineAt(r, off) == LineOf(addr) && off >= 0 && off < rc.LinesPerRegion()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, v := range []uint64{1, 2, 4, 64, 1 << 20} {
+		if !IsPow2(v) {
+			t.Errorf("IsPow2(%d) = false", v)
+		}
+	}
+	for _, v := range []uint64{0, 3, 6, 63, 65, 1<<20 + 1} {
+		if IsPow2(v) {
+			t.Errorf("IsPow2(%d) = true", v)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[uint64]uint{1: 0, 2: 1, 3: 1, 4: 2, 64: 6, 1 << 20: 20}
+	for v, want := range cases {
+		if got := Log2(v); got != want {
+			t.Errorf("Log2(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestLineString(t *testing.T) {
+	if s := LineAddr(0x3F9).String(); s != "L0x3f9" {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,140 @@
+package prefetch
+
+import (
+	"cbws/internal/mem"
+)
+
+// AMPMConfig parametrizes the access map pattern matching prefetcher
+// (Ishii, Inaba & Hiraki, JILP 2011), which the paper's related-work
+// section contrasts with CBWS: AMPM is not PC-based and only targets
+// global spatial patterns, so inside loops it first identifies patterns
+// within an iteration and only then across iterations. It is provided
+// as an extension baseline beyond the paper's evaluated set.
+type AMPMConfig struct {
+	// ZoneBytes is the memory access map granularity (a power of two).
+	ZoneBytes uint64
+	// Zones is the number of concurrently tracked zones.
+	Zones int
+	// MaxStride bounds the pattern-matching stride in lines.
+	MaxStride int
+	// Degree bounds the prefetches issued per triggering access.
+	Degree int
+}
+
+// DefaultAMPMConfig returns a configuration comparable to the other
+// baselines: 4KB zones (64 lines), 64 zones, strides up to 16, degree 4.
+func DefaultAMPMConfig() AMPMConfig {
+	return AMPMConfig{ZoneBytes: 4 << 10, Zones: 64, MaxStride: 16, Degree: 4}
+}
+
+type ampmZone struct {
+	zone mem.Region
+	bits uint64 // accessed-line bitmap (ZoneBytes/64B <= 64 lines)
+	lru  uint64
+}
+
+// AMPM is the access map pattern matching prefetcher.
+type AMPM struct {
+	NoBlocks
+	cfg   AMPMConfig
+	rc    mem.RegionConfig
+	zones map[mem.Region]*ampmZone
+	tick  uint64
+}
+
+// NewAMPM builds an AMPM prefetcher; zero-value fields of cfg fall back
+// to defaults.
+func NewAMPM(cfg AMPMConfig) *AMPM {
+	def := DefaultAMPMConfig()
+	if cfg.ZoneBytes == 0 {
+		cfg.ZoneBytes = def.ZoneBytes
+	}
+	if cfg.Zones == 0 {
+		cfg.Zones = def.Zones
+	}
+	if cfg.MaxStride == 0 {
+		cfg.MaxStride = def.MaxStride
+	}
+	if cfg.Degree == 0 {
+		cfg.Degree = def.Degree
+	}
+	if cfg.ZoneBytes/mem.LineSize > 64 {
+		cfg.ZoneBytes = 64 * mem.LineSize // bitmap is one uint64
+	}
+	a := &AMPM{cfg: cfg, rc: mem.RegionConfig{SizeBytes: cfg.ZoneBytes}}
+	a.Reset()
+	return a
+}
+
+// Name implements Prefetcher.
+func (a *AMPM) Name() string { return "ampm" }
+
+// Reset implements Prefetcher.
+func (a *AMPM) Reset() {
+	a.zones = make(map[mem.Region]*ampmZone, a.cfg.Zones)
+	a.tick = 0
+}
+
+func (a *AMPM) zone(r mem.Region) *ampmZone {
+	if z, ok := a.zones[r]; ok {
+		return z
+	}
+	if len(a.zones) >= a.cfg.Zones {
+		var victim mem.Region
+		best := ^uint64(0)
+		for k, z := range a.zones {
+			if z.lru < best {
+				best = z.lru
+				victim = k
+			}
+		}
+		delete(a.zones, victim)
+	}
+	z := &ampmZone{zone: r}
+	a.zones[r] = z
+	return z
+}
+
+// OnAccess sets the zone bit for the accessed line and pattern-matches:
+// if lines (l−k) and (l−2k) were accessed, line (l+k) is a candidate,
+// for every stride magnitude up to MaxStride in both directions.
+func (a *AMPM) OnAccess(acc Access, issue IssueFunc) {
+	a.tick++
+	lines := int(a.cfg.ZoneBytes / mem.LineSize)
+	r := a.rc.RegionOf(acc.Addr)
+	off := a.rc.OffsetOf(acc.Addr)
+	z := a.zone(r)
+	z.lru = a.tick
+	z.bits |= 1 << uint(off)
+
+	// AMPM acts on the L2 access stream like the other baselines:
+	// prefetches are triggered by misses only.
+	if !acc.Miss() {
+		return
+	}
+	issued := 0
+	set := func(o int) bool { return o >= 0 && o < lines && z.bits&(1<<uint(o)) != 0 }
+	for k := 1; k <= a.cfg.MaxStride && issued < a.cfg.Degree; k++ {
+		for _, stride := range [2]int{k, -k} {
+			if issued >= a.cfg.Degree {
+				break
+			}
+			target := off + stride
+			if target < 0 || target >= lines || set(target) {
+				continue
+			}
+			if set(off-stride) && set(off-2*stride) {
+				issue(a.rc.LineAt(r, target))
+				z.bits |= 1 << uint(target)
+				issued++
+			}
+		}
+	}
+}
+
+// StorageBits estimates the budget: per zone a 36-bit tag plus the
+// line bitmap.
+func (a *AMPM) StorageBits() uint64 {
+	lines := a.cfg.ZoneBytes / mem.LineSize
+	return uint64(a.cfg.Zones) * (36 + lines)
+}

@@ -1,0 +1,171 @@
+package prefetch
+
+import (
+	"testing"
+
+	"cbws/internal/mem"
+)
+
+func ampmAccessAt(base mem.Addr, line int, miss bool) Access {
+	addr := base + mem.Addr(line*mem.LineSize)
+	a := Access{PC: 0x40, Addr: addr, Line: mem.LineOf(addr)}
+	if !miss {
+		a.HitL1 = true
+	}
+	return a
+}
+
+func TestAMPMUnitStride(t *testing.T) {
+	p := NewAMPM(AMPMConfig{})
+	c := &collect{}
+	base := mem.Addr(0x100000) // 4KB-aligned zone
+	// Touch lines 0, 1; the miss at line 2 matches stride 1 and
+	// prefetches line 3 (and beyond, degree permitting).
+	p.OnAccess(ampmAccessAt(base, 0, true), c.issue)
+	p.OnAccess(ampmAccessAt(base, 1, true), c.issue)
+	c.lines = nil
+	p.OnAccess(ampmAccessAt(base, 2, true), c.issue)
+	if len(c.lines) == 0 {
+		t.Fatal("no prefetch for a unit-stride pattern")
+	}
+	if c.lines[0] != mem.LineOf(base+3*mem.LineSize) {
+		t.Errorf("first prefetch %v, want line 3 of the zone", c.lines[0])
+	}
+}
+
+func TestAMPMLargeStride(t *testing.T) {
+	p := NewAMPM(AMPMConfig{})
+	c := &collect{}
+	base := mem.Addr(0x200000)
+	p.OnAccess(ampmAccessAt(base, 0, true), c.issue)
+	p.OnAccess(ampmAccessAt(base, 5, true), c.issue)
+	c.lines = nil
+	p.OnAccess(ampmAccessAt(base, 10, true), c.issue)
+	found := false
+	for _, l := range c.lines {
+		if l == mem.LineOf(base+15*mem.LineSize) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stride-5 prediction missing: %v", c.lines)
+	}
+}
+
+func TestAMPMNegativeStride(t *testing.T) {
+	p := NewAMPM(AMPMConfig{})
+	c := &collect{}
+	base := mem.Addr(0x300000)
+	p.OnAccess(ampmAccessAt(base, 40, true), c.issue)
+	p.OnAccess(ampmAccessAt(base, 38, true), c.issue)
+	c.lines = nil
+	p.OnAccess(ampmAccessAt(base, 36, true), c.issue)
+	found := false
+	for _, l := range c.lines {
+		if l == mem.LineOf(base+34*mem.LineSize) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("negative-stride prediction missing: %v", c.lines)
+	}
+}
+
+func TestAMPMNoPatternNoPrefetch(t *testing.T) {
+	p := NewAMPM(AMPMConfig{})
+	c := &collect{}
+	base := mem.Addr(0x400000)
+	// Two isolated accesses: no stride has two prior hits.
+	p.OnAccess(ampmAccessAt(base, 7, true), c.issue)
+	p.OnAccess(ampmAccessAt(base, 29, true), c.issue)
+	if len(c.lines) != 0 {
+		t.Errorf("prefetched without a pattern: %v", c.lines)
+	}
+}
+
+func TestAMPMHitsTrainButDoNotTrigger(t *testing.T) {
+	p := NewAMPM(AMPMConfig{})
+	c := &collect{}
+	base := mem.Addr(0x500000)
+	p.OnAccess(ampmAccessAt(base, 0, false), c.issue)
+	p.OnAccess(ampmAccessAt(base, 1, false), c.issue)
+	p.OnAccess(ampmAccessAt(base, 2, false), c.issue)
+	if len(c.lines) != 0 {
+		t.Errorf("hits triggered prefetches: %v", c.lines)
+	}
+	// A subsequent miss can use the hit-trained map.
+	p.OnAccess(ampmAccessAt(base, 3, true), c.issue)
+	if len(c.lines) == 0 {
+		t.Error("hit-trained map not used by the triggering miss")
+	}
+}
+
+func TestAMPMStaysInZone(t *testing.T) {
+	p := NewAMPM(AMPMConfig{})
+	c := &collect{}
+	base := mem.Addr(0x600000)
+	// Pattern at the end of the zone: predictions beyond line 63 are
+	// suppressed.
+	p.OnAccess(ampmAccessAt(base, 61, true), c.issue)
+	p.OnAccess(ampmAccessAt(base, 62, true), c.issue)
+	p.OnAccess(ampmAccessAt(base, 63, true), c.issue)
+	for _, l := range c.lines {
+		if l >= mem.LineOf(base+64*mem.LineSize) || l < mem.LineOf(base) {
+			t.Errorf("prediction %v escaped the zone", l)
+		}
+	}
+}
+
+func TestAMPMZoneEviction(t *testing.T) {
+	p := NewAMPM(AMPMConfig{Zones: 2})
+	c := &collect{}
+	// Train zone A, then touch two other zones to evict it.
+	a := mem.Addr(0x700000)
+	p.OnAccess(ampmAccessAt(a, 0, true), c.issue)
+	p.OnAccess(ampmAccessAt(a, 1, true), c.issue)
+	p.OnAccess(ampmAccessAt(mem.Addr(0x800000), 0, true), c.issue)
+	p.OnAccess(ampmAccessAt(mem.Addr(0x900000), 0, true), c.issue)
+	c.lines = nil
+	// Zone A's map is gone: the returning miss sees an empty map.
+	p.OnAccess(ampmAccessAt(a, 2, true), c.issue)
+	if len(c.lines) != 0 {
+		t.Errorf("evicted zone retained its map: %v", c.lines)
+	}
+}
+
+func TestAMPMDegreeBound(t *testing.T) {
+	p := NewAMPM(AMPMConfig{Degree: 2})
+	c := &collect{}
+	base := mem.Addr(0xA00000)
+	// Dense prefix: many strides match.
+	for i := 0; i < 8; i++ {
+		p.OnAccess(ampmAccessAt(base, i, true), c.issue)
+	}
+	c.lines = nil
+	p.OnAccess(ampmAccessAt(base, 8, true), c.issue)
+	if len(c.lines) > 2 {
+		t.Errorf("degree bound exceeded: %v", c.lines)
+	}
+}
+
+func TestAMPMStorageBits(t *testing.T) {
+	p := NewAMPM(AMPMConfig{})
+	// 64 zones × (36-bit tag + 64-bit bitmap).
+	if got := p.StorageBits(); got != 64*(36+64) {
+		t.Errorf("StorageBits = %d", got)
+	}
+}
+
+func TestAMPMReset(t *testing.T) {
+	p := NewAMPM(AMPMConfig{})
+	c := &collect{}
+	base := mem.Addr(0xB00000)
+	p.OnAccess(ampmAccessAt(base, 0, true), c.issue)
+	p.OnAccess(ampmAccessAt(base, 1, true), c.issue)
+	p.Reset()
+	c.lines = nil
+	p.OnAccess(ampmAccessAt(base, 2, true), c.issue)
+	if len(c.lines) != 0 {
+		t.Errorf("reset did not clear the maps: %v", c.lines)
+	}
+}

@@ -1,0 +1,196 @@
+package prefetch
+
+import (
+	"testing"
+
+	"cbws/internal/mem"
+)
+
+func TestGHBModeNames(t *testing.T) {
+	if NewGHB(GHBConfig{Mode: GlobalDC}).Name() != "ghb-g/dc" {
+		t.Error("g/dc name")
+	}
+	if NewGHB(GHBConfig{Mode: PCDC}).Name() != "ghb-pc/dc" {
+		t.Error("pc/dc name")
+	}
+}
+
+func TestGHBPCDCConstantStride(t *testing.T) {
+	p := NewGHB(GHBConfig{Mode: PCDC})
+	c := &collect{}
+	// Constant stride 5 at one PC: after enough misses the delta pair
+	// (5,5) recurs and degree-3 prefetching fires at +5, +10, +15.
+	var last []mem.LineAddr
+	for i := 0; i < 8; i++ {
+		c.lines = nil
+		p.OnAccess(missAt(0x40, mem.LineAddr(100+5*i)), c.issue)
+		last = append([]mem.LineAddr{}, c.lines...)
+	}
+	cur := mem.LineAddr(100 + 5*7)
+	want := []mem.LineAddr{cur + 5, cur + 10, cur + 15}
+	if len(last) != 3 {
+		t.Fatalf("issued %v, want %v", last, want)
+	}
+	for i := range want {
+		if last[i] != want[i] {
+			t.Errorf("issued %v, want %v", last, want)
+		}
+	}
+}
+
+func TestGHBPCDCRepeatingPattern(t *testing.T) {
+	p := NewGHB(GHBConfig{Mode: PCDC})
+	c := &collect{}
+	// Delta pattern +1, +9 repeating: PC/DC must predict the
+	// continuation after seeing the delta pair recur.
+	addr := mem.LineAddr(1000)
+	var seq []mem.LineAddr
+	deltas := []int64{1, 9, 1, 9, 1, 9, 1, 9}
+	seq = append(seq, addr)
+	for _, d := range deltas {
+		addr = addr.Add(d)
+		seq = append(seq, addr)
+	}
+	var last []mem.LineAddr
+	for _, a := range seq {
+		c.lines = nil
+		p.OnAccess(missAt(0x40, a), c.issue)
+		last = append([]mem.LineAddr{}, c.lines...)
+	}
+	if len(last) == 0 {
+		t.Fatal("no prediction for repeating delta pattern")
+	}
+	// The last access completed a (1,9) pair: next deltas are 1, 9, 1.
+	cur := seq[len(seq)-1]
+	want := []mem.LineAddr{cur.Add(1), cur.Add(10), cur.Add(11)}
+	for i := range last {
+		if i < len(want) && last[i] != want[i] {
+			t.Errorf("issued %v, want prefix of %v", last, want)
+		}
+	}
+}
+
+func TestGHBSeparatePCStreams(t *testing.T) {
+	p := NewGHB(GHBConfig{Mode: PCDC})
+	c := &collect{}
+	// Two interleaved PC streams with different strides must not
+	// contaminate each other.
+	for i := 0; i < 8; i++ {
+		p.OnAccess(missAt(0xA, mem.LineAddr(100+3*i)), c.issue)
+		p.OnAccess(missAt(0xB, mem.LineAddr(50000+11*i)), c.issue)
+	}
+	for _, l := range c.lines {
+		// All predictions must be near one of the two streams.
+		nearA := l >= 100 && l <= 100+3*10
+		nearB := l >= 50000 && l <= 50000+11*10
+		if !nearA && !nearB {
+			t.Errorf("prediction %v belongs to neither stream", l)
+		}
+	}
+	if len(c.lines) == 0 {
+		t.Error("no predictions for either stream")
+	}
+}
+
+func TestGHBGlobalDCInterleavedIsOneStream(t *testing.T) {
+	pg := NewGHB(GHBConfig{Mode: GlobalDC})
+	c := &collect{}
+	// In G/DC all PCs share one history: a globally constant stride is
+	// predicted even when PCs alternate.
+	for i := 0; i < 8; i++ {
+		c.lines = nil
+		pg.OnAccess(missAt(uint64(i%2), mem.LineAddr(100+4*i)), c.issue)
+	}
+	if len(c.lines) == 0 {
+		t.Error("g/dc missed the global stride")
+	}
+}
+
+func TestGHBMissTriggerOnly(t *testing.T) {
+	p := NewGHB(GHBConfig{Mode: PCDC})
+	c := &collect{}
+	for i := 0; i < 8; i++ {
+		p.OnAccess(missAt(0x40, mem.LineAddr(100+5*i)), c.issue)
+	}
+	c.lines = nil
+	// Hits (L1 or L2) must not trigger under the paper's policy.
+	a := missAt(0x40, 140)
+	a.HitL1 = true
+	p.OnAccess(a, c.issue)
+	b := missAt(0x40, 145)
+	b.HitL2 = true
+	p.OnAccess(b, c.issue)
+	if len(c.lines) != 0 {
+		t.Errorf("hit-triggered: %v", c.lines)
+	}
+}
+
+func TestGHBTrainOnHits(t *testing.T) {
+	p := NewGHB(GHBConfig{Mode: PCDC, TrainOnHits: true})
+	c := &collect{}
+	for i := 0; i < 8; i++ {
+		p.OnAccess(hitAt(0x40, mem.LineAddr(100+5*i)), c.issue)
+	}
+	if len(c.lines) == 0 {
+		t.Error("TrainOnHits did not trigger on hits")
+	}
+}
+
+func TestGHBBufferWrapInvalidatesLinks(t *testing.T) {
+	p := NewGHB(GHBConfig{Mode: PCDC, BufferEntries: 8})
+	c := &collect{}
+	// Train PC 0xA, then flood the buffer with other PCs so the chain
+	// of 0xA is overwritten; a new 0xA access must not follow stale
+	// links (would panic or mispredict wildly).
+	for i := 0; i < 4; i++ {
+		p.OnAccess(missAt(0xA, mem.LineAddr(100+5*i)), c.issue)
+	}
+	for i := 0; i < 16; i++ {
+		p.OnAccess(missAt(uint64(0x100+i), mem.LineAddr(9000+100*i)), c.issue)
+	}
+	c.lines = nil
+	p.OnAccess(missAt(0xA, 120), c.issue)
+	if len(c.lines) != 0 {
+		t.Errorf("stale chain produced predictions: %v", c.lines)
+	}
+}
+
+func TestGHBNoMatchNoPrediction(t *testing.T) {
+	p := NewGHB(GHBConfig{Mode: PCDC})
+	c := &collect{}
+	// Random-walk deltas with no recurring pair: no predictions.
+	deltas := []int64{3, 17, -4, 91, 5, -22, 13, 41}
+	addr := mem.LineAddr(100000)
+	for _, d := range deltas {
+		addr = addr.Add(d)
+		p.OnAccess(missAt(0x40, addr), c.issue)
+	}
+	if len(c.lines) != 0 {
+		t.Errorf("predicted without a delta match: %v", c.lines)
+	}
+}
+
+func TestGHBStorageBitsTableIII(t *testing.T) {
+	// G/DC: (3+3)*12*256 = 18432 bits = 2.25KB.
+	if got := NewGHB(GHBConfig{Mode: GlobalDC}).StorageBits(); got != 18432 {
+		t.Errorf("g/dc StorageBits = %d, want 18432", got)
+	}
+	// PC/DC: G/DC + 48*256 = 30720 bits = 3.75KB.
+	if got := NewGHB(GHBConfig{Mode: PCDC}).StorageBits(); got != 30720 {
+		t.Errorf("pc/dc StorageBits = %d, want 30720", got)
+	}
+}
+
+func TestGHBReset(t *testing.T) {
+	p := NewGHB(GHBConfig{Mode: PCDC})
+	c := &collect{}
+	for i := 0; i < 8; i++ {
+		p.OnAccess(missAt(0x40, mem.LineAddr(100+5*i)), c.issue)
+	}
+	p.Reset()
+	c.lines = nil
+	p.OnAccess(missAt(0x40, 140), c.issue)
+	if len(c.lines) != 0 {
+		t.Errorf("reset did not clear history: %v", c.lines)
+	}
+}

@@ -1,0 +1,128 @@
+package prefetch
+
+import (
+	"cbws/internal/mem"
+)
+
+// MarkovConfig parametrizes the Markov prefetcher (Joseph & Grunwald,
+// ISCA 1997), which the paper's related-work section cites as the
+// classic address-correlation scheme: a table of miss-address pairs
+// predicts the successors that historically followed each miss. It is
+// provided as an extension baseline beyond the paper's evaluated set.
+type MarkovConfig struct {
+	// TableEntries is the number of tracked predecessor addresses.
+	TableEntries int
+	// Successors is the number of successor slots per entry (the
+	// fan-out of the Markov transition approximation).
+	Successors int
+}
+
+// DefaultMarkovConfig returns a 1K-entry, 2-successor table.
+func DefaultMarkovConfig() MarkovConfig {
+	return MarkovConfig{TableEntries: 1024, Successors: 2}
+}
+
+type markovEntry struct {
+	succ []mem.LineAddr // MRU-first successor list
+	lru  uint64
+}
+
+// Markov is the pair-correlation prefetcher.
+type Markov struct {
+	NoBlocks
+	cfg   MarkovConfig
+	table map[mem.LineAddr]*markovEntry
+	last  mem.LineAddr
+	has   bool
+	tick  uint64
+}
+
+// NewMarkov builds a Markov prefetcher; zero-value fields of cfg fall
+// back to defaults.
+func NewMarkov(cfg MarkovConfig) *Markov {
+	def := DefaultMarkovConfig()
+	if cfg.TableEntries == 0 {
+		cfg.TableEntries = def.TableEntries
+	}
+	if cfg.Successors == 0 {
+		cfg.Successors = def.Successors
+	}
+	m := &Markov{cfg: cfg}
+	m.Reset()
+	return m
+}
+
+// Name implements Prefetcher.
+func (m *Markov) Name() string { return "markov" }
+
+// Reset implements Prefetcher.
+func (m *Markov) Reset() {
+	m.table = make(map[mem.LineAddr]*markovEntry, m.cfg.TableEntries)
+	m.has = false
+	m.tick = 0
+}
+
+func (m *Markov) entry(l mem.LineAddr) *markovEntry {
+	if e, ok := m.table[l]; ok {
+		return e
+	}
+	if len(m.table) >= m.cfg.TableEntries {
+		var victim mem.LineAddr
+		best := ^uint64(0)
+		for k, e := range m.table {
+			if e.lru < best {
+				best = e.lru
+				victim = k
+			}
+		}
+		delete(m.table, victim)
+	}
+	e := &markovEntry{}
+	m.table[l] = e
+	return e
+}
+
+// recordTransition notes that miss `to` followed miss `from`,
+// maintaining the successor list MRU-first.
+func (m *Markov) recordTransition(from, to mem.LineAddr) {
+	e := m.entry(from)
+	e.lru = m.tick
+	for i, s := range e.succ {
+		if s == to {
+			copy(e.succ[1:i+1], e.succ[:i])
+			e.succ[0] = to
+			return
+		}
+	}
+	e.succ = append([]mem.LineAddr{to}, e.succ...)
+	if len(e.succ) > m.cfg.Successors {
+		e.succ = e.succ[:m.cfg.Successors]
+	}
+}
+
+// OnAccess observes the global miss stream: each miss trains the
+// transition out of the previous miss and prefetches the recorded
+// successors of the current one.
+func (m *Markov) OnAccess(a Access, issue IssueFunc) {
+	if !a.Miss() {
+		return
+	}
+	m.tick++
+	if m.has {
+		m.recordTransition(m.last, a.Line)
+	}
+	m.last = a.Line
+	m.has = true
+	if e, ok := m.table[a.Line]; ok {
+		e.lru = m.tick
+		for _, s := range e.succ {
+			issue(s)
+		}
+	}
+}
+
+// StorageBits estimates the budget: per entry a 36-bit tag plus
+// Successors 32-bit line addresses.
+func (m *Markov) StorageBits() uint64 {
+	return uint64(m.cfg.TableEntries) * uint64(36+32*m.cfg.Successors)
+}

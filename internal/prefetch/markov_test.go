@@ -1,0 +1,110 @@
+package prefetch
+
+import (
+	"testing"
+
+	"cbws/internal/mem"
+)
+
+func TestMarkovLearnsRepeatingSequence(t *testing.T) {
+	p := NewMarkov(MarkovConfig{})
+	c := &collect{}
+	seq := []mem.LineAddr{100, 7000, 250, 100, 7000, 250}
+	for _, l := range seq {
+		p.OnAccess(missAt(1, l), c.issue)
+	}
+	// The second pass over the cycle should predict each successor.
+	c.lines = nil
+	p.OnAccess(missAt(1, 100), c.issue)
+	if len(c.lines) != 1 || c.lines[0] != 7000 {
+		t.Errorf("after 100, predicted %v, want [7000]", c.lines)
+	}
+	c.lines = nil
+	p.OnAccess(missAt(1, 7000), c.issue)
+	if len(c.lines) != 1 || c.lines[0] != 250 {
+		t.Errorf("after 7000, predicted %v, want [250]", c.lines)
+	}
+}
+
+func TestMarkovMultipleSuccessors(t *testing.T) {
+	p := NewMarkov(MarkovConfig{Successors: 2})
+	c := &collect{}
+	// 100 is followed alternately by 200 and 300.
+	for i := 0; i < 4; i++ {
+		p.OnAccess(missAt(1, 100), c.issue)
+		if i%2 == 0 {
+			p.OnAccess(missAt(1, 200), c.issue)
+		} else {
+			p.OnAccess(missAt(1, 300), c.issue)
+		}
+	}
+	c.lines = nil
+	p.OnAccess(missAt(1, 100), c.issue)
+	got := map[mem.LineAddr]bool{}
+	for _, l := range c.lines {
+		got[l] = true
+	}
+	if !got[200] || !got[300] {
+		t.Errorf("predicted %v, want both 200 and 300", c.lines)
+	}
+}
+
+func TestMarkovSuccessorFanOutBounded(t *testing.T) {
+	p := NewMarkov(MarkovConfig{Successors: 2})
+	c := &collect{}
+	for i := 0; i < 8; i++ {
+		p.OnAccess(missAt(1, 100), c.issue)
+		p.OnAccess(missAt(1, mem.LineAddr(1000+i)), c.issue)
+	}
+	c.lines = nil
+	p.OnAccess(missAt(1, 100), c.issue)
+	if len(c.lines) > 2 {
+		t.Errorf("fan-out exceeded: %v", c.lines)
+	}
+}
+
+func TestMarkovHitsIgnored(t *testing.T) {
+	p := NewMarkov(MarkovConfig{})
+	c := &collect{}
+	p.OnAccess(missAt(1, 100), c.issue)
+	p.OnAccess(hitAt(1, 500), c.issue) // hit: not part of the miss stream
+	p.OnAccess(missAt(1, 200), c.issue)
+	c.lines = nil
+	p.OnAccess(missAt(1, 100), c.issue)
+	if len(c.lines) != 1 || c.lines[0] != 200 {
+		t.Errorf("predicted %v, want [200] (hit must not break the pair)", c.lines)
+	}
+}
+
+func TestMarkovTableEviction(t *testing.T) {
+	p := NewMarkov(MarkovConfig{TableEntries: 2})
+	c := &collect{}
+	p.OnAccess(missAt(1, 1), c.issue)
+	p.OnAccess(missAt(1, 2), c.issue)
+	p.OnAccess(missAt(1, 3), c.issue)
+	p.OnAccess(missAt(1, 4), c.issue) // entry for 1 evicted by now
+	c.lines = nil
+	p.OnAccess(missAt(1, 1), c.issue)
+	if len(c.lines) != 0 {
+		t.Errorf("evicted entry predicted: %v", c.lines)
+	}
+}
+
+func TestMarkovStorageAndReset(t *testing.T) {
+	p := NewMarkov(MarkovConfig{})
+	if p.StorageBits() != 1024*(36+64) {
+		t.Errorf("storage = %d", p.StorageBits())
+	}
+	c := &collect{}
+	p.OnAccess(missAt(1, 100), c.issue)
+	p.OnAccess(missAt(1, 200), c.issue)
+	p.Reset()
+	c.lines = nil
+	p.OnAccess(missAt(1, 100), c.issue)
+	if len(c.lines) != 0 {
+		t.Errorf("reset did not clear: %v", c.lines)
+	}
+	if p.Name() != "markov" {
+		t.Error("name")
+	}
+}

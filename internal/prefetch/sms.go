@@ -1,0 +1,237 @@
+package prefetch
+
+import (
+	"cbws/internal/mem"
+)
+
+// SMSConfig parametrizes spatial memory streaming (Table II: 32-entry
+// active generation table, 32-entry filter table, 512-entry pattern
+// history table, 2KB regions).
+type SMSConfig struct {
+	AGTEntries    int
+	FilterEntries int
+	PHTEntries    int
+	RegionBytes   uint64
+	// Table III field widths for storage accounting.
+	PCBits      int
+	TagBits     int
+	OffsetBits  int
+	PatternBits int
+}
+
+// DefaultSMSConfig returns the paper's configuration.
+func DefaultSMSConfig() SMSConfig {
+	return SMSConfig{
+		AGTEntries:    32,
+		FilterEntries: 32,
+		PHTEntries:    512,
+		RegionBytes:   2 << 10,
+		PCBits:        48,
+		TagBits:       36,
+		OffsetBits:    5,
+		PatternBits:   16,
+	}
+}
+
+type smsGeneration struct {
+	region  mem.Region
+	trigger uint64 // PC ⊕ offset signature of the first access
+	pattern uint64 // bitmap of line offsets touched this generation
+	lru     uint64
+}
+
+type smsFilterEntry struct {
+	region    mem.Region
+	trigger   uint64
+	firstLine int
+	lru       uint64
+}
+
+type smsPHTEntry struct {
+	pattern uint64
+	lru     uint64
+}
+
+// SMS is the spatial memory streaming prefetcher: it learns the bitmap
+// of cache lines touched within a spatial region during a "generation"
+// and, when a new generation begins with the same trigger signature
+// (PC + region offset), prefetches the learned footprint.
+type SMS struct {
+	NoBlocks
+	cfg    SMSConfig
+	rc     mem.RegionConfig
+	agt    map[mem.Region]*smsGeneration
+	filter map[mem.Region]*smsFilterEntry
+	pht    map[uint64]*smsPHTEntry
+	tick   uint64
+}
+
+// NewSMS builds an SMS prefetcher; zero-value fields of cfg fall back to
+// defaults.
+func NewSMS(cfg SMSConfig) *SMS {
+	def := DefaultSMSConfig()
+	if cfg.AGTEntries == 0 {
+		cfg.AGTEntries = def.AGTEntries
+	}
+	if cfg.FilterEntries == 0 {
+		cfg.FilterEntries = def.FilterEntries
+	}
+	if cfg.PHTEntries == 0 {
+		cfg.PHTEntries = def.PHTEntries
+	}
+	if cfg.RegionBytes == 0 {
+		cfg.RegionBytes = def.RegionBytes
+	}
+	if cfg.PCBits == 0 {
+		cfg.PCBits = def.PCBits
+	}
+	if cfg.TagBits == 0 {
+		cfg.TagBits = def.TagBits
+	}
+	if cfg.OffsetBits == 0 {
+		cfg.OffsetBits = def.OffsetBits
+	}
+	if cfg.PatternBits == 0 {
+		cfg.PatternBits = def.PatternBits
+	}
+	s := &SMS{cfg: cfg, rc: mem.RegionConfig{SizeBytes: cfg.RegionBytes}}
+	s.Reset()
+	return s
+}
+
+// Name implements Prefetcher.
+func (s *SMS) Name() string { return "sms" }
+
+// Reset implements Prefetcher.
+func (s *SMS) Reset() {
+	s.agt = make(map[mem.Region]*smsGeneration, s.cfg.AGTEntries)
+	s.filter = make(map[mem.Region]*smsFilterEntry, s.cfg.FilterEntries)
+	s.pht = make(map[uint64]*smsPHTEntry, s.cfg.PHTEntries)
+	s.tick = 0
+}
+
+func (s *SMS) signature(pc uint64, offset int) uint64 {
+	return pc<<uint(s.cfg.OffsetBits) | uint64(offset)
+}
+
+// endGeneration commits a finished generation's footprint to the PHT.
+func (s *SMS) endGeneration(g *smsGeneration) {
+	if e, ok := s.pht[g.trigger]; ok {
+		e.pattern = g.pattern
+		e.lru = s.tick
+		return
+	}
+	if len(s.pht) >= s.cfg.PHTEntries {
+		var victim uint64
+		best := ^uint64(0)
+		for k, e := range s.pht {
+			if e.lru < best {
+				best = e.lru
+				victim = k
+			}
+		}
+		delete(s.pht, victim)
+	}
+	s.pht[g.trigger] = &smsPHTEntry{pattern: g.pattern, lru: s.tick}
+}
+
+// evictOldestAGT ends and removes the LRU generation.
+func (s *SMS) evictOldestAGT() {
+	var victim mem.Region
+	var vg *smsGeneration
+	best := ^uint64(0)
+	for r, g := range s.agt {
+		if g.lru < best {
+			best = g.lru
+			victim = r
+			vg = g
+		}
+	}
+	if vg != nil {
+		s.endGeneration(vg)
+		delete(s.agt, victim)
+	}
+}
+
+// OnAccess trains on every L1 demand access, as in the original SMS
+// design, and prefetches a region's learned footprint when a new
+// generation begins.
+func (s *SMS) OnAccess(a Access, issue IssueFunc) {
+	s.tick++
+	region := s.rc.RegionOf(a.Addr)
+	offset := s.rc.OffsetOf(a.Addr)
+
+	if g, ok := s.agt[region]; ok {
+		g.pattern |= 1 << uint(offset)
+		g.lru = s.tick
+		return
+	}
+	if f, ok := s.filter[region]; ok {
+		if f.firstLine == offset {
+			f.lru = s.tick
+			return // still a single-line region
+		}
+		// Second distinct line: promote to an active generation.
+		delete(s.filter, region)
+		if len(s.agt) >= s.cfg.AGTEntries {
+			s.evictOldestAGT()
+		}
+		s.agt[region] = &smsGeneration{
+			region:  region,
+			trigger: f.trigger,
+			pattern: (1 << uint(f.firstLine)) | (1 << uint(offset)),
+			lru:     s.tick,
+		}
+		return
+	}
+
+	// First access of a new generation: predict from the PHT and
+	// allocate a filter entry.
+	sig := s.signature(a.PC, offset)
+	if e, ok := s.pht[sig]; ok {
+		e.lru = s.tick
+		pattern := e.pattern
+		for off := 0; off < s.rc.LinesPerRegion() && off < 64; off++ {
+			if pattern&(1<<uint(off)) != 0 && off != offset {
+				issue(s.rc.LineAt(region, off))
+			}
+		}
+	}
+	if len(s.filter) >= s.cfg.FilterEntries {
+		var victim mem.Region
+		best := ^uint64(0)
+		for r, f := range s.filter {
+			if f.lru < best {
+				best = f.lru
+				victim = r
+			}
+		}
+		delete(s.filter, victim)
+	}
+	s.filter[region] = &smsFilterEntry{region: region, trigger: sig, firstLine: offset, lru: s.tick}
+}
+
+// OnCacheEvict ends the generation of the region containing the evicted
+// line, committing its footprint to the pattern history table — the
+// original SMS trigger for generation completion.
+func (s *SMS) OnCacheEvict(l mem.LineAddr) {
+	region := s.rc.RegionOf(l.Byte())
+	if g, ok := s.agt[region]; ok {
+		s.endGeneration(g)
+		delete(s.agt, region)
+		return
+	}
+	delete(s.filter, region)
+}
+
+var _ EvictionObserver = (*SMS)(nil)
+
+// StorageBits implements the Table III estimate:
+// AGT + Filter: (offset + PC + tag) × 32 and (offset + PC + tag + pattern) × 32;
+// PHT: (pattern + PC + offset) × 512.
+func (s *SMS) StorageBits() uint64 {
+	agt := uint64(s.cfg.OffsetBits+s.cfg.PCBits+s.cfg.TagBits) * uint64(s.cfg.AGTEntries)
+	filter := uint64(s.cfg.OffsetBits+s.cfg.PCBits+s.cfg.TagBits+s.cfg.PatternBits) * uint64(s.cfg.FilterEntries)
+	pht := uint64(s.cfg.PatternBits+s.cfg.PCBits+s.cfg.OffsetBits) * uint64(s.cfg.PHTEntries)
+	return agt + filter + pht
+}

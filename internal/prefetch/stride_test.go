@@ -1,0 +1,185 @@
+package prefetch
+
+import (
+	"testing"
+
+	"cbws/internal/mem"
+)
+
+// collect gathers issued prefetch lines.
+type collect struct{ lines []mem.LineAddr }
+
+func (c *collect) issue(l mem.LineAddr) { c.lines = append(c.lines, l) }
+
+// missAt builds a full-miss access for line l by PC pc.
+func missAt(pc uint64, l mem.LineAddr) Access {
+	return Access{PC: pc, Addr: l.Byte(), Line: l}
+}
+
+// hitAt builds an L1-hit access.
+func hitAt(pc uint64, l mem.LineAddr) Access {
+	a := missAt(pc, l)
+	a.HitL1 = true
+	return a
+}
+
+func TestNonePrefetcher(t *testing.T) {
+	p := NewNone()
+	c := &collect{}
+	p.OnAccess(missAt(1, 100), c.issue)
+	p.OnBlockBegin(0)
+	p.OnBlockEnd(0, c.issue)
+	if len(c.lines) != 0 {
+		t.Errorf("none issued %v", c.lines)
+	}
+	if p.StorageBits() != 0 || p.Name() != "none" {
+		t.Error("none metadata wrong")
+	}
+	p.Reset()
+}
+
+func TestStrideDetectsSteadyStream(t *testing.T) {
+	p := NewStride(StrideConfig{})
+	c := &collect{}
+	// Three accesses with stride 3 establish steady state; the third
+	// (still a miss) triggers prefetches at +3 and +6.
+	for i := 0; i < 3; i++ {
+		p.OnAccess(missAt(0x40, mem.LineAddr(100+3*i)), c.issue)
+	}
+	want := []mem.LineAddr{109, 112}
+	if len(c.lines) != 2 || c.lines[0] != want[0] || c.lines[1] != want[1] {
+		t.Errorf("issued %v, want %v", c.lines, want)
+	}
+}
+
+func TestStrideNoIssueBeforeSteady(t *testing.T) {
+	p := NewStride(StrideConfig{})
+	c := &collect{}
+	p.OnAccess(missAt(0x40, 100), c.issue)
+	p.OnAccess(missAt(0x40, 103), c.issue)
+	if len(c.lines) != 0 {
+		t.Errorf("issued before steady: %v", c.lines)
+	}
+}
+
+func TestStrideChangeResetsConfidence(t *testing.T) {
+	p := NewStride(StrideConfig{})
+	c := &collect{}
+	for i := 0; i < 3; i++ {
+		p.OnAccess(missAt(0x40, mem.LineAddr(100+3*i)), c.issue)
+	}
+	c.lines = nil
+	// Break the stride: no prefetch until re-trained.
+	p.OnAccess(missAt(0x40, 500), c.issue)
+	p.OnAccess(missAt(0x40, 505), c.issue)
+	if len(c.lines) != 0 {
+		t.Errorf("issued during retraining: %v", c.lines)
+	}
+	p.OnAccess(missAt(0x40, 510), c.issue)
+	if len(c.lines) == 0 {
+		t.Error("no prefetch after re-training")
+	}
+}
+
+func TestStrideMissTriggerOnly(t *testing.T) {
+	p := NewStride(StrideConfig{})
+	c := &collect{}
+	for i := 0; i < 3; i++ {
+		p.OnAccess(missAt(0x40, mem.LineAddr(100+3*i)), c.issue)
+	}
+	c.lines = nil
+	// An L1 hit trains but must not issue under the default policy.
+	p.OnAccess(hitAt(0x40, 112), c.issue)
+	if len(c.lines) != 0 {
+		t.Errorf("hit-triggered prefetch: %v", c.lines)
+	}
+	// With IssueOnHits, hits issue too.
+	p2 := NewStride(StrideConfig{IssueOnHits: true})
+	for i := 0; i < 3; i++ {
+		p2.OnAccess(hitAt(0x40, mem.LineAddr(100+3*i)), c.issue)
+	}
+	if len(c.lines) == 0 {
+		t.Error("IssueOnHits did not issue")
+	}
+}
+
+func TestStrideNegativeStride(t *testing.T) {
+	p := NewStride(StrideConfig{})
+	c := &collect{}
+	for i := 0; i < 3; i++ {
+		p.OnAccess(missAt(0x40, mem.LineAddr(1000-5*i)), c.issue)
+	}
+	if len(c.lines) != 2 || c.lines[0] != 985 || c.lines[1] != 980 {
+		t.Errorf("issued %v, want [985 980]", c.lines)
+	}
+}
+
+func TestStrideTracksStreamsPerPC(t *testing.T) {
+	p := NewStride(StrideConfig{})
+	c := &collect{}
+	// Interleave two streams with different PCs and strides; both must
+	// reach steady state independently.
+	for i := 0; i < 3; i++ {
+		p.OnAccess(missAt(0xA, mem.LineAddr(100+2*i)), c.issue)
+		p.OnAccess(missAt(0xB, mem.LineAddr(9000+7*i)), c.issue)
+	}
+	found := map[mem.LineAddr]bool{}
+	for _, l := range c.lines {
+		found[l] = true
+	}
+	if !found[106] || !found[9021] {
+		t.Errorf("missing per-PC predictions: %v", c.lines)
+	}
+}
+
+func TestStrideSameLineNoTraining(t *testing.T) {
+	p := NewStride(StrideConfig{})
+	c := &collect{}
+	// Repeated accesses to the same line carry no stream information.
+	for i := 0; i < 10; i++ {
+		p.OnAccess(missAt(0x40, 100), c.issue)
+	}
+	if len(c.lines) != 0 {
+		t.Errorf("same-line accesses issued %v", c.lines)
+	}
+}
+
+func TestStrideTableEviction(t *testing.T) {
+	p := NewStride(StrideConfig{TableEntries: 2})
+	c := &collect{}
+	// Train PC 1 to steady.
+	for i := 0; i < 3; i++ {
+		p.OnAccess(missAt(1, mem.LineAddr(100+i)), c.issue)
+	}
+	// Touch two more PCs: PC 1 is evicted (LRU).
+	p.OnAccess(missAt(2, 500), c.issue)
+	p.OnAccess(missAt(3, 600), c.issue)
+	c.lines = nil
+	// PC 1 must re-train from scratch: first re-access issues nothing.
+	p.OnAccess(missAt(1, 103), c.issue)
+	if len(c.lines) != 0 {
+		t.Errorf("evicted entry retained state: %v", c.lines)
+	}
+}
+
+func TestStrideStorageBitsTableIII(t *testing.T) {
+	p := NewStride(StrideConfig{})
+	// Table III: (48 + 2*12) * 256 = 18432 bits = 2.25KB.
+	if got := p.StorageBits(); got != 18432 {
+		t.Errorf("StorageBits = %d, want 18432", got)
+	}
+}
+
+func TestStrideReset(t *testing.T) {
+	p := NewStride(StrideConfig{})
+	c := &collect{}
+	for i := 0; i < 3; i++ {
+		p.OnAccess(missAt(0x40, mem.LineAddr(100+3*i)), c.issue)
+	}
+	p.Reset()
+	c.lines = nil
+	p.OnAccess(missAt(0x40, 112), c.issue)
+	if len(c.lines) != 0 {
+		t.Errorf("reset did not clear state: %v", c.lines)
+	}
+}

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:   "Demo",
+		Columns: []string{"name", "value"},
+	}
+	tab.AddRow("alpha", "1.00")
+	tab.AddRow("beta-longer-name", "22.50")
+	s := tab.String()
+	if !strings.Contains(s, "Demo\n====") {
+		t.Errorf("missing title underline:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 6 { // title, underline, header, rule, 2 rows, (trailing blank trimmed)
+		t.Errorf("got %d lines:\n%s", len(lines), s)
+	}
+	// Numeric cells right-align: "1.00" ends at the same column as "22.50".
+	rowA := lines[4]
+	rowB := lines[5]
+	if len(rowA) != len(strings.TrimRight(rowB, " ")) && !strings.HasSuffix(rowA, "1.00") {
+		t.Errorf("alignment off:\n%q\n%q", rowA, rowB)
+	}
+}
+
+func TestTableNoColumns(t *testing.T) {
+	tab := &Table{Title: "Bare"}
+	tab.AddRow("x", "y")
+	s := tab.String()
+	if strings.Contains(s, "---") {
+		t.Errorf("rule printed without header:\n%s", s)
+	}
+	if !strings.Contains(s, "x") {
+		t.Error("row missing")
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tab := &Table{Columns: []string{"a"}}
+	tab.AddRow("1", "2", "3")
+	s := tab.String()
+	if !strings.Contains(s, "3") {
+		t.Errorf("extra cells dropped:\n%s", s)
+	}
+}
+
+func TestLooksNumeric(t *testing.T) {
+	for _, s := range []string{"1.00", "-3.5", "85.1%", "1.16x", "2.25KB", "42"} {
+		if !looksNumeric(s) {
+			t.Errorf("%q should look numeric", s)
+		}
+	}
+	for _, s := range []string{"", "alpha", "v1.2rc", "n/a"} {
+		if looksNumeric(s) {
+			t.Errorf("%q should not look numeric", s)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Error("F")
+	}
+	if Pct(0.905) != "90.5%" {
+		t.Error("Pct")
+	}
+	if Speedup(1.161) != "1.16x" {
+		t.Error("Speedup")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tab := &Table{Title: "T", Columns: []string{"a", "b"}}
+	tab.AddRow("x,y", `q"r`)
+	var b strings.Builder
+	tab.RenderCSV(&b)
+	s := b.String()
+	for _, want := range []string{"# T\n", "a,b\n", `"x,y"`, `"q""r"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("CSV missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteConfig serializes cfg as indented JSON.
+func WriteConfig(w io.Writer, cfg Config) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cfg)
+}
+
+// ReadConfig parses a JSON configuration. Fields left out of the JSON
+// keep the values of base, so a config file only needs to state what it
+// changes from the Table II defaults.
+func ReadConfig(r io.Reader, base Config) (Config, error) {
+	cfg := base
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("sim: parsing config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// LoadConfig reads a JSON configuration file over the Table II defaults.
+func LoadConfig(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("sim: %w", err)
+	}
+	defer f.Close()
+	return ReadConfig(f, DefaultConfig())
+}
+
+// Validate checks the full system configuration.
+func (c Config) Validate() error {
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	if err := c.Memory.L1.Validate(); err != nil {
+		return err
+	}
+	if err := c.Memory.L2.Validate(); err != nil {
+		return err
+	}
+	if !c.IdealBranchPrediction {
+		if err := c.Branch.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.WarmupInstructions > 0 && c.MaxInstructions > 0 &&
+		c.WarmupInstructions >= c.MaxInstructions {
+		return fmt.Errorf("sim: warmup (%d) must be below the instruction limit (%d)",
+			c.WarmupInstructions, c.MaxInstructions)
+	}
+	return nil
+}

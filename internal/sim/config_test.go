@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestConfigRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxInstructions = 123456
+	cfg.Memory.MemoryLatency = 250
+	var buf bytes.Buffer
+	if err := WriteConfig(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadConfig(&buf, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cfg {
+		t.Errorf("round trip changed config:\n got %+v\nwant %+v", got, cfg)
+	}
+}
+
+func TestPartialConfigKeepsDefaults(t *testing.T) {
+	// A file that only overrides one field keeps Table II for the rest.
+	got, err := ReadConfig(strings.NewReader(`{"MaxInstructions": 777}`), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxInstructions != 777 {
+		t.Errorf("override lost: %d", got.MaxInstructions)
+	}
+	def := DefaultConfig()
+	if got.Memory != def.Memory || got.Core != def.Core {
+		t.Error("defaults not preserved")
+	}
+}
+
+func TestNestedPartialOverride(t *testing.T) {
+	js := `{"Memory": {"L1": {"Name":"L1D","SizeBytes": 65536, "Ways": 4, "LatencyCycles": 2, "MSHRs": 4},
+	                   "L2": {"Name":"L2","SizeBytes": 2097152, "Ways": 8, "LatencyCycles": 30, "MSHRs": 32},
+	                   "MemoryLatency": 400}}`
+	got, err := ReadConfig(strings.NewReader(js), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Memory.L1.SizeBytes != 65536 || got.Memory.MemoryLatency != 400 {
+		t.Errorf("nested override lost: %+v", got.Memory)
+	}
+}
+
+func TestConfigUnknownFieldRejected(t *testing.T) {
+	if _, err := ReadConfig(strings.NewReader(`{"Bogus": 1}`), DefaultConfig()); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestConfigValidationOnLoad(t *testing.T) {
+	// An L1 with zero ways must be rejected.
+	js := `{"Memory": {"L1": {"Name":"L1","SizeBytes": 32768, "Ways": 0, "LatencyCycles": 2, "MSHRs": 4},
+	                   "L2": {"Name":"L2","SizeBytes": 2097152, "Ways": 8, "LatencyCycles": 30, "MSHRs": 32},
+	                   "MemoryLatency": 300}}`
+	if _, err := ReadConfig(strings.NewReader(js), DefaultConfig()); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+	// Warmup >= limit must be rejected.
+	if _, err := ReadConfig(strings.NewReader(`{"MaxInstructions": 100, "WarmupInstructions": 100}`), DefaultConfig()); err == nil {
+		t.Error("warmup >= limit accepted")
+	}
+}
+
+func TestLoadConfigFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	if err := os.WriteFile(path, []byte(`{"MaxInstructions": 42}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxInstructions != 42 {
+		t.Errorf("loaded %d", got.MaxInstructions)
+	}
+	if _, err := LoadConfig(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestDefaultConfigValidates(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package sim wires the timing engine, the cache hierarchy and a
+// prefetcher into one simulated system and runs workloads through it —
+// the equivalent of the paper's gem5 configuration (Table II).
+package sim
+
+import (
+	"fmt"
+
+	"cbws/internal/branch"
+	"cbws/internal/cache"
+	"cbws/internal/engine"
+	"cbws/internal/mem"
+	"cbws/internal/prefetch"
+	"cbws/internal/stats"
+	"cbws/internal/trace"
+)
+
+// Config is the full-system configuration.
+type Config struct {
+	Core   engine.Config
+	Memory cache.HierarchyConfig
+	// Branch configures the tournament branch predictor (Table II).
+	Branch branch.Config
+	// IdealBranchPrediction disables the predictor: every branch is
+	// predicted correctly, as in the pre-branch model (for ablation).
+	IdealBranchPrediction bool
+	// MaxInstructions truncates the workload (0 = unlimited). The paper
+	// simulates 1e9 instructions per benchmark; the default harness
+	// uses smaller windows with proportionally scaled working sets.
+	MaxInstructions uint64
+	// WarmupInstructions excludes the first N instructions from the
+	// reported metrics (caches and predictors warm normally), the
+	// equivalent of the paper's fast-forward to each benchmark's
+	// region of interest. Must be below MaxInstructions when both are
+	// set.
+	WarmupInstructions uint64
+}
+
+// DefaultConfig returns the Table II system.
+func DefaultConfig() Config {
+	return Config{
+		Core:   engine.DefaultConfig(),
+		Memory: cache.DefaultHierarchyConfig(),
+		Branch: branch.DefaultConfig(),
+	}
+}
+
+// Result is the outcome of one workload × prefetcher run.
+type Result struct {
+	Workload   string
+	Prefetcher string
+	Metrics    stats.Metrics
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s: %s", r.Workload, r.Prefetcher, r.Metrics)
+}
+
+// port adapts the hierarchy to the engine's MemPort and BlockObserver,
+// training the prefetcher on every demand access in commit order and
+// forwarding block markers, exactly as the paper's prefetcher observes
+// the in-order commit stage.
+type port struct {
+	h     *cache.Hierarchy
+	pf    prefetch.Prefetcher
+	now   uint64
+	issue prefetch.IssueFunc
+}
+
+func newPort(h *cache.Hierarchy, pf prefetch.Prefetcher) *port {
+	p := &port{h: h, pf: pf}
+	p.issue = func(l mem.LineAddr) { p.h.Prefetch(l, p.now) }
+	return p
+}
+
+func (p *port) access(pc uint64, addr mem.Addr, write bool, now uint64) uint64 {
+	info := p.h.Access(pc, addr, write, now)
+	p.now = now
+	p.h.DrainPrefetchQueue(now)
+	p.pf.OnAccess(prefetch.Access{
+		PC:    pc,
+		Addr:  addr,
+		Line:  info.Line,
+		Write: write,
+		HitL1: info.HitL1,
+		HitL2: info.HitL2,
+		PfHit: info.PfHit,
+	}, p.issue)
+	return info.ReadyAt
+}
+
+// Load implements engine.MemPort.
+func (p *port) Load(pc uint64, addr mem.Addr, now uint64) uint64 {
+	return p.access(pc, addr, false, now)
+}
+
+// Store implements engine.MemPort.
+func (p *port) Store(pc uint64, addr mem.Addr, now uint64) uint64 {
+	return p.access(pc, addr, true, now)
+}
+
+// BlockBegin implements engine.BlockObserver.
+func (p *port) BlockBegin(id int) { p.pf.OnBlockBegin(id) }
+
+// BlockEnd implements engine.BlockObserver.
+func (p *port) BlockEnd(id int) { p.pf.OnBlockEnd(id, p.issue) }
+
+// Run simulates workload wl on the configured system with prefetcher pf
+// (which is Reset first) and returns the collected metrics.
+func Run(cfg Config, wl trace.Generator, pf prefetch.Prefetcher) (Result, error) {
+	h, err := cache.NewHierarchy(cfg.Memory)
+	if err != nil {
+		return Result{}, err
+	}
+	pf.Reset()
+	if eo, ok := pf.(prefetch.EvictionObserver); ok {
+		h.OnL1Evict(eo.OnCacheEvict)
+	}
+	p := newPort(h, pf)
+	eng, err := engine.New(cfg.Core, p, p)
+	if err != nil {
+		return Result{}, err
+	}
+	if !cfg.IdealBranchPrediction {
+		bp, err := branch.New(cfg.Branch)
+		if err != nil {
+			return Result{}, err
+		}
+		eng.AttachBranchPredictor(bp)
+	}
+
+	// Warmup handling: the first WarmupInstructions train caches and
+	// predictors but are excluded from the reported metrics, like the
+	// paper's fast-forward to each benchmark's region of interest.
+	var base snapshot
+	warmed := cfg.WarmupInstructions == 0
+	sink := trace.SinkFunc(func(ev trace.Event) {
+		eng.Consume(ev)
+		if !warmed && eng.Stats.Instructions >= cfg.WarmupInstructions {
+			warmed = true
+			base = takeSnapshot(eng, h)
+		}
+	})
+
+	var gen trace.Generator = wl
+	if cfg.MaxInstructions > 0 {
+		gen = trace.Limit{Gen: wl, Max: cfg.MaxInstructions}
+	}
+	gen.Generate(sink)
+
+	eng.Finish()
+	h.Finish() // settles wrong counts (unused prefetched lines drained)
+	final := takeSnapshot(eng, h)
+
+	m := final.sub(base)
+	return Result{Workload: wl.Name(), Prefetcher: pf.Name(), Metrics: m}, nil
+}
+
+// snapshot captures every counter that contributes to the reported
+// metrics, so a warmup window can be subtracted out.
+type snapshot struct {
+	engine engine.Stats
+	t      cache.Timeliness
+	l2     cache.Stats
+	bytes  uint64
+	demand uint64
+	wb     uint64
+	misses uint64
+}
+
+func takeSnapshot(eng *engine.Engine, h *cache.Hierarchy) snapshot {
+	return snapshot{
+		engine: eng.Snapshot(),
+		t:      h.Timeliness,
+		l2:     h.L2.Stats,
+		bytes:  h.BytesFromMem,
+		demand: h.DemandBytes,
+		wb:     h.WritebackBytes,
+		misses: h.DemandL2Misses(),
+	}
+}
+
+// sub converts the counter deltas between two snapshots into metrics.
+func (s snapshot) sub(base snapshot) stats.Metrics {
+	es, bs := s.engine, base.engine
+	t, bt := s.t, base.t
+	loopFrac := 0.0
+	if es.TotalSlots > bs.TotalSlots {
+		loopFrac = float64(es.BlockSlots-bs.BlockSlots) / float64(es.TotalSlots-bs.TotalSlots)
+	}
+	return stats.Metrics{
+		Instructions: es.Instructions - bs.Instructions,
+		Cycles:       es.Cycles - bs.Cycles,
+		Loads:        es.Loads - bs.Loads,
+		Stores:       es.Stores - bs.Stores,
+		Branches:     es.Branches - bs.Branches,
+		Mispredicts:  es.Mispredicts - bs.Mispredicts,
+		Blocks:       es.Blocks - bs.Blocks,
+		LoopFrac:     loopFrac,
+
+		DemandL2:       t.DemandL2 - bt.DemandL2,
+		DemandL2Misses: s.misses - base.misses,
+
+		Timely:    t.Timely - bt.Timely,
+		ShorterWT: t.ShorterWT - bt.ShorterWT,
+		NonTimely: t.NonTimely - bt.NonTimely,
+		Missing:   t.Missing - bt.Missing,
+		PlainHit:  t.PlainHit - bt.PlainHit,
+		Wrong:     s.l2.PrefetchWrong - base.l2.PrefetchWrong,
+
+		BytesFromMem:      s.bytes - base.bytes,
+		DemandBytes:       s.demand - base.demand,
+		WritebackBytes:    s.wb - base.wb,
+		PrefetchIssued:    s.l2.PrefetchIssued - base.l2.PrefetchIssued,
+		PrefetchRedundant: s.l2.PrefetchRedundant - base.l2.PrefetchRedundant,
+		PrefetchDropped:   s.l2.PrefetchDropped - base.l2.PrefetchDropped,
+		PrefetchUseful:    s.l2.PrefetchUseful - base.l2.PrefetchUseful,
+		PrefetchLate:      s.l2.PrefetchLate - base.l2.PrefetchLate,
+	}
+}

@@ -1,0 +1,167 @@
+// Package stats defines the derived metrics the paper's evaluation
+// reports — IPC, last-level-cache MPKI, the five-way timeliness/accuracy
+// classification of Figure 13, and performance/cost — together with the
+// aggregation helpers (means, normalization) used to build the figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metrics are the raw counters of one simulation run.
+type Metrics struct {
+	Instructions uint64
+	Cycles       uint64
+	Loads        uint64
+	Stores       uint64
+	Branches     uint64
+	Mispredicts  uint64
+	Blocks       uint64  // dynamic code block (loop iteration) count
+	LoopFrac     float64 // fraction of runtime inside annotated blocks
+
+	DemandL2       uint64 // demand accesses that reached the L2
+	DemandL2Misses uint64 // demand accesses whose data was not ready at the L2
+
+	Timely    uint64 // Figure 13 classes, in demand L2 accesses
+	ShorterWT uint64
+	NonTimely uint64
+	Missing   uint64
+	PlainHit  uint64
+	Wrong     uint64 // prefetched lines never demanded
+
+	BytesFromMem      uint64 // total read traffic (demand + prefetch)
+	DemandBytes       uint64 // read traffic from demand misses alone
+	WritebackBytes    uint64 // dirty-eviction write traffic
+	PrefetchIssued    uint64
+	PrefetchRedundant uint64
+	PrefetchDropped   uint64
+	PrefetchUseful    uint64
+	PrefetchLate      uint64
+}
+
+// IPC returns instructions per cycle.
+func (m Metrics) IPC() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(m.Instructions) / float64(m.Cycles)
+}
+
+// MPKI returns last-level-cache demand misses per kilo-instruction
+// (Figure 12).
+func (m Metrics) MPKI() float64 {
+	if m.Instructions == 0 {
+		return 0
+	}
+	return float64(m.DemandL2Misses) / (float64(m.Instructions) / 1000)
+}
+
+// PerfPerByte returns IPC per byte read from memory, the raw
+// performance/cost ratio of Figure 15 (reported there normalized to the
+// no-prefetch configuration).
+func (m Metrics) PerfPerByte() float64 {
+	if m.BytesFromMem == 0 {
+		return math.Inf(1)
+	}
+	return m.IPC() / float64(m.BytesFromMem)
+}
+
+// frac returns n as a fraction of the demand L2 accesses.
+func (m Metrics) frac(n uint64) float64 {
+	if m.DemandL2 == 0 {
+		return 0
+	}
+	return float64(n) / float64(m.DemandL2)
+}
+
+// TimelyFrac returns the fraction of demand L2 accesses served by a
+// completed prefetch.
+func (m Metrics) TimelyFrac() float64 { return m.frac(m.Timely) }
+
+// ShorterWTFrac returns the fraction that merged with in-flight
+// prefetches.
+func (m Metrics) ShorterWTFrac() float64 { return m.frac(m.ShorterWT) }
+
+// NonTimelyFrac returns the fraction missing despite being identified.
+func (m Metrics) NonTimelyFrac() float64 { return m.frac(m.NonTimely) }
+
+// MissingFrac returns the fraction never identified by the prefetcher.
+func (m Metrics) MissingFrac() float64 { return m.frac(m.Missing) }
+
+// WrongFrac returns wrong prefetches as a fraction of demand L2
+// accesses; like the paper's Figure 13, this can exceed 100%.
+func (m Metrics) WrongFrac() float64 { return m.frac(m.Wrong) }
+
+// MispredictRate returns branch mispredictions per branch.
+func (m Metrics) MispredictRate() float64 {
+	if m.Branches == 0 {
+		return 0
+	}
+	return float64(m.Mispredicts) / float64(m.Branches)
+}
+
+// Accuracy returns useful prefetches (timely + late) over all issued.
+func (m Metrics) Accuracy() float64 {
+	if m.PrefetchIssued == 0 {
+		return 0
+	}
+	return float64(m.PrefetchUseful+m.PrefetchLate) / float64(m.PrefetchIssued)
+}
+
+// Coverage returns the fraction of would-be misses covered by prefetches.
+func (m Metrics) Coverage() float64 {
+	covered := m.Timely
+	total := m.Timely + m.DemandL2Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(covered) / float64(total)
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("IPC=%.3f MPKI=%.2f timely=%.1f%% wrong=%.1f%% bytes=%d",
+		m.IPC(), m.MPKI(), 100*m.TimelyFrac(), 100*m.WrongFrac(), m.BytesFromMem)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs; non-positive and non-finite
+// values are skipped (0 for empty input).
+func GeoMean(xs []float64) float64 {
+	var s float64
+	n := 0
+	for _, x := range xs {
+		if x <= 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+			continue
+		}
+		s += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(s / float64(n))
+}
+
+// Normalize divides each value by the matching baseline value; zero
+// baselines produce zero.
+func Normalize(values, baseline []float64) []float64 {
+	out := make([]float64, len(values))
+	for i := range values {
+		if i < len(baseline) && baseline[i] != 0 {
+			out[i] = values[i] / baseline[i]
+		}
+	}
+	return out
+}

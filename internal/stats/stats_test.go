@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIPC(t *testing.T) {
+	m := Metrics{Instructions: 1000, Cycles: 250}
+	if got := m.IPC(); got != 4.0 {
+		t.Errorf("IPC = %v", got)
+	}
+	if (Metrics{}).IPC() != 0 {
+		t.Error("zero-cycle IPC should be 0")
+	}
+}
+
+func TestMPKI(t *testing.T) {
+	m := Metrics{Instructions: 1_000_000, DemandL2Misses: 25_000}
+	if got := m.MPKI(); got != 25.0 {
+		t.Errorf("MPKI = %v", got)
+	}
+	if (Metrics{DemandL2Misses: 5}).MPKI() != 0 {
+		t.Error("zero-instruction MPKI should be 0")
+	}
+}
+
+func TestTimelinessFractions(t *testing.T) {
+	m := Metrics{
+		DemandL2:  1000,
+		Timely:    280,
+		ShorterWT: 20,
+		NonTimely: 100,
+		Missing:   400,
+		Wrong:     1100, // can exceed DemandL2, as in Figure 13
+	}
+	if got := m.TimelyFrac(); got != 0.28 {
+		t.Errorf("timely = %v", got)
+	}
+	if got := m.ShorterWTFrac(); got != 0.02 {
+		t.Errorf("swt = %v", got)
+	}
+	if got := m.NonTimelyFrac(); got != 0.1 {
+		t.Errorf("nt = %v", got)
+	}
+	if got := m.MissingFrac(); got != 0.4 {
+		t.Errorf("missing = %v", got)
+	}
+	if got := m.WrongFrac(); got != 1.1 {
+		t.Errorf("wrong = %v", got)
+	}
+	var zero Metrics
+	if zero.TimelyFrac() != 0 || zero.WrongFrac() != 0 {
+		t.Error("zero-demand fractions should be 0")
+	}
+}
+
+func TestPerfPerByte(t *testing.T) {
+	m := Metrics{Instructions: 4000, Cycles: 1000, BytesFromMem: 2}
+	if got := m.PerfPerByte(); got != 2.0 {
+		t.Errorf("perf/byte = %v", got)
+	}
+	if !math.IsInf(Metrics{Instructions: 1, Cycles: 1}.PerfPerByte(), 1) {
+		t.Error("zero-byte perf/cost should be +Inf")
+	}
+}
+
+func TestAccuracyCoverage(t *testing.T) {
+	m := Metrics{
+		PrefetchIssued: 100,
+		PrefetchUseful: 60,
+		PrefetchLate:   20,
+		Timely:         60,
+		DemandL2Misses: 40,
+	}
+	if got := m.Accuracy(); got != 0.8 {
+		t.Errorf("accuracy = %v", got)
+	}
+	if got := m.Coverage(); got != 0.6 {
+		t.Errorf("coverage = %v", got)
+	}
+	var zero Metrics
+	if zero.Accuracy() != 0 || zero.Coverage() != 0 {
+		t.Error("zero cases")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean")
+	}
+	got := GeoMean([]float64{2, 8})
+	if math.Abs(got-4) > 1e-12 {
+		t.Errorf("geomean = %v, want 4", got)
+	}
+	// Non-positive values are skipped.
+	got = GeoMean([]float64{0, -3, 4})
+	if math.Abs(got-4) > 1e-12 {
+		t.Errorf("geomean with non-positives = %v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 6, 5}, []float64{1, 3, 0})
+	want := []float64{2, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("normalize = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	m := Metrics{Instructions: 100, Cycles: 100, DemandL2: 10, Timely: 5}
+	if m.String() == "" {
+		t.Error("empty string")
+	}
+}

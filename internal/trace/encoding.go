@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"cbws/internal/mem"
+)
+
+// Binary trace file format:
+//
+//	magic "CBWT" | version u8 | name len uvarint | name bytes
+//	then per event: kind u8 followed by kind-specific uvarint fields.
+//	PC and Addr are delta-encoded against the previous Load/Store event
+//	(zigzag varint), which keeps strided streams near 2 bytes/event.
+//	A trailing kind byte 0xFF terminates the stream.
+
+const (
+	traceMagic   = "CBWT"
+	traceVersion = 1
+	kindEOF      = 0xFF
+)
+
+// ErrBadTrace reports a malformed trace file.
+var ErrBadTrace = errors.New("trace: malformed trace file")
+
+// Writer encodes events to an io.Writer in the binary trace format.
+type Writer struct {
+	w        *bufio.Writer
+	lastPC   uint64
+	lastAddr uint64
+	err      error
+}
+
+// NewWriter writes the file header (with the trace name) and returns a
+// Writer ready to receive events.
+func NewWriter(w io.Writer, name string) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(traceVersion); err != nil {
+		return nil, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(name)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return nil, err
+	}
+	if _, err := bw.WriteString(name); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+func (w *Writer) putUvarint(v uint64) {
+	if w.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, w.err = w.w.Write(buf[:n])
+}
+
+func (w *Writer) putVarint(v int64) {
+	if w.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	_, w.err = w.w.Write(buf[:n])
+}
+
+// Consume encodes one event. Errors are sticky and reported by Close.
+func (w *Writer) Consume(e Event) {
+	if w.err != nil {
+		return
+	}
+	w.err = w.w.WriteByte(byte(e.Kind))
+	switch e.Kind {
+	case Instr:
+		w.putUvarint(uint64(e.Count()))
+	case Load, Store:
+		w.putVarint(int64(e.PC) - int64(w.lastPC))
+		w.putVarint(int64(e.Addr) - int64(w.lastAddr))
+		w.lastPC = e.PC
+		w.lastAddr = uint64(e.Addr)
+	case BlockBegin, BlockEnd:
+		w.putUvarint(uint64(e.Block))
+	case Branch:
+		w.putVarint(int64(e.PC) - int64(w.lastPC))
+		w.lastPC = e.PC
+		t := uint64(0)
+		if e.Taken {
+			t = 1
+		}
+		w.putUvarint(t)
+	default:
+		w.err = fmt.Errorf("trace: cannot encode kind %v", e.Kind)
+	}
+}
+
+// Close terminates the stream and flushes buffered data.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.w.WriteByte(kindEOF); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Reader decodes a binary trace file. It implements Generator so a trace
+// file can be fed straight into the simulator.
+type Reader struct {
+	r    *bufio.Reader
+	name string
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if ver != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, ver)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("%w: name too long", ErrBadTrace)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	return &Reader{r: br, name: string(name)}, nil
+}
+
+// Name returns the trace name recorded in the file header.
+func (r *Reader) Name() string { return r.name }
+
+// Generate decodes events into sink until the terminator. Decoding errors
+// surface as a panic-free early stop; use Decode for explicit errors.
+func (r *Reader) Generate(sink Sink) {
+	_ = r.Decode(sink)
+}
+
+// Decode decodes events into sink and returns the first error.
+func (r *Reader) Decode(sink Sink) error {
+	var lastPC, lastAddr uint64
+	for {
+		kb, err := r.r.ReadByte()
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+		if kb == kindEOF {
+			return nil
+		}
+		e := Event{Kind: Kind(kb)}
+		switch e.Kind {
+		case Instr:
+			n, err := binary.ReadUvarint(r.r)
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrBadTrace, err)
+			}
+			e.N = int(n)
+		case Load, Store:
+			dpc, err := binary.ReadVarint(r.r)
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrBadTrace, err)
+			}
+			daddr, err := binary.ReadVarint(r.r)
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrBadTrace, err)
+			}
+			lastPC = uint64(int64(lastPC) + dpc)
+			lastAddr = uint64(int64(lastAddr) + daddr)
+			e.PC = lastPC
+			e.Addr = mem.Addr(lastAddr)
+		case BlockBegin, BlockEnd:
+			id, err := binary.ReadUvarint(r.r)
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrBadTrace, err)
+			}
+			e.Block = int(id)
+		case Branch:
+			dpc, err := binary.ReadVarint(r.r)
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrBadTrace, err)
+			}
+			lastPC = uint64(int64(lastPC) + dpc)
+			e.PC = lastPC
+			t, err := binary.ReadUvarint(r.r)
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrBadTrace, err)
+			}
+			e.Taken = t != 0
+		default:
+			return fmt.Errorf("%w: unknown kind %d", ErrBadTrace, kb)
+		}
+		sink.Consume(e)
+	}
+}

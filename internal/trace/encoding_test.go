@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"cbws/internal/mem"
+)
+
+func roundTrip(t *testing.T, name string, events []Event) *Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, name)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for _, e := range events {
+		w.Consume(e)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	return r
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	events := []Event{
+		{Kind: BlockBegin, Block: 12},
+		{Kind: Load, PC: 0x401000, Addr: 0x12345678},
+		{Kind: Store, PC: 0x401004, Addr: 0x12345640},
+		{Kind: Instr, N: 42},
+		{Kind: Load, PC: 0x401000, Addr: 0x12345679},
+		{Kind: BlockEnd, Block: 12},
+	}
+	r := roundTrip(t, "rt", events)
+	if r.Name() != "rt" {
+		t.Errorf("Name = %q", r.Name())
+	}
+	var got []Event
+	if err := r.Decode(SinkFunc(func(e Event) { got = append(got, e) })); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		want := events[i]
+		if want.Kind == Instr && want.N == 0 {
+			want.N = 1
+		}
+		if got[i] != want {
+			t.Errorf("event %d: got %+v, want %+v", i, got[i], want)
+		}
+	}
+}
+
+func TestEncodeDecodeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var events []Event
+	pc := uint64(0x400000)
+	addr := uint64(1 << 30)
+	for i := 0; i < 5000; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			events = append(events, Event{Kind: Instr, N: 1 + rng.Intn(100)})
+		case 1, 2:
+			pc += uint64(rng.Intn(64)) * 4
+			addr += uint64(rng.Int63n(1<<20)) - 1<<19
+			events = append(events, Event{Kind: Load, PC: pc, Addr: mem.Addr(addr)})
+		case 3:
+			events = append(events, Event{Kind: Store, PC: pc, Addr: mem.Addr(addr)})
+		case 4:
+			events = append(events, Event{Kind: BlockBegin, Block: rng.Intn(16)})
+		}
+		if rng.Intn(4) == 0 {
+			pc += 4
+			events = append(events, Event{Kind: Branch, PC: pc, Taken: rng.Intn(2) == 0})
+		}
+	}
+	r := roundTrip(t, "random", events)
+	i := 0
+	err := r.Decode(SinkFunc(func(e Event) {
+		if i < len(events) && e != events[i] {
+			t.Fatalf("event %d mismatch: got %+v want %+v", i, e, events[i])
+		}
+		i++
+	}))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if i != len(events) {
+		t.Errorf("decoded %d of %d events", i, len(events))
+	}
+}
+
+func TestReaderAsGenerator(t *testing.T) {
+	events := []Event{
+		{Kind: Load, PC: 4, Addr: 64},
+		{Kind: Instr, N: 3},
+	}
+	r := roundTrip(t, "gen", events)
+	tr := Capture(r)
+	if tr.Name() != "gen" || len(tr.Events) != 2 {
+		t.Fatalf("capture: name=%q events=%d", tr.Name(), len(tr.Events))
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte("XXXX\x01\x00")))
+	if !errors.Is(err, ErrBadTrace) {
+		t.Errorf("err = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestDecodeBadVersion(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte("CBWT\x7f\x00")))
+	if !errors.Is(err, ErrBadTrace) {
+		t.Errorf("err = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "trunc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Consume(Event{Kind: Load, PC: 1, Addr: 64})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop off the terminator and part of the last event.
+	raw := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Decode(SinkFunc(func(Event) {})); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("Decode err = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestDecodeUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] = 0x77 // replace EOF marker with a bogus kind
+	raw = append(raw, 0xFF)
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Decode(SinkFunc(func(Event) {})); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("Decode err = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestWriterRejectsUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Consume(Event{Kind: Kind(200)})
+	if err := w.Close(); err == nil {
+		t.Error("expected Close to report the encoding error")
+	}
+}
+
+func TestCompactEncoding(t *testing.T) {
+	// Strided streams should delta-encode to a few bytes per event.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "stride")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		w.Consume(Event{Kind: Load, PC: 0x400100, Addr: mem.Addr(1<<30 + i*64)})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if perEvent := float64(buf.Len()) / n; perEvent > 4.5 {
+		t.Errorf("strided stream encodes to %.1f bytes/event, want <= 4.5", perEvent)
+	}
+}

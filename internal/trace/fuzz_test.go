@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"cbws/internal/mem"
+)
+
+// FuzzDecode feeds arbitrary bytes to the trace reader: it must never
+// panic, and every successfully decoded stream must contain only valid
+// event kinds.
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid trace.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "seed")
+	if err != nil {
+		f.Fatal(err)
+	}
+	w.Consume(Event{Kind: BlockBegin, Block: 1})
+	w.Consume(Event{Kind: Load, PC: 0x400000, Addr: 0x12345})
+	w.Consume(Event{Kind: Branch, PC: 0x400004, Taken: true})
+	w.Consume(Event{Kind: Instr, N: 9})
+	w.Consume(Event{Kind: BlockEnd, Block: 1})
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("CBWT\x01\x00"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		n := 0
+		_ = r.Decode(SinkFunc(func(e Event) {
+			if e.Kind > Branch {
+				t.Fatalf("decoded invalid kind %d", e.Kind)
+			}
+			n++
+			if n > 1<<20 {
+				t.Fatal("unbounded decode")
+			}
+		}))
+	})
+}
+
+// FuzzRoundTrip encodes fuzz-shaped events and verifies decode
+// reproduces them exactly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0x400000), uint64(0x1000), 5, true)
+	f.Fuzz(func(t *testing.T, pc, addr uint64, n int, taken bool) {
+		events := []Event{
+			{Kind: Load, PC: pc, Addr: mem.Addr(addr)},
+			{Kind: Branch, PC: pc ^ 0x40, Taken: taken},
+			{Kind: Store, PC: pc + 4, Addr: mem.Addr(addr ^ 0xFFF)},
+		}
+		if n > 0 {
+			events = append(events, Event{Kind: Instr, N: n})
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, "fuzz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range events {
+			w.Consume(e)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := 0
+		if err := r.Decode(SinkFunc(func(e Event) {
+			if i >= len(events) {
+				t.Fatal("extra events decoded")
+			}
+			if e != events[i] {
+				t.Fatalf("event %d: got %+v want %+v", i, e, events[i])
+			}
+			i++
+		})); err != nil {
+			t.Fatal(err)
+		}
+		if i != len(events) {
+			t.Fatalf("decoded %d of %d", i, len(events))
+		}
+	})
+}

@@ -1,0 +1,217 @@
+// Package trace defines the committed-instruction event stream that the
+// timing model consumes and that workloads (or the IR interpreter)
+// produce.
+//
+// The stream corresponds to the in-order commit stage of the simulated
+// core: the CBWS prefetcher, like the paper's hardware, observes memory
+// accesses in program order together with the BLOCK_BEGIN / BLOCK_END
+// marker instructions inserted by the annotation pass.
+package trace
+
+import (
+	"fmt"
+
+	"cbws/internal/mem"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+const (
+	// Instr is a batch of non-memory instructions (ALU, branch, ...).
+	// N carries the batch size.
+	Instr Kind = iota
+	// Load is a memory read by the instruction at PC from Addr.
+	Load
+	// Store is a memory write by the instruction at PC to Addr.
+	Store
+	// BlockBegin marks the start of an annotated code block (a tight
+	// loop iteration). Block carries the static block ID.
+	BlockBegin
+	// BlockEnd marks the end of an annotated code block.
+	BlockEnd
+	// Branch is a conditional branch at PC whose outcome is Taken. The
+	// engine consults the branch predictor and charges a refill
+	// penalty on mispredictions.
+	Branch
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Instr:
+		return "instr"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case BlockBegin:
+		return "block_begin"
+	case BlockEnd:
+		return "block_end"
+	case Branch:
+		return "branch"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one element of the committed instruction stream.
+type Event struct {
+	Kind  Kind
+	PC    uint64   // static instruction address (Load/Store/Branch)
+	Addr  mem.Addr // effective byte address (Load/Store)
+	Block int      // static block ID (BlockBegin/BlockEnd)
+	N     int      // batch size (Instr); 0 means 1
+	Taken bool     // branch outcome (Branch)
+}
+
+// Count returns the number of dynamic instructions the event represents.
+func (e Event) Count() int {
+	if e.Kind == Instr {
+		if e.N <= 0 {
+			return 1
+		}
+		return e.N
+	}
+	return 1
+}
+
+// IsMem reports whether the event is a memory access.
+func (e Event) IsMem() bool { return e.Kind == Load || e.Kind == Store }
+
+func (e Event) String() string {
+	switch e.Kind {
+	case Instr:
+		return fmt.Sprintf("instr x%d", e.Count())
+	case Load:
+		return fmt.Sprintf("load pc=%#x addr=%#x", e.PC, uint64(e.Addr))
+	case Store:
+		return fmt.Sprintf("store pc=%#x addr=%#x", e.PC, uint64(e.Addr))
+	case BlockBegin:
+		return fmt.Sprintf("block_begin id=%d", e.Block)
+	case BlockEnd:
+		return fmt.Sprintf("block_end id=%d", e.Block)
+	case Branch:
+		return fmt.Sprintf("branch pc=%#x taken=%v", e.PC, e.Taken)
+	}
+	return "event(?)"
+}
+
+// Sink consumes trace events. The timing model and the statistics
+// collectors implement Sink.
+type Sink interface {
+	Consume(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Consume calls f(e).
+func (f SinkFunc) Consume(e Event) { f(e) }
+
+// Generator produces a trace by pushing events into a Sink. Workloads
+// implement Generator; producing events by callback avoids materializing
+// billion-event traces.
+type Generator interface {
+	// Name identifies the workload (used in reports).
+	Name() string
+	// Generate pushes the complete event stream into sink.
+	Generate(sink Sink)
+}
+
+// GeneratorFunc adapts a named function to the Generator interface.
+type GeneratorFunc struct {
+	GenName string
+	Fn      func(Sink)
+}
+
+// Name returns the generator name.
+func (g GeneratorFunc) Name() string { return g.GenName }
+
+// Generate runs the wrapped function.
+func (g GeneratorFunc) Generate(sink Sink) { g.Fn(sink) }
+
+// Trace is an in-memory event sequence. It implements both Sink (append)
+// and Generator (replay), which makes it convenient for tests and for
+// capturing small traces to inspect.
+type Trace struct {
+	TraceName string
+	Events    []Event
+}
+
+// New returns an empty named trace.
+func New(name string) *Trace { return &Trace{TraceName: name} }
+
+// Name returns the trace name.
+func (t *Trace) Name() string { return t.TraceName }
+
+// Consume appends e to the trace.
+func (t *Trace) Consume(e Event) { t.Events = append(t.Events, e) }
+
+// Generate replays the captured events into sink.
+func (t *Trace) Generate(sink Sink) {
+	for _, e := range t.Events {
+		sink.Consume(e)
+	}
+}
+
+// Instructions returns the total dynamic instruction count of the trace.
+func (t *Trace) Instructions() uint64 {
+	var n uint64
+	for _, e := range t.Events {
+		n += uint64(e.Count())
+	}
+	return n
+}
+
+// Capture materializes the events produced by g.
+func Capture(g Generator) *Trace {
+	t := New(g.Name())
+	g.Generate(t)
+	return t
+}
+
+// Limit wraps a generator and truncates its stream after max dynamic
+// instructions, mirroring the paper's 1-billion-instruction simulation
+// windows. The truncation is co-operative: generation stops at the first
+// event past the budget.
+type Limit struct {
+	Gen Generator
+	Max uint64
+}
+
+// Name returns the underlying generator's name.
+func (l Limit) Name() string { return l.Gen.Name() }
+
+// stopGeneration is the panic sentinel used to unwind out of a
+// generator once the instruction budget is exhausted.
+type stopGeneration struct{}
+
+// Generate forwards events until the instruction budget is reached.
+func (l Limit) Generate(sink Sink) {
+	var n uint64
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(stopGeneration); !ok {
+				panic(r)
+			}
+		}
+	}()
+	l.Gen.Generate(SinkFunc(func(e Event) {
+		if n >= l.Max {
+			panic(stopGeneration{})
+		}
+		n += uint64(e.Count())
+		sink.Consume(e)
+	}))
+}
+
+// Tee duplicates a stream into several sinks in order.
+type Tee []Sink
+
+// Consume forwards e to every sink.
+func (t Tee) Consume(e Event) {
+	for _, s := range t {
+		s.Consume(e)
+	}
+}

@@ -1,0 +1,114 @@
+package workload
+
+// Golden structural expectations: for every benchmark emulation, the
+// properties that make it play its role in the study (footprint scale,
+// block shape, branch divergence, stride structure). These pin down the
+// workload designs so a refactor cannot silently change what the
+// figures measure.
+
+import (
+	"testing"
+
+	"cbws/internal/trace"
+)
+
+type golden struct {
+	name string
+	// footprint bounds over a 300K-instruction prefix, in cache lines.
+	minLines, maxLines int
+	// block working-set bounds (typical dynamic block, unique lines).
+	minBlock, maxBlock int
+	// branch divergence: fraction of branch events taken, [lo, hi].
+	takenLo, takenHi float64
+	// branches may legitimately be absent (0 events) if noBranches.
+	noBranches bool
+}
+
+var goldenSpecs = []golden{
+	// Memory-intensive group.
+	{name: "stencil-default", minLines: 8_000, maxLines: 400_000, minBlock: 5, maxBlock: 8, takenLo: 0.9, takenHi: 1.0},
+	{name: "sgemm-medium", minLines: 4_000, maxLines: 400_000, minBlock: 8, maxBlock: 10, takenLo: 0.9, takenHi: 1.0},
+	{name: "nw", minLines: 10_000, maxLines: 400_000, minBlock: 3, maxBlock: 6, takenLo: 0.9, takenHi: 1.0},
+	{name: "radix-simlarge", minLines: 10_000, maxLines: 400_000, minBlock: 4, maxBlock: 6, takenLo: 0.9, takenHi: 1.0},
+	{name: "lu-ncb-simlarge", minLines: 5_000, maxLines: 400_000, minBlock: 3, maxBlock: 6, takenLo: 0.85, takenHi: 1.0},
+	{name: "fft-simlarge", minLines: 10_000, maxLines: 400_000, minBlock: 1, maxBlock: 5, takenLo: 0.5, takenHi: 1.0},
+	{name: "433.milc-su3imp", minLines: 20_000, maxLines: 400_000, minBlock: 10, maxBlock: 14, takenLo: 0.9, takenHi: 1.0},
+	{name: "429.mcf-ref", minLines: 20_000, maxLines: 400_000, minBlock: 10, maxBlock: 14, takenLo: 0.05, takenHi: 0.35},
+	{name: "450.soplex-ref", minLines: 10_000, maxLines: 400_000, minBlock: 2, maxBlock: 6, takenLo: 0.2, takenHi: 0.5},
+	{name: "462.libquantum-ref", minLines: 10_000, maxLines: 400_000, minBlock: 4, maxBlock: 5, takenLo: 0.0, takenHi: 1.0},
+	{name: "401.bzip2-source", minLines: 5_000, maxLines: 400_000, minBlock: 8, maxBlock: 80, takenLo: 0.2, takenHi: 0.3},
+	{name: "histo-large", minLines: 10_000, maxLines: 400_000, minBlock: 2, maxBlock: 3, takenLo: 0.95, takenHi: 1.0},
+	{name: "mri-q-large", minLines: 3_000, maxLines: 400_000, minBlock: 6, maxBlock: 7, takenLo: 0.9, takenHi: 1.0},
+	{name: "lbm-long", minLines: 10_000, maxLines: 400_000, minBlock: 4, maxBlock: 10, takenLo: 0.1, takenHi: 0.35},
+	{name: "streamcluster-simlarge", minLines: 10_000, maxLines: 400_000, minBlock: 2, maxBlock: 4, takenLo: 0.1, takenHi: 0.4},
+	// Regular group: small footprints (L2-resident by design).
+	{name: "458.sjeng-ref", minLines: 500, maxLines: 16_000, minBlock: 1, maxBlock: 2, takenLo: 0.15, takenHi: 0.35},
+	{name: "471.omnetpp-omnetpp", minLines: 2_000, maxLines: 24_000, minBlock: 1, maxBlock: 3, noBranches: true},
+	{name: "bfs-1m", minLines: 2_000, maxLines: 32_000, minBlock: 2, maxBlock: 3, takenLo: 0.05, takenHi: 0.25},
+	{name: "canneal-simlarge", minLines: 2_000, maxLines: 16_000, minBlock: 1, maxBlock: 3, takenLo: 0.15, takenHi: 0.35},
+	{name: "cholesky-tk29", minLines: 500, maxLines: 16_000, minBlock: 1, maxBlock: 3, noBranches: true},
+	{name: "freqmine-simlarge", minLines: 2_000, maxLines: 16_000, minBlock: 1, maxBlock: 2, takenLo: 0.5, takenHi: 0.95},
+	{name: "md-linpack", minLines: 500, maxLines: 8_000, minBlock: 1, maxBlock: 2, noBranches: true},
+	{name: "mvx-linpack", minLines: 1_000, maxLines: 16_000, minBlock: 1, maxBlock: 3, noBranches: true},
+	{name: "mxm-linpack", minLines: 1_000, maxLines: 16_000, minBlock: 1, maxBlock: 3, noBranches: true},
+	{name: "ocean-cp-simlarge", minLines: 2_000, maxLines: 32_000, minBlock: 2, maxBlock: 5, noBranches: true},
+	{name: "sad-base-large", minLines: 500, maxLines: 8_000, minBlock: 1, maxBlock: 3, noBranches: true},
+	{name: "spmv-large", minLines: 2_000, maxLines: 64_000, minBlock: 2, maxBlock: 4, noBranches: true},
+	{name: "water-spatial-native", minLines: 2_000, maxLines: 16_000, minBlock: 1, maxBlock: 2, noBranches: true},
+	{name: "backprop", minLines: 1_000, maxLines: 16_000, minBlock: 1, maxBlock: 3, noBranches: true},
+	{name: "srad-v1", minLines: 500, maxLines: 16_000, minBlock: 2, maxBlock: 4, noBranches: true},
+}
+
+func TestGoldenCoversAllWorkloads(t *testing.T) {
+	if len(goldenSpecs) != len(All()) {
+		t.Fatalf("golden table has %d entries, registry has %d", len(goldenSpecs), len(All()))
+	}
+	for _, g := range goldenSpecs {
+		if _, ok := ByName(g.name); !ok {
+			t.Errorf("golden entry %q not in registry", g.name)
+		}
+	}
+}
+
+func TestGoldenStructuralExpectations(t *testing.T) {
+	for _, g := range goldenSpecs {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			t.Parallel()
+			spec, ok := ByName(g.name)
+			if !ok {
+				t.Fatal("missing workload")
+			}
+			s := trace.Analyze(spec.Make(), 300_000)
+
+			if s.UniqueLines < g.minLines || s.UniqueLines > g.maxLines {
+				t.Errorf("footprint %d lines, want [%d, %d]", s.UniqueLines, g.minLines, g.maxLines)
+			}
+
+			// Dominant block size: take the most frequent bucket.
+			var domSize int
+			var domCount uint64
+			for size, n := range s.BlockSizes {
+				if n > domCount {
+					domCount = n
+					domSize = size
+				}
+			}
+			if domSize < g.minBlock || domSize > g.maxBlock {
+				t.Errorf("dominant block size %d lines, want [%d, %d] (sizes: %v)",
+					domSize, g.minBlock, g.maxBlock, s.BlockSizes)
+			}
+
+			if g.noBranches {
+				return
+			}
+			if s.Branches == 0 {
+				t.Fatal("expected branch events")
+			}
+			frac := float64(s.BranchTaken) / float64(s.Branches)
+			if frac < g.takenLo || frac > g.takenHi {
+				t.Errorf("taken fraction %.2f, want [%.2f, %.2f]", frac, g.takenLo, g.takenHi)
+			}
+		})
+	}
+}

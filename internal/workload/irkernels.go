@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"fmt"
+
+	"cbws/internal/annotate"
+	"cbws/internal/interp"
+	"cbws/internal/ir"
+	"cbws/internal/mem"
+	"cbws/internal/trace"
+)
+
+// IR kernels: workloads written in the mini-IR and annotated by the
+// automatic loop-annotation pass, exercising the full compiler-side
+// pipeline (CFG construction → innermost-loop discovery → marker
+// insertion → execution). They are not part of the paper's 30-benchmark
+// roster — the hand-modelled emulations above are — but provide an
+// end-to-end demonstration that block markers need no manual placement.
+
+// irKernel lowers a builder function into an annotated generator.
+func irKernel(name string, build func(b *ir.Builder), init func(set func(mem.Addr, int64))) trace.Generator {
+	b := ir.NewBuilder(name)
+	build(b)
+	prog := b.MustBuild()
+	res, err := annotate.Annotate(prog, 0)
+	if err != nil {
+		panic(fmt.Sprintf("workload: annotating %s: %v", name, err))
+	}
+	return interp.Generator{Prog: res.Prog, MaxStep: 200_000_000, Init: init}
+}
+
+// IRVecAdd is c[i] = a[i] + b[i]: three unit-stride streams, the
+// simplest CBWS-predictable kernel.
+func IRVecAdd(n int64) trace.Generator {
+	return irKernel("ir-vecadd", func(b *ir.Builder) {
+		const aBase, bBase, cBase = 1 << 30, 1<<30 + 1<<28, 1<<30 + 1<<29
+		i := b.Const(0)
+		limit := b.Const(n)
+		cond := b.Reg()
+		off := b.Reg()
+		av := b.Reg()
+		bv := b.Reg()
+		sum := b.Reg()
+		b.Label("loop")
+		b.CmpLT(cond, i, limit)
+		b.BrZ(cond, "done")
+		b.MulI(off, i, 8)
+		b.Load(av, off, aBase)
+		b.Load(bv, off, bBase)
+		b.Add(sum, av, bv)
+		b.Store(off, cBase, sum)
+		b.AddI(i, i, 1)
+		b.Jmp("loop")
+		b.Label("done")
+		b.Ret()
+	}, nil)
+}
+
+// IRStencil1D is b[i] = a[i-1] + a[i] + a[i+1]: a three-point stencil
+// whose working set advances one element per iteration.
+func IRStencil1D(n int64) trace.Generator {
+	return irKernel("ir-stencil1d", func(b *ir.Builder) {
+		const aBase, oBase = 1 << 31, 1<<31 + 1<<28
+		i := b.Const(1)
+		limit := b.Const(n - 1)
+		cond := b.Reg()
+		off := b.Reg()
+		west := b.Reg()
+		ctr := b.Reg()
+		east := b.Reg()
+		sum := b.Reg()
+		b.Label("loop")
+		b.CmpLT(cond, i, limit)
+		b.BrZ(cond, "done")
+		b.MulI(off, i, 8)
+		b.Load(west, off, aBase-8)
+		b.Load(ctr, off, aBase)
+		b.Load(east, off, aBase+8)
+		b.Add(sum, west, ctr)
+		b.Add(sum, sum, east)
+		b.Store(off, oBase, sum)
+		b.AddI(i, i, 1)
+		b.Jmp("loop")
+		b.Label("done")
+		b.Ret()
+	}, nil)
+}
+
+// IRHisto increments hist[img[i]] over a pre-initialized image: the
+// data-dependent pattern of Figure 16, executed through real loads so
+// the bin address truly depends on the loaded value.
+func IRHisto(pixels int64, bins int) trace.Generator {
+	const imgBase, histBase = 1 << 32, 1<<32 + 1<<28
+	return irKernel("ir-histo", func(b *ir.Builder) {
+		i := b.Const(0)
+		limit := b.Const(pixels)
+		cond := b.Reg()
+		off := b.Reg()
+		v := b.Reg()
+		hoff := b.Reg()
+		cnt := b.Reg()
+		b.Label("loop")
+		b.CmpLT(cond, i, limit)
+		b.BrZ(cond, "done")
+		b.MulI(off, i, 8)
+		b.Load(v, off, imgBase) // pixel value
+		b.MulI(hoff, v, 8)
+		b.Load(cnt, hoff, histBase) // hist[value]
+		b.AddI(cnt, cnt, 1)
+		b.Store(hoff, histBase, cnt)
+		b.AddI(i, i, 1)
+		b.Jmp("loop")
+		b.Label("done")
+		b.Ret()
+	}, func(set func(mem.Addr, int64)) {
+		// Deterministic pseudo-random pixel values.
+		rng := newPRNG(0x1712a9e)
+		for p := int64(0); p < pixels; p++ {
+			set(mem.Addr(imgBase)+mem.Addr(p*8), int64(rng.intn(bins)))
+		}
+	})
+}
+
+// IRPointerChase walks a pre-built linked list of n nodes for steps
+// hops: a do-while-shaped loop (the latch is the header) whose next
+// address depends on the loaded value — the mcf-style pattern no
+// differential can capture.
+func IRPointerChase(n int64, steps int64) trace.Generator {
+	const nodeBase = 1 << 33
+	const nodeBytes = 64
+	return irKernel("ir-chase", func(b *ir.Builder) {
+		cur := b.Const(nodeBase) // current node address
+		i := b.Const(0)
+		limit := b.Const(steps)
+		cond := b.Reg()
+		b.Label("loop")
+		b.Load(cur, cur, 0) // cur = cur->next (loaded value is an address)
+		b.AddI(i, i, 1)
+		b.CmpLT(cond, i, limit)
+		b.BrNZ(cond, "loop")
+		b.Ret()
+	}, func(set func(mem.Addr, int64)) {
+		// Build a deterministic pseudo-random cycle over the nodes.
+		rng := newPRNG(0xc4a5e)
+		perm := make([]int64, n)
+		for i := range perm {
+			perm[i] = int64(i)
+		}
+		for i := int64(n) - 1; i > 0; i-- {
+			j := int64(rng.intn(int(i + 1)))
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		for i := int64(0); i < n; i++ {
+			from := perm[i]
+			to := perm[(i+1)%n]
+			set(mem.Addr(nodeBase+from*nodeBytes), nodeBase+to*nodeBytes)
+		}
+	})
+}
+
+// IRGather is a soplex-style divergent gather: stream idx[i], gather
+// x[idx[i]], and accumulate only when the gathered value passes a
+// data-dependent threshold — the annotated block diverges on real data.
+func IRGather(n int64, vecLen int64) trace.Generator {
+	const idxBase, xBase, yBase = 1 << 34, 1<<34 + 1<<28, 1<<34 + 1<<29
+	return irKernel("ir-gather", func(b *ir.Builder) {
+		i := b.Const(0)
+		limit := b.Const(n)
+		cond := b.Reg()
+		off := b.Reg()
+		idx := b.Reg()
+		xoff := b.Reg()
+		v := b.Reg()
+		thresh := b.Const(8)
+		pass := b.Reg()
+		b.Label("loop")
+		b.CmpLT(cond, i, limit)
+		b.BrZ(cond, "done")
+		b.MulI(off, i, 8)
+		b.Load(idx, off, idxBase) // column index
+		b.MulI(xoff, idx, 8)
+		b.Load(v, xoff, xBase) // gather
+		b.CmpLT(pass, v, thresh)
+		b.BrZ(pass, "skip") // data-dependent divergence
+		b.Store(xoff, yBase, v)
+		b.Label("skip")
+		b.AddI(i, i, 1)
+		b.Jmp("loop")
+		b.Label("done")
+		b.Ret()
+	}, func(set func(mem.Addr, int64)) {
+		rng := newPRNG(0x6a73e4)
+		for i := int64(0); i < n; i++ {
+			set(mem.Addr(idxBase)+mem.Addr(i*8), int64(rng.intn(int(vecLen))))
+		}
+		for i := int64(0); i < vecLen; i++ {
+			set(mem.Addr(xBase)+mem.Addr(i*8), int64(rng.intn(16)))
+		}
+	})
+}
+
+// IRKernels returns the IR-based demonstration kernels with default
+// sizes.
+func IRKernels() []Spec {
+	return []Spec{
+		{Name: "ir-vecadd", Suite: "ir", Make: func() trace.Generator { return IRVecAdd(1 << 18) }},
+		{Name: "ir-stencil1d", Suite: "ir", Make: func() trace.Generator { return IRStencil1D(1 << 18) }},
+		{Name: "ir-histo", Suite: "ir", Make: func() trace.Generator { return IRHisto(1<<17, 1<<14) }},
+		{Name: "ir-chase", Suite: "ir", Make: func() trace.Generator { return IRPointerChase(1<<16, 1<<18) }},
+		{Name: "ir-gather", Suite: "ir", Make: func() trace.Generator { return IRGather(1<<17, 1<<15) }},
+	}
+}

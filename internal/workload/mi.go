@@ -1,0 +1,645 @@
+package workload
+
+import (
+	"cbws/internal/mem"
+	"cbws/internal/trace"
+)
+
+// The memory-intensive group (Table IV). Each emulation reproduces the
+// hot-loop memory structure of its benchmark; the comment above each
+// constructor records the structural properties that drive the paper's
+// per-benchmark results (Figures 12–15). Inner loops are modeled at the
+// granularity the compilers emit them (tiled/unrolled), so annotated
+// code blocks touch the realistic 4–16 cache lines per iteration that
+// the paper's 16-line CBWS buffer is sized for. Unannotated setup and
+// outer-loop work between blocks provides the non-loop runtime share of
+// Figure 1.
+
+func init() {
+	register(Spec{Name: "stencil-default", Suite: "Parboil", MI: true, Make: newStencil})
+	register(Spec{Name: "sgemm-medium", Suite: "Parboil", MI: true, Make: newSGEMM})
+	register(Spec{Name: "nw", Suite: "Rodinia", MI: true, Make: newNW})
+	register(Spec{Name: "radix-simlarge", Suite: "SPLASH", MI: true, Make: newRadix})
+	register(Spec{Name: "lu-ncb-simlarge", Suite: "SPLASH", MI: true, Make: newLU})
+	register(Spec{Name: "fft-simlarge", Suite: "SPLASH", MI: true, Make: newFFT})
+	register(Spec{Name: "433.milc-su3imp", Suite: "SPEC2006", MI: true, Make: newMILC})
+	register(Spec{Name: "429.mcf-ref", Suite: "SPEC2006", MI: true, Make: newMCF})
+	register(Spec{Name: "450.soplex-ref", Suite: "SPEC2006", MI: true, Make: newSoplex})
+	register(Spec{Name: "462.libquantum-ref", Suite: "SPEC2006", MI: true, Make: newLibquantum})
+	register(Spec{Name: "401.bzip2-source", Suite: "SPEC2006", MI: true, Make: newBzip2})
+	register(Spec{Name: "histo-large", Suite: "Parboil", MI: true, Make: newHisto})
+	register(Spec{Name: "mri-q-large", Suite: "Parboil", MI: true, Make: newMRIQ})
+	register(Spec{Name: "lbm-long", Suite: "Parboil", MI: true, Make: newLBM})
+	register(Spec{Name: "streamcluster-simlarge", Suite: "PARSEC", MI: true, Make: newStreamcluster})
+}
+
+// newStencil is the Figure 2 kernel: a 7-point Jacobi operator on a 3-D
+// float grid with the paper's index order (k innermost, stride nx*ny).
+// Every inner iteration touches the same relative line set and the
+// working set advances by one 64KB plane (1024 lines) per iteration —
+// the constant CBWS differentials of Figure 4. The plane-sized strides
+// overflow SMS's 2KB regions, which is why CBWS wins here.
+func newStencil() trace.Generator {
+	return gen{name: "stencil-default", body: func(e *emit) {
+		const nx, ny, nz = 128, 128, 40
+		plane := mem.Addr(nx * ny * f32) // 64KB = 1024 lines
+		row := mem.Addr(nx * f32)
+		a0 := base(0)
+		a1 := base(1)
+		idx := func(x, y, z int) mem.Addr {
+			return mem.Addr((x + nx*(y+ny*z)) * f32)
+		}
+		for sweep := 0; sweep < 6; sweep++ {
+			for i := 1; i < nx-1; i++ {
+				for j := 1; j < ny-1; j++ {
+					for k := 1; k < nz-1; k++ {
+						e.begin(0)
+						c := idx(i, j, k)
+						e.instr(6)                 // index arithmetic
+						e.load(0x1000, a0+c+plane) // k+1
+						e.load(0x1004, a0+c-plane) // k-1
+						e.load(0x1008, a0+c+row)   // j+1
+						e.load(0x100c, a0+c-row)   // j-1
+						e.load(0x1010, a0+c+f32)   // i+1
+						e.load(0x1014, a0+c-f32)   // i-1
+						e.load(0x1018, a0+c)       // center
+						e.instr(8)                 // FMA chain
+						e.store(0x101c, a1+c)
+						e.instr(2) // loop bookkeeping
+						e.branch(0x1020, k < nz-2)
+						e.end(0)
+					}
+					e.instr(6)
+				}
+				e.instr(8)
+			}
+			e.instr(60) // sweep bookkeeping / convergence check
+			a0, a1 = a1, a0
+		}
+	}}
+}
+
+// newSGEMM models the Parboil dense matmul with the compiler's 8-way
+// unrolled k-loop: one annotated block streams 8 B-column elements
+// (8 lines, 4KB row pitch) plus one A line — a 9-line working set
+// whose differential is constant. The 64-line B stride leaves SMS's 2KB
+// regions immediately, and the deep per-block line count gives the
+// prefetcher enough memory-level parallelism to become timely: the
+// paper's "misses effectively eliminated" case.
+func newSGEMM() trace.Generator {
+	return gen{name: "sgemm-medium", body: func(e *emit) {
+		const m, n, k = 32, 1024, 1024
+		const unroll = 8 // 8 B lines + 1 A line per block: fits the 16-line CBWS
+		a, b, c := base(0), base(1), base(2)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				for kk := 0; kk < k; kk += unroll {
+					e.begin(0)
+					e.instr(4)
+					e.load(0x2000, a+mem.Addr((i*k+kk)*f32)) // A[i][kk..kk+15]: one line
+					for u := 0; u < unroll; u++ {
+						e.load(0x2004, b+mem.Addr(((kk+u)*n+j)*f32)) // B column walk
+						e.instr(2)                                   // FMA
+					}
+					e.instr(1)
+					e.branch(0x2020, kk+unroll < k)
+					e.end(0)
+				}
+				e.instr(4)
+				e.store(0x2008, c+mem.Addr((i*n+j)*f32))
+				e.instr(5)
+			}
+			e.instr(30) // row bookkeeping
+		}
+	}}
+}
+
+// newNW models Needleman-Wunsch with a 16-column unrolled inner sweep:
+// each block reads one line each of the north row, the current row and
+// the reference matrix and writes the current line — constant
+// differentials, a block-structured benchmark where the CBWS schemes
+// eliminate nearly all misses.
+func newNW() trace.Generator {
+	return gen{name: "nw", body: func(e *emit) {
+		const cols = 4096
+		const rows = 2048
+		const unroll = 16 // 16 int cells = one 64B line
+		itemsets, ref := base(0), base(1)
+		pitch := mem.Addr(cols * f32)
+		for i := 1; i < rows; i++ {
+			e.instr(20)                                   // row setup
+			e.load(0x3020, itemsets+mem.Addr(i*cols)*f32) // row head
+			for j := 0; j < cols; j += unroll {
+				e.begin(0)
+				cur := mem.Addr(i*cols+j) * f32
+				e.instr(4)
+				e.load(0x3000, itemsets+cur-pitch)     // north line
+				e.load(0x3004, itemsets+cur-pitch-f32) // north-west spill
+				e.load(0x3008, ref+cur)                // substitution scores
+				e.instr(unroll * 3)                    // max3 chain per cell
+				e.store(0x300c, itemsets+cur)          // current line
+				e.instr(2)
+				e.branch(0x3030, j+unroll < cols)
+				e.end(0)
+			}
+		}
+	}}
+}
+
+// newRadix models the SPLASH-2 radix sort rank-and-permute phase on
+// digit-grouped input (each pass consumes the previous pass's grouped
+// output): blocks of 16 keys stream two input lines and two output
+// lines with piecewise-constant strides, plus a resident rank counter.
+// The differential distribution is extremely skewed, which is why the
+// paper reports CBWS effectively eliminating radix's misses.
+func newRadix() trace.Generator {
+	return gen{name: "radix-simlarge", body: func(e *emit) {
+		const keys = 1 << 21
+		const buckets = 256
+		const chunk = 16 // 16 8-byte keys: 2 lines in, 2 lines out
+		keyArr, outArr, countArr := base(0), base(1), base(2)
+		rng := newPRNG(0x4ad1c5)
+		for pass := 0; pass < 2; pass++ {
+			e.instr(200) // histogram/prefix-sum over resident counters
+			for d := 0; d < buckets; d++ {
+				e.load(0x4200, countArr+mem.Addr(d*word))
+				e.instr(3)
+			}
+			outPos := 0
+			for i := 0; i < keys; i += chunk {
+				// Runs of same-digit keys: the destination stream
+				// advances with unit stride within a run, jumping
+				// between runs (runs of ~1K keys from the previous
+				// pass's grouping).
+				if i%1024 == 0 {
+					outPos = rng.intn(keys - 2048)
+					e.instr(40) // run switch: rank recomputation
+					e.load(0x4204, countArr+mem.Addr(rng.intn(buckets)*word))
+					e.load(0x4208, countArr+mem.Addr(rng.intn(buckets)*word))
+				}
+				e.begin(0)
+				e.instr(3)
+				e.load(0x4000, keyArr+mem.Addr(i*word))     // keys line 0
+				e.load(0x4004, keyArr+mem.Addr((i+8)*word)) // keys line 1
+				e.instr(chunk)                              // digit extraction
+				e.store(0x4008, outArr+mem.Addr(outPos*word))
+				e.store(0x400c, outArr+mem.Addr((outPos+8)*word))
+				outPos += chunk
+				e.instr(1)
+				e.branch(0x4020, i+chunk < keys)
+				e.end(0)
+			}
+		}
+	}}
+}
+
+// newLU models the SPLASH-2 LU with non-contiguous blocks: the daxpy
+// inner loop updates one 16-double row of a 16x16 block per iteration.
+// Because blocks are allocated non-contiguously, consecutive rows of
+// the logical matrix live a large constant stride apart — working sets
+// of 4–6 lines whose differential is constant but whose span defeats
+// region-based prefetchers.
+func newLU() trace.Generator {
+	return gen{name: "lu-ncb-simlarge", body: func(e *emit) {
+		const blockBytes = 16 * 16 * word // 2KB per 16x16 block
+		const nBlocks = 4096              // 8MB of block storage
+		blocks := base(0)
+		rowOf := func(blk, row int) mem.Addr {
+			return blocks + mem.Addr(blk*blockBytes+row*16*word)
+		}
+		// Blocks are visited in the factorization's sweep order:
+		// pivot block k updates the trailing blocks of its column,
+		// across repeated factorizations of the solver loop.
+		for fact := 0; fact < 6; fact++ {
+			e.instr(500) // pivot search / permutation update per step
+			for k := 0; k < 64; k++ {
+				for t := k + 1; t < 64; t++ {
+					pivot := k*64 + k%32
+					target := t*64 + k%32
+					e.instr(40) // block scheduling (non-loop)
+					e.load(0x5020, blocks+mem.Addr(pivot%nBlocks*blockBytes))
+					for row := 0; row < 16; row++ {
+						e.begin(0)
+						e.instr(3)
+						// One row = 128B = 2 lines from each block.
+						e.load(0x5000, rowOf(pivot%nBlocks, row))
+						e.load(0x5004, rowOf(pivot%nBlocks, row)+64)
+						e.load(0x5008, rowOf(target%nBlocks, row))
+						e.load(0x500c, rowOf(target%nBlocks, row)+64)
+						e.instr(16) // 16 fused multiply-subtracts
+						e.store(0x5010, rowOf(target%nBlocks, row))
+						e.store(0x5014, rowOf(target%nBlocks, row)+64)
+						e.instr(1)
+						e.branch(0x5030, row < 15)
+						e.end(0)
+					}
+				}
+			}
+		}
+	}}
+}
+
+// newFFT models the SPLASH-2 radix-2 FFT: a bit-reversal permutation
+// (data-dependent gather) followed by log2(N) butterfly stages whose
+// pair distance doubles every stage. Group boundaries, per-stage stride
+// changes and the permutation produce a large set of distinct CBWS
+// differentials — the case where the paper's 16-entry history table is
+// too small and the SMS fallback matters.
+func newFFT() trace.Generator {
+	return gen{name: "fft-simlarge", body: func(e *emit) {
+		const logN = 18 // 4MB of complex doubles: exceeds the 2MB L2
+		const n = 1 << logN
+		x, y := base(0), base(1)
+		const elt = 2 * word // complex double
+		rev := func(i int) int {
+			r := 0
+			for b := 0; b < logN; b++ {
+				r = r<<1 | (i>>b)&1
+			}
+			return r
+		}
+		// Bit-reversal permutation: sequential store, scattered load.
+		for i := 0; i < n; i += 4 {
+			e.begin(0)
+			e.instr(6)
+			for u := 0; u < 4; u++ {
+				e.load(0x6000, x+mem.Addr(rev(i+u)*elt))
+				e.instr(2)
+			}
+			e.store(0x6004, y+mem.Addr(i*elt)) // 4 elements: one line
+			e.instr(1)
+			e.branch(0x6010, i+4 < n)
+			e.end(0)
+		}
+		// Butterfly stages: every stage streams the complete array, so
+		// the working set never becomes cache-resident; 4 butterflies
+		// per annotated block.
+		for s := 0; s < logN; s++ {
+			d := 1 << s
+			e.instr(120) // twiddle table setup for the stage (non-loop)
+			for g := 0; g < n; g += 2 * d {
+				for j := g; j < g+d; j += 4 {
+					e.begin(1)
+					e.instr(3)
+					e.load(0x6100, y+mem.Addr(j*elt))
+					e.load(0x6104, y+mem.Addr((j+d)*elt))
+					e.instr(24) // 4 complex butterflies
+					e.store(0x6108, y+mem.Addr(j*elt))
+					e.store(0x610c, y+mem.Addr((j+d)*elt))
+					e.instr(1)
+					e.branch(0x6120, j+4 < g+d)
+					e.end(1)
+				}
+			}
+		}
+	}}
+}
+
+// newMILC models the SU(3) lattice gauge kernel: per site, gather the
+// link matrices of the four directions plus the four forward-neighbor
+// site matrices. The 4-D lattice gives four constant site strides (1,
+// L, L², L³), so the per-site working set is ~13 lines with a
+// near-constant differential — the case where CBWS+SMS is the best
+// scheme.
+func newMILC() trace.Generator {
+	return gen{name: "433.milc-su3imp", body: func(e *emit) {
+		const l = 24 // 24^4 sites
+		const sites = l * l * l * l
+		const matBytes = 144 // su3 complex-double 3x3
+		links, field, result := base(0), base(1), base(2)
+		strides := [4]int{1, l, l * l, l * l * l}
+		for sweep := 0; sweep < 2; sweep++ {
+			e.instr(300) // gauge action bookkeeping between sweeps
+			for s := 0; s < sites; s++ {
+				e.begin(0)
+				e.instr(5)
+				for mu := 0; mu < 4; mu++ {
+					// Link matrix of this site/direction: two lines.
+					la := links + mem.Addr((s*4+mu)*matBytes)
+					e.load(0x7000+uint64(mu)*8, la)
+					e.load(0x7004+uint64(mu)*8, la+72)
+					// Forward neighbor's field matrix.
+					nb := (s + strides[mu]) % sites
+					e.load(0x7020+uint64(mu)*8, field+mem.Addr(nb*matBytes))
+					e.instr(9) // 3x3 complex multiply-accumulate slice
+				}
+				e.store(0x7040, result+mem.Addr(s*matBytes))
+				e.instr(2)
+				e.branch(0x7050, s < sites-1)
+				e.end(0)
+			}
+		}
+	}}
+}
+
+// newMCF models the network-simplex pricing loop of 429.mcf: arcs are
+// scanned sequentially (sorted by tail node, so the tail-node stream
+// advances slowly) while head-node accesses scatter within a locality
+// window. Every 64 iterations, a basis-tree update walks pointers
+// outside any tight loop. The mixed regular/irregular working set is
+// why only the loop-aware scheme improves mcf beyond plain streaming.
+func newMCF() trace.Generator {
+	return gen{name: "429.mcf-ref", body: func(e *emit) {
+		const arcs = 1 << 20
+		const nodes = 1 << 18
+		const arcBytes = 64
+		const nodeBytes = 64
+		const unroll = 6 // 6 arc lines + tail + 6 head lines = 13-line blocks
+		arcArr, nodeArr := base(0), base(1)
+		rng := newPRNG(0x3cf2)
+		for pass := 0; pass < 8; pass++ {
+			for i := 0; i < arcs; i += unroll {
+				e.begin(0)
+				e.instr(3)
+				tail := i / 4 % nodes // arcs sorted by tail: slow advance
+				e.load(0x8008, nodeArr+mem.Addr(tail*nodeBytes))
+				for u := 0; u < unroll; u++ {
+					a := arcArr + mem.Addr((i+u)*arcBytes)
+					e.load(0x8000, a) // arc record: one line per arc
+					// Head nodes scatter within a 64-node window
+					// around the tail (graph locality).
+					head := (tail + rng.intn(64) + 1) % nodes
+					e.load(0x800c, nodeArr+mem.Addr(head*nodeBytes))
+					e.instr(3)
+					// Reduced-cost test: data-dependent, poorly
+					// predictable.
+					e.branch(0x8020, rng.intn(8) == 0)
+				}
+				e.instr(2)
+				e.branch(0x8024, i+unroll < arcs)
+				e.end(0)
+				if i%(16*unroll) == 0 {
+					// Basis-tree update: a pointer walk in a loop too
+					// large and branchy to be annotated as tight.
+					n := rng.intn(nodes)
+					for d := 0; d < 8; d++ {
+						e.load(0x8010, nodeArr+mem.Addr(n*nodeBytes)+32)
+						e.instr(12)
+						n = (n*7 + 13) % nodes
+					}
+					e.instr(40)
+				}
+			}
+		}
+	}}
+}
+
+// newSoplex models the sparse LP pricing loops of 450.soplex: iterations
+// walk a compressed column, gathering x[idx[k]] through a data-dependent
+// index, with a selection branch that skips part of the body — branch
+// divergence that misaligns CBWS differentials, the failure mode the
+// paper reports for soplex despite its skewed vector distribution.
+func newSoplex() trace.Generator {
+	return gen{name: "450.soplex-ref", body: func(e *emit) {
+		const nnz = 1 << 20
+		const vecLen = 1 << 19
+		idxArr, valArr, xArr, yArr := base(0), base(1), base(2), base(3)
+		rng := newPRNG(0x50137)
+		// Column index deltas come from a small set (banded/structured
+		// LP matrices), so the differential distribution is skewed as
+		// in the paper's Figure 5 — yet prediction still fails because
+		// the selection branch diverges the working-set vectors.
+		strides := [4]int{8, 8, 136, 1048}
+		col := 0
+		for k := 0; k < nnz; {
+			rowLen := 2 + rng.intn(14)
+			e.instr(40) // row setup, pivot selection (non-loop)
+			e.load(0x9014, idxArr+mem.Addr(k*f32))
+			e.load(0x9018, xArr+mem.Addr(rng.intn(vecLen)*word)) // pivot probe
+			for c := 0; c < rowLen && k < nnz; c++ {
+				e.begin(0)
+				e.instr(2)
+				e.load(0x9000, idxArr+mem.Addr(k*f32))  // column index, unit stride
+				e.load(0x9004, valArr+mem.Addr(k*word)) // value, unit stride
+				col = (col + strides[rng.intn(4)]) % vecLen
+				e.load(0x9008, xArr+mem.Addr(col*word)) // banded gather
+				e.instr(3)
+				sel := rng.intn(100) < 35 // selection: data-dependent
+				e.branch(0x9020, sel)
+				if sel { // the branch diverges the block
+					e.load(0x900c, yArr+mem.Addr(col*word))
+					e.instr(2)
+					e.store(0x9010, yArr+mem.Addr(col*word))
+				}
+				e.instr(2)
+				e.end(0)
+				k++
+			}
+		}
+	}}
+}
+
+// newLibquantum models the quantum register sweeps of 462.libquantum:
+// a single unit-stride stream over a huge array of 16-byte amplitude
+// records, 16 records (4 lines) per unrolled iteration, with a cheap
+// bit test per element. Trivially streamable — every prefetcher covers
+// it, so the schemes tie.
+func newLibquantum() trace.Generator {
+	return gen{name: "462.libquantum-ref", body: func(e *emit) {
+		const amps = 1 << 21
+		const ampBytes = 16
+		const unroll = 16 // 4 lines per block
+		state := base(0)
+		for gate := 0; gate < 4; gate++ {
+			target := uint64(10 + gate)
+			e.instr(80) // gate decode (non-loop)
+			for i := 0; i < amps; i += unroll {
+				e.begin(0)
+				e.instr(2)
+				for u := 0; u < unroll; u += 4 {
+					e.load(0xa000, state+mem.Addr((i+u)*ampBytes))
+					e.instr(3) // bit tests on 4 amplitudes
+					hit := uint64(i+u)&(1<<target) != 0
+					e.branch(0xa010, hit)
+					if hit {
+						e.store(0xa004, state+mem.Addr((i+u)*ampBytes))
+					}
+				}
+				e.instr(2)
+				e.end(0)
+			}
+		}
+	}}
+}
+
+// newBzip2 models the block-sorting compressor's buffer loops: each
+// annotated iteration consumes a variable run of dozens of sequential
+// cache lines. Runs regularly exceed the 16-line CBWS trace limit, so
+// the CBWS schemes trace only a prefix and land ~5% behind SMS here —
+// the overflow case discussed in Section VII-C. Run headers are decoded
+// by branchy non-loop code with Huffman table probes.
+func newBzip2() trace.Generator {
+	return gen{name: "401.bzip2-source", body: func(e *emit) {
+		src, dst, huff := base(0), base(1), base(2)
+		rng := newPRNG(0xb21b2)
+		var srcOff, dstOff mem.Addr
+		const total = 1 << 22 // words consumed overall
+		consumed := 0
+		for consumed < total {
+			run := 64 + rng.intn(512) // 8..72 lines per run
+			// Run-header decode: non-loop, with Huffman table probes
+			// over a table too large to stay resident.
+			e.instr(160)
+			for h := 0; h < 10; h++ {
+				e.load(0xb010, huff+mem.Addr(rng.intn(1<<18)*word))
+				e.instr(12)
+			}
+			e.begin(0)
+			e.instr(6)
+			for w := 0; w < run; w++ {
+				e.load(0xb000, src+srcOff)
+				srcOff += word
+				e.instr(1)
+				emitStore := w%4 == 0
+				e.branch(0xb020, emitStore)
+				if emitStore {
+					e.store(0xb004, dst+dstOff)
+					dstOff += word
+				}
+			}
+			e.instr(4)
+			e.end(0)
+			consumed += run
+		}
+	}}
+}
+
+// newHisto models the Parboil histogram (Figure 16): a sequential image
+// stream feeding a data-dependent increment of a large histogram. The
+// bin address is a pure function of the input data, so CBWS
+// differentials cannot capture it — the paper's example of a pattern
+// the scheme cannot detect.
+func newHisto() trace.Generator {
+	return gen{name: "histo-large", body: func(e *emit) {
+		const pixels = 1 << 21
+		const bins = 1 << 19 // 4MB histogram: bin traffic misses
+		img, histo := base(0), base(1)
+		rng := newPRNG(0x815707)
+		for i := 0; i < pixels; i++ {
+			if i%512 == 0 {
+				e.instr(60) // tile decode / bounds bookkeeping
+			}
+			e.begin(0)
+			e.instr(2)
+			e.load(0xc000, img+mem.Addr(i*f32))
+			v := rng.intn(bins)
+			e.instr(1)
+			e.load(0xc004, histo+mem.Addr(v*f32)) // histo[value]
+			e.branch(0xc010, true)                // saturation test: ~always below max
+			e.store(0xc008, histo+mem.Addr(v*f32))
+			e.instr(2)
+			e.end(0)
+		}
+	}}
+}
+
+// newMRIQ models the Parboil MRI Q kernel: five parallel unit-stride
+// sample streams with a long trigonometric computation per element —
+// memory-intensive but perfectly regular, with a high compute fraction.
+func newMRIQ() trace.Generator {
+	return gen{name: "mri-q-large", body: func(e *emit) {
+		const samples = 1 << 19
+		kx, ky, kz, phiR, phiI, q := base(0), base(1), base(2), base(3), base(4), base(5)
+		for pass := 0; pass < 6; pass++ {
+			e.instr(150) // voxel setup between passes
+			for i := 0; i < samples; i++ {
+				e.begin(0)
+				e.instr(2)
+				e.load(0xd000, kx+mem.Addr(i*f32))
+				e.load(0xd004, ky+mem.Addr(i*f32))
+				e.load(0xd008, kz+mem.Addr(i*f32))
+				e.load(0xd00c, phiR+mem.Addr(i*f32))
+				e.load(0xd010, phiI+mem.Addr(i*f32))
+				e.instr(18) // sin/cos polynomial
+				e.store(0xd014, q+mem.Addr(i*word))
+				e.instr(1)
+				e.branch(0xd020, i < samples-1)
+				e.end(0)
+			}
+		}
+	}}
+}
+
+// newLBM models the D3Q19 lattice-Boltzmann kernel: per cell, read the
+// 19 distribution values (3 lines) and an obstacle flag, then either
+// stream to 19 neighbor offsets or bounce back in place depending on
+// the (data-dependent) flag. The two body variants diverge the CBWS
+// vectors, which is why the differential schemes trail SMS here.
+func newLBM() trace.Generator {
+	return gen{name: "lbm-long", body: func(e *emit) {
+		const nx, ny, nz = 64, 64, 32
+		const cells = nx * ny * nz
+		const cellBytes = 19 * word // 152B ≈ 3 lines
+		src, dst, flags := base(0), base(1), base(2)
+		rng := newPRNG(0x1b4)
+		offs := [5]int{1, -1, nx, -nx, nx * ny}
+		for sweep := 0; sweep < 16; sweep++ {
+			e.instr(120) // boundary condition handling per sweep
+			for c := 0; c < cells; c++ {
+				e.begin(0)
+				e.instr(3)
+				ca := src + mem.Addr(c*cellBytes)
+				e.load(0xe000, ca)
+				e.load(0xe004, ca+64)
+				e.load(0xe008, ca+128)
+				e.load(0xe00c, flags+mem.Addr(c*f32))
+				obstacle := rng.intn(100) < 20
+				e.branch(0xe030, obstacle)
+				if obstacle {
+					// Obstacle: bounce back into the source cell.
+					e.instr(4)
+					e.store(0xe010, ca)
+					e.store(0xe014, ca+64)
+				} else {
+					// Stream to neighbor cells.
+					e.instr(6)
+					for d, off := range offs {
+						n := c + off
+						if n < 0 || n >= cells {
+							n = c
+						}
+						e.store(0xe020+uint64(d)*4, dst+mem.Addr(n*cellBytes))
+					}
+				}
+				e.instr(3)
+				e.end(0)
+			}
+		}
+	}}
+}
+
+// newStreamcluster models the PARSEC clustering kernel: the innermost
+// distance loop walks a point and a candidate center eight dimensions
+// (two lines) at a time. Centers are re-drawn (data-dependent) every
+// few iterations, so block-to-block differentials jump to fresh random
+// values — the many-distinct-vector case where the 16-entry CBWS table
+// thrashes and SMS's region footprints win.
+func newStreamcluster() trace.Generator {
+	return gen{name: "streamcluster-simlarge", body: func(e *emit) {
+		const points = 1 << 17
+		const dims = 64 // 64 floats = 256B = 4 lines per point
+		const ptBytes = dims * f32
+		pts, ctrs := base(0), base(1)
+		const nCenters = 512
+		rng := newPRNG(0x57c)
+		for p := 0; p < points; p++ {
+			c := rng.intn(nCenters)
+			pa := pts + mem.Addr(p*ptBytes)
+			ca := ctrs + mem.Addr(c*ptBytes)
+			for d := 0; d < dims; d += 8 { // 8 dims (one line pair) per iteration
+				e.begin(0)
+				e.instr(2)
+				e.load(0xf000, pa+mem.Addr(d*f32))
+				e.load(0xf004, ca+mem.Addr(d*f32))
+				e.instr(10) // 8 squared-diff accumulations
+				e.end(0)
+			}
+			// Assignment bookkeeping: gain tables and member counts,
+			// outside the tight distance loop; the min-distance compare
+			// is data-dependent.
+			e.branch(0xf020, rng.intn(4) == 0)
+			e.load(0xf010, ctrs+mem.Addr((nCenters+rng.intn(1024))*ptBytes))
+			e.instr(33)
+		}
+	}}
+}

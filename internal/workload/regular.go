@@ -1,0 +1,484 @@
+package workload
+
+import (
+	"cbws/internal/mem"
+	"cbws/internal/trace"
+)
+
+// The regular (low-MPKI) group: compute-dominated kernels whose working
+// sets fit in (and quickly become resident in) the 2MB L2, so
+// prefetching moves performance only marginally — the bottom half of
+// Figure 14. Footprints are sized well below the L2 so that steady
+// state is reached within a small fraction of the simulation window.
+
+func init() {
+	register(Spec{Name: "458.sjeng-ref", Suite: "SPEC2006", Make: newSjeng})
+	register(Spec{Name: "471.omnetpp-omnetpp", Suite: "SPEC2006", Make: newOmnetpp})
+	register(Spec{Name: "bfs-1m", Suite: "Parboil", Make: newBFS})
+	register(Spec{Name: "canneal-simlarge", Suite: "PARSEC", Make: newCanneal})
+	register(Spec{Name: "cholesky-tk29", Suite: "SPLASH", Make: newCholesky})
+	register(Spec{Name: "freqmine-simlarge", Suite: "PARSEC", Make: newFreqmine})
+	register(Spec{Name: "md-linpack", Suite: "Rodinia", Make: newMD})
+	register(Spec{Name: "mvx-linpack", Suite: "Rodinia", Make: newMVX})
+	register(Spec{Name: "mxm-linpack", Suite: "Rodinia", Make: newMXM})
+	register(Spec{Name: "ocean-cp-simlarge", Suite: "SPLASH", Make: newOcean})
+	register(Spec{Name: "sad-base-large", Suite: "Parboil", Make: newSAD})
+	register(Spec{Name: "spmv-large", Suite: "Parboil", Make: newSpMV})
+	register(Spec{Name: "water-spatial-native", Suite: "SPLASH", Make: newWater})
+	register(Spec{Name: "backprop", Suite: "Rodinia", Make: newBackprop})
+	register(Spec{Name: "srad-v1", Suite: "Rodinia", Make: newSRAD})
+}
+
+// newSjeng models the chess engine: deep evaluation compute punctuated
+// by transposition-table probes into a 512KB L2-resident table.
+func newSjeng() trace.Generator {
+	return gen{name: "458.sjeng-ref", body: func(e *emit) {
+		const ttEntries = 1 << 11 // 128KB of 64B entries
+		tt := base(0)
+		rng := newPRNG(0x53e)
+		for node := 0; node < 1<<19; node++ {
+			e.begin(0)
+			e.instr(24) // move generation / evaluation
+			slot := rng.intn(ttEntries)
+			e.load(0x11000, tt+mem.Addr(slot*64))
+			e.instr(5)
+			replace := rng.intn(4) == 0
+			e.branch(0x11010, replace)
+			if replace {
+				e.store(0x11004, tt+mem.Addr(slot*64))
+			}
+			e.instr(8)
+			e.end(0)
+		}
+	}}
+}
+
+// newOmnetpp models the discrete event simulator: heap pops touching a
+// handful of event records in a 512KB arena plus queue maintenance.
+func newOmnetpp() trace.Generator {
+	return gen{name: "471.omnetpp-omnetpp", body: func(e *emit) {
+		const events = 1 << 12 // 512KB of 128B events
+		arena := base(0)
+		arrivals := base(1)
+		var arrOff mem.Addr
+		rng := newPRNG(0x03e7)
+		for step := 0; step < 1<<19; step++ {
+			if step%8 == 0 {
+				// Message arrival: decode a fresh record from the
+				// (cold) arrival stream outside the scheduler loop.
+				e.load(0x12010, arrivals+arrOff)
+				arrOff += 16
+				e.instr(6)
+			}
+			e.begin(0)
+			e.instr(8)
+			a := rng.intn(events)
+			b := rng.intn(events)
+			e.load(0x12000, arena+mem.Addr(a*128)) // heap root child
+			e.load(0x12004, arena+mem.Addr(b*128)) // sibling compare
+			e.instr(6)
+			e.store(0x12008, arena+mem.Addr(a*128)) // sift-down write
+			e.instr(10)                             // handler body
+			e.end(0)
+		}
+	}}
+}
+
+// newBFS models the level-synchronous BFS on a graph whose frontier
+// structures fit in the L2: repeated sweeps over a compact edge list
+// with data-dependent visits into a small node array.
+func newBFS() trace.Generator {
+	return gen{name: "bfs-1m", body: func(e *emit) {
+		const nodes = 1 << 13 // 512KB of 64B node records
+		const edges = 1 << 16 // 512KB edge list
+		edgeArr, nodeArr, frontier := base(0), base(1), base(2)
+		var frontOff mem.Addr
+		rng := newPRNG(0xbf5)
+		for level := 0; level < 16; level++ {
+			e.instr(60) // frontier swap
+			for i := 0; i < edges; i++ {
+				e.begin(0)
+				e.instr(3)
+				e.load(0x13000, edgeArr+mem.Addr(i*word)) // edge target, unit stride
+				n := rng.intn(nodes)
+				e.load(0x13004, nodeArr+mem.Addr(n*64)) // visited check
+				e.instr(1)
+				fresh := rng.intn(8) == 0
+				e.branch(0x13010, fresh)
+				if fresh {
+					e.store(0x13008, nodeArr+mem.Addr(n*64)) // mark visited
+					e.store(0x1300c, frontier+frontOff)      // append to next frontier
+					frontOff += word
+					e.instr(2)
+				}
+				e.instr(2)
+				e.end(0)
+			}
+		}
+	}}
+}
+
+// newCanneal models simulated annealing over a netlist: two random
+// element reads per swap attempt over a 512KB arena, heavy compare
+// logic, occasional committed swaps.
+func newCanneal() trace.Generator {
+	return gen{name: "canneal-simlarge", body: func(e *emit) {
+		const elems = 1 << 12 // 256KB of 64B elements
+		arena := base(0)
+		rng := newPRNG(0xca2ea1)
+		for step := 0; step < 1<<19; step++ {
+			e.begin(0)
+			e.instr(5)
+			a := rng.intn(elems)
+			b := rng.intn(elems)
+			e.load(0x14000, arena+mem.Addr(a*64))
+			e.load(0x14004, arena+mem.Addr(b*64))
+			e.instr(11) // routing cost delta
+			accept := rng.intn(4) == 0
+			e.branch(0x14010, accept)
+			if accept {
+				e.store(0x14008, arena+mem.Addr(a*64))
+				e.store(0x1400c, arena+mem.Addr(b*64))
+			}
+			e.instr(4)
+			e.end(0)
+		}
+	}}
+}
+
+// newCholesky models the SPLASH blocked Cholesky on an L2-resident
+// matrix: constant-stride panel updates with a high FLOP fraction.
+func newCholesky() trace.Generator {
+	return gen{name: "cholesky-tk29", body: func(e *emit) {
+		const n = 192 // 288KB matrix: resident after the first panel
+		a := base(0)
+		at := func(i, j int) mem.Addr { return a + mem.Addr((i*n+j)*word) }
+		for k := 0; k < n; k++ {
+			e.instr(40) // column scaling (non-loop)
+			for i := k + 1; i < n; i++ {
+				for j := k + 1; j <= i; j++ {
+					e.begin(0)
+					e.instr(3)
+					e.load(0x15000, at(i, k))
+					e.load(0x15004, at(j, k))
+					e.load(0x15008, at(i, j))
+					e.instr(4)
+					e.store(0x1500c, at(i, j))
+					e.instr(2)
+					e.end(0)
+				}
+				e.instr(3)
+			}
+		}
+	}}
+}
+
+// newFreqmine models FP-growth: short pointer chases through a compact
+// tree plus counter updates, all within 512KB.
+func newFreqmine() trace.Generator {
+	return gen{name: "freqmine-simlarge", body: func(e *emit) {
+		const treeNodes = 1 << 13 // 512KB of 64B nodes
+		tree := base(0)
+		rng := newPRNG(0xf4e9)
+		for txn := 0; txn < 1<<17; txn++ {
+			node := rng.intn(treeNodes)
+			depth := 2 + rng.intn(6)
+			e.instr(15) // transaction decode (non-loop)
+			for d := 0; d < depth; d++ {
+				e.begin(0)
+				e.instr(3)
+				e.load(0x16000, tree+mem.Addr(node*64)) // node header
+				e.instr(2)
+				e.store(0x16004, tree+mem.Addr(node*64)) // count++
+				node = rng.intn(treeNodes)               // child pointer
+				e.instr(2)
+				e.branch(0x16010, d+1 < depth)
+				e.end(0)
+			}
+		}
+	}}
+}
+
+// newMD models molecular dynamics with neighbor lists: per particle,
+// gather ~16 spatially local neighbors from a 512KB position array with
+// long force computations between loads.
+func newMD() trace.Generator {
+	return gen{name: "md-linpack", body: func(e *emit) {
+		const particles = 1 << 11 // 64KB of 32B positions
+		pos, force := base(0), base(1)
+		rng := newPRNG(0x3d)
+		for step := 0; step < 16; step++ {
+			for p := 0; p < particles; p++ {
+				e.instr(3)
+				e.load(0x17000, pos+mem.Addr(p*32))
+				for nb := 0; nb < 16; nb++ {
+					e.begin(0)
+					e.instr(2)
+					// Neighbors are spatially local: within ±64 slots.
+					q := p + rng.intn(129) - 64
+					if q < 0 {
+						q = 0
+					}
+					if q >= particles {
+						q = particles - 1
+					}
+					e.load(0x17004, pos+mem.Addr(q*32))
+					e.instr(14) // LJ force evaluation
+					e.end(0)
+				}
+				e.store(0x17008, force+mem.Addr(p*32))
+				e.instr(4)
+			}
+		}
+	}}
+}
+
+// newMVX models dense matrix-vector multiply on an L2-resident matrix,
+// repeated as in an iterative solver.
+func newMVX() trace.Generator {
+	return gen{name: "mvx-linpack", body: func(e *emit) {
+		const n = 256 // 512KB matrix
+		a, x, y := base(0), base(1), base(2)
+		for rep := 0; rep < 48; rep++ {
+			e.instr(30) // residual check between iterations
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					e.begin(0)
+					e.instr(2)
+					e.load(0x18000, a+mem.Addr((i*n+j)*word))
+					e.load(0x18004, x+mem.Addr(j*word))
+					e.instr(2)
+					e.end(0)
+				}
+				e.store(0x18008, y+mem.Addr(i*word))
+				e.instr(4)
+			}
+		}
+	}}
+}
+
+// newMXM models a small matmul that stays inside the L2.
+func newMXM() trace.Generator {
+	return gen{name: "mxm-linpack", body: func(e *emit) {
+		const n = 160 // three 200KB matrices
+		a, b, c := base(0), base(1), base(2)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				for k := 0; k < n; k++ {
+					e.begin(0)
+					e.instr(3)
+					e.load(0x19000, a+mem.Addr((i*n+k)*word))
+					e.load(0x19004, b+mem.Addr((k*n+j)*word))
+					e.instr(2)
+					e.end(0)
+				}
+				e.store(0x19008, c+mem.Addr((i*n+j)*word))
+				e.instr(4)
+			}
+		}
+	}}
+}
+
+// newOcean models the SPLASH ocean grid solver: 5-point stencil sweeps
+// over a ~0.5MB grid, resident after the first sweep.
+func newOcean() trace.Generator {
+	return gen{name: "ocean-cp-simlarge", body: func(e *emit) {
+		const dim = 258
+		grid, next := base(0), base(1)
+		at := func(i, j int) mem.Addr { return mem.Addr((i*dim + j) * word) }
+		for sweep := 0; sweep < 30; sweep++ {
+			e.instr(80) // red/black phase setup
+			for i := 1; i < dim-1; i++ {
+				for j := 1; j < dim-1; j++ {
+					e.begin(0)
+					e.instr(3)
+					e.load(0x1a000, grid+at(i-1, j))
+					e.load(0x1a004, grid+at(i+1, j))
+					e.load(0x1a008, grid+at(i, j-1))
+					e.load(0x1a00c, grid+at(i, j+1))
+					e.load(0x1a010, grid+at(i, j))
+					e.instr(6)
+					e.store(0x1a014, next+at(i, j))
+					e.instr(2)
+					e.end(0)
+				}
+				e.instr(4)
+			}
+			grid, next = next, grid
+		}
+	}}
+}
+
+// newSAD models the video block matcher: 4x4 sub-block absolute
+// difference sums between a current macroblock and a search window,
+// strided but extremely local.
+func newSAD() trace.Generator {
+	return gen{name: "sad-base-large", body: func(e *emit) {
+		const width = 352
+		cur, ref := base(0), base(1)
+		for frame := 0; frame < 64; frame++ {
+			e.instr(100) // frame setup
+			for mb := 0; mb < 300; mb++ {
+				mbx := (mb * 16) % width
+				mby := (mb / (width / 16)) * 16
+				for sy := -2; sy < 2; sy++ {
+					for sx := -2; sx < 2; sx++ {
+						for row := 0; row < 16; row++ {
+							e.begin(0)
+							e.instr(2)
+							ca := mem.Addr((mby+row)*width + mbx)
+							ra := mem.Addr((mby+row+sy+2)*width + mbx + sx + 2)
+							e.load(0x1b000, cur+ca)
+							e.load(0x1b004, ref+ra)
+							e.instr(5) // 16-wide SAD accumulate
+							e.end(0)
+						}
+						e.instr(4)
+					}
+				}
+				e.instr(8)
+			}
+		}
+	}}
+}
+
+// newSpMV models CSR sparse matrix-vector multiply on an L2-resident
+// matrix, repeated as in an iterative solver: unit-stride index and
+// value streams with a gather into a small dense vector.
+func newSpMV() trace.Generator {
+	return gen{name: "spmv-large", body: func(e *emit) {
+		const rows = 1 << 13
+		const avgNnz = 12
+		const vecLen = 1 << 13 // 64KB dense vector: resident
+		idxArr, valArr, x, y, rhs := base(0), base(1), base(2), base(3), base(4)
+		var rhsOff mem.Addr
+		for rep := 0; rep < 16; rep++ {
+			rng := newPRNG(0x59e17) // same sparsity pattern every pass
+			k := 0
+			e.instr(40)
+			// Preconditioner refresh: stream a fresh right-hand-side
+			// segment (cold, outside the tight loop).
+			for r := 0; r < 1024; r++ {
+				e.load(0x1c010, rhs+rhsOff)
+				rhsOff += word
+				e.instr(4)
+			}
+			for r := 0; r < rows; r++ {
+				nnz := 4 + rng.intn(2*avgNnz-4)
+				e.instr(3)
+				for c := 0; c < nnz; c++ {
+					e.begin(0)
+					e.instr(2)
+					e.load(0x1c000, idxArr+mem.Addr(k*f32))
+					e.load(0x1c004, valArr+mem.Addr(k*word))
+					col := rng.intn(vecLen)
+					e.load(0x1c008, x+mem.Addr(col*word))
+					e.instr(2)
+					e.end(0)
+					k++
+				}
+				e.store(0x1c00c, y+mem.Addr(r*word))
+				e.instr(3)
+			}
+		}
+	}}
+}
+
+// newWater models SPLASH water-spatial: per molecule, gather a few
+// neighbors from the same spatial cell and run a long interaction
+// computation; the molecule array is L2-resident.
+func newWater() trace.Generator {
+	return gen{name: "water-spatial-native", body: func(e *emit) {
+		const mols = 1 << 12 // 256KB of 64B molecules
+		molArr, traj := base(0), base(1)
+		var trajOff mem.Addr
+		rng := newPRNG(0x77a7e4)
+		for step := 0; step < 48; step++ {
+			e.instr(60) // cell list rebuild
+			if step%4 == 0 {
+				// Trajectory snapshot: cold sequential writes.
+				for t := 0; t < 1024; t++ {
+					e.store(0x1d010, traj+trajOff)
+					trajOff += word
+					e.instr(2)
+				}
+			}
+			for m := 0; m < mols; m++ {
+				e.instr(4)
+				e.load(0x1d000, molArr+mem.Addr(m*64))
+				for nb := 0; nb < 6; nb++ {
+					e.begin(0)
+					e.instr(2)
+					q := (m + rng.intn(32) - 16 + mols) % mols
+					e.load(0x1d004, molArr+mem.Addr(q*64))
+					e.instr(16) // O-O, O-H interactions
+					e.end(0)
+				}
+				e.store(0x1d008, molArr+mem.Addr(m*64))
+				e.instr(4)
+			}
+		}
+	}}
+}
+
+// newBackprop models the neural net layer sweep: weight matrix rows
+// stream with unit stride against a resident activation vector; the
+// 256KB weight matrix stays L2-resident across epochs.
+func newBackprop() trace.Generator {
+	return gen{name: "backprop", body: func(e *emit) {
+		const in, out = 512, 128
+		w, act, delta, batch := base(0), base(1), base(2), base(3)
+		var batchOff mem.Addr
+		for epoch := 0; epoch < 64; epoch++ {
+			e.instr(50) // learning-rate/bias update
+			// Load a fresh training batch (cold stream, outside the
+			// annotated layer loop).
+			for b := 0; b < 2048; b++ {
+				e.load(0x1e010, batch+batchOff)
+				batchOff += f32
+				e.instr(3)
+			}
+			for o := 0; o < out; o++ {
+				for i := 0; i < in; i++ {
+					e.begin(0)
+					e.instr(2)
+					e.load(0x1e000, w+mem.Addr((o*in+i)*f32))
+					e.load(0x1e004, act+mem.Addr(i*f32))
+					e.instr(3)
+					e.end(0)
+				}
+				e.store(0x1e008, delta+mem.Addr(o*f32))
+				e.instr(6)
+			}
+		}
+	}}
+}
+
+// newSRAD models the Rodinia speckle-reducing diffusion stencil over a
+// 144KB image: 4-neighbor reads with moderate compute.
+func newSRAD() trace.Generator {
+	return gen{name: "srad-v1", body: func(e *emit) {
+		const dim = 192
+		img, coef := base(0), base(1)
+		at := func(i, j int) mem.Addr { return mem.Addr((i*dim + j) * f32) }
+		for iter := 0; iter < 48; iter++ {
+			e.instr(70) // statistics update per iteration
+			for i := 1; i < dim-1; i++ {
+				for j := 1; j < dim-1; j++ {
+					e.begin(0)
+					e.instr(3)
+					e.load(0x1f000, img+at(i-1, j))
+					e.load(0x1f004, img+at(i+1, j))
+					e.load(0x1f008, img+at(i, j-1))
+					e.load(0x1f00c, img+at(i, j+1))
+					e.load(0x1f010, img+at(i, j))
+					e.instr(9) // diffusion coefficient
+					e.store(0x1f014, coef+at(i, j))
+					e.instr(2)
+					e.end(0)
+				}
+				e.instr(4)
+			}
+		}
+	}}
+}
