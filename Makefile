@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test vet fmt-check race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails if any file needs gofmt.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# The harness is the one package with real concurrency (parallel matrix
+# fill, single-flight memoization), so it gets a race-detector run.
+race:
+	$(GO) test -race ./internal/harness/...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+check: build vet fmt-check test race

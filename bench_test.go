@@ -8,6 +8,7 @@ package cbws_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"cbws"
@@ -26,7 +27,7 @@ func benchOptions() harness.Options {
 	opts := harness.DefaultOptions()
 	opts.Sim.MaxInstructions = 400_000
 	opts.Sim.WarmupInstructions = 150_000
-	opts.Parallel = 4
+	opts.Parallel = runtime.GOMAXPROCS(0)
 	return opts
 }
 
@@ -312,6 +313,36 @@ func BenchmarkAblationMemoryLatency(b *testing.B) {
 
 // Component micro-benchmarks: raw simulation throughput.
 
+// countingBatchSink drains a batch pipeline while only counting events,
+// isolating generation + delivery cost from simulation cost.
+type countingBatchSink struct{ events uint64 }
+
+func (c *countingBatchSink) ConsumeBatch(batch []trace.Event) bool {
+	c.events += uint64(len(batch))
+	return true
+}
+
+// BenchmarkPipelineEventsPerSec measures the raw trace pipeline — a
+// workload generator driven through trace.Limit into a batch sink with
+// no timing simulation attached — in millions of events per second.
+// This is the path the batched, buffer-reusing redesign targets: the
+// per-event cost is a store into a reused buffer rather than an
+// interface call and a closure per event.
+func BenchmarkPipelineEventsPerSec(b *testing.B) {
+	spec, _ := workload.ByName("stencil-default")
+	b.ReportAllocs()
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var cs countingBatchSink
+		trace.Limit{Gen: spec.Make(), Max: 300_000}.GenerateBatches(&cs)
+		events += cs.events
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/1e6/s, "Mevents/s")
+	}
+}
+
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	for _, pf := range []string{"none", "sms", "cbws+sms"} {
 		pf := pf
@@ -320,6 +351,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			spec, _ := workload.ByName("stencil-default")
 			cfg := sim.DefaultConfig()
 			cfg.MaxInstructions = 300_000
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := sim.Run(cfg, spec.Make(), f.New()); err != nil {
@@ -335,6 +367,7 @@ func BenchmarkCBWSOnAccess(b *testing.B) {
 	p := core.New(core.Config{})
 	p.Reset()
 	drop := func(l mem.LineAddr) {}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if i%8 == 0 {

@@ -22,7 +22,7 @@ import (
 func main() {
 	n := flag.Uint64("n", 4_000_000, "instructions per simulation run")
 	warm := flag.Uint64("warmup", 1_000_000, "warmup instructions excluded from metrics")
-	par := flag.Int("par", 4, "parallel simulations")
+	par := flag.Int("par", 0, "parallel simulations (<= 0: one per CPU)")
 	fig := flag.String("fig", "all", "figure to regenerate (all, 1, t1, 3, 5, t2, t3, 12, 13, 14, 15, ext)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	flag.Parse()

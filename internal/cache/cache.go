@@ -76,10 +76,22 @@ type Stats struct {
 	Writebacks uint64 // dirty lines evicted (write-back traffic)
 }
 
-// Cache is one set-associative level.
+// invalidTag marks an empty way in the compact tag array. It can never
+// collide with a real tag: line addresses are byte addresses shifted
+// right by the line-size bits, so the top bits are always zero.
+const invalidTag = ^uint64(0)
+
+// Cache is one set-associative level. Way metadata is split
+// structure-of-arrays style: tags holds just the tag of every way
+// (invalidTag when empty) so the find-by-tag scan that dominates the
+// simulator's profile touches one or two hardware cache lines per set,
+// while the colder per-way state stays in lines. Invariant:
+// tags[i] == uint64(lines[i].tag) iff lines[i].valid, else invalidTag.
 type Cache struct {
 	cfg      Config
-	sets     [][]line
+	lines    []line   // ways, flat: set s occupies [s*ways, (s+1)*ways)
+	tags     []uint64 // compact tag per way, same indexing
+	ways     int
 	setMask  uint64
 	lruTick  uint64
 	mshr     []uint64 // fillAt cycles of outstanding fills
@@ -93,14 +105,15 @@ func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	sets := make([][]line, cfg.Sets())
-	backing := make([]line, cfg.Sets()*cfg.Ways)
-	for i := range sets {
-		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	tags := make([]uint64, cfg.Sets()*cfg.Ways)
+	for i := range tags {
+		tags[i] = invalidTag
 	}
 	return &Cache{
 		cfg:     cfg,
-		sets:    sets,
+		lines:   make([]line, cfg.Sets()*cfg.Ways),
+		tags:    tags,
+		ways:    cfg.Ways,
 		setMask: uint64(cfg.Sets() - 1),
 		mshr:    make([]uint64, 0, cfg.MSHRs),
 	}, nil
@@ -117,25 +130,30 @@ func (c *Cache) OnEvict(fn func(l mem.LineAddr, dirty bool)) { c.evictCB = fn }
 // MarkDirty flags line l as written, if resident. Dirty lines charge a
 // write-back on eviction.
 func (c *Cache) MarkDirty(l mem.LineAddr) {
-	for i := range c.set(l) {
-		w := &c.set(l)[i]
-		if w.valid && w.tag == l {
-			w.dirty = true
-			return
-		}
+	if i := c.findWay(l); i >= 0 {
+		c.lines[i].dirty = true
 	}
 }
 
-func (c *Cache) set(l mem.LineAddr) []line { return c.sets[uint64(l)&c.setMask] }
+// findWay returns the flat way index holding l, or -1. A tag match
+// implies validity: empty ways hold invalidTag.
+func (c *Cache) findWay(l mem.LineAddr) int {
+	base := int(uint64(l)&c.setMask) * c.ways
+	tags := c.tags[base : base+c.ways]
+	for i := range tags {
+		if tags[i] == uint64(l) {
+			return base + i
+		}
+	}
+	return -1
+}
 
 // Probe reports whether l is resident (possibly still in flight) without
 // updating replacement state.
 func (c *Cache) Probe(l mem.LineAddr) (resident bool, fillAt uint64, isPrefetchUnused bool) {
-	for i := range c.set(l) {
-		w := &c.set(l)[i]
-		if w.valid && w.tag == l {
-			return true, w.fillAt, w.prefetch && !w.used
-		}
+	if i := c.findWay(l); i >= 0 {
+		w := &c.lines[i]
+		return true, w.fillAt, w.prefetch && !w.used
 	}
 	return false, 0, false
 }
@@ -149,6 +167,13 @@ func (c *Cache) Contains(l mem.LineAddr, now uint64) bool {
 // mshrFree reaps completed entries and reports whether an MSHR is
 // available at cycle now; if not, it returns the earliest cycle at which
 // one frees.
+//
+// Reaping must stay eager (every call), not deferred until the list is
+// full: call times are not monotonic — a demand fill is allocated at
+// now + L1 latency while the same access's prefetch issue runs at now —
+// so an entry discarded at a later timestamp may still be "live" at an
+// earlier one, and deferring the reap would change availability
+// decisions.
 func (c *Cache) mshrFree(now uint64) (bool, uint64) {
 	out := c.mshr[:0]
 	earliest := ^uint64(0)
@@ -169,36 +194,37 @@ func (c *Cache) mshrFree(now uint64) (bool, uint64) {
 
 // victim selects the replacement way in l's set: an invalid way if any,
 // otherwise the LRU way. Ways with outstanding fills are skipped when
-// possible (they are pinned by their MSHR).
-func (c *Cache) victim(l mem.LineAddr, now uint64) *line {
-	set := c.set(l)
-	var lru *line
-	for i := range set {
-		w := &set[i]
+// possible (they are pinned by their MSHR). Returns a flat way index.
+func (c *Cache) victim(l mem.LineAddr, now uint64) int {
+	base := int(uint64(l)&c.setMask) * c.ways
+	lru := -1
+	for i := base; i < base+c.ways; i++ {
+		w := &c.lines[i]
 		if !w.valid {
-			return w
+			return i
 		}
 		if w.fillAt > now {
 			continue // pinned: fill outstanding
 		}
-		if lru == nil || w.lru < lru.lru {
-			lru = w
+		if lru < 0 || w.lru < c.lines[lru].lru {
+			lru = i
 		}
 	}
-	if lru == nil {
+	if lru < 0 {
 		// Every way has an outstanding fill; fall back to plain LRU.
-		lru = &set[0]
-		for i := range set {
-			if set[i].lru < lru.lru {
-				lru = &set[i]
+		lru = base
+		for i := base; i < base+c.ways; i++ {
+			if c.lines[i].lru < c.lines[lru].lru {
+				lru = i
 			}
 		}
 	}
 	return lru
 }
 
-// evict notifies about, and accounts for, the eviction of way w.
-func (c *Cache) evict(w *line) {
+// evict notifies about, and accounts for, the eviction of way i.
+func (c *Cache) evict(i int) {
+	w := &c.lines[i]
 	if !w.valid {
 		return
 	}
@@ -212,17 +238,14 @@ func (c *Cache) evict(w *line) {
 		c.evictCB(w.tag, w.dirty)
 	}
 	w.valid = false
+	c.tags[i] = invalidTag
 }
 
 // Invalidate removes l if resident (back-invalidation). The eviction
 // callback is invoked.
 func (c *Cache) Invalidate(l mem.LineAddr) {
-	for i := range c.set(l) {
-		w := &c.set(l)[i]
-		if w.valid && w.tag == l {
-			c.evict(w)
-			return
-		}
+	if i := c.findWay(l); i >= 0 {
+		c.evict(i)
 	}
 }
 
@@ -252,11 +275,8 @@ func (c *Cache) Access(l mem.LineAddr, now uint64) AccessResult {
 		now = c.lastTime // enforce monotonic time for MSHR accounting
 	}
 	c.lastTime = now
-	for i := range c.set(l) {
-		w := &c.set(l)[i]
-		if !w.valid || w.tag != l {
-			continue
-		}
+	if i := c.findWay(l); i >= 0 {
+		w := &c.lines[i]
 		c.touch(w)
 		if w.fillAt <= now {
 			c.Stats.Hits++
@@ -295,9 +315,11 @@ func (c *Cache) Fill(l mem.LineAddr, now uint64, latency uint64, isPrefetch bool
 	}
 	fillAt = now + latency
 	c.mshr = append(c.mshr, fillAt)
-	w := c.victim(l, now)
-	c.evict(w)
+	i := c.victim(l, now)
+	c.evict(i)
+	w := &c.lines[i]
 	*w = line{tag: l, valid: true, prefetch: isPrefetch, fillAt: fillAt}
+	c.tags[i] = uint64(l)
 	c.touch(w)
 	if isPrefetch {
 		c.Stats.PrefetchIssued++
@@ -335,13 +357,11 @@ const (
 // used, charging them as wrong predictions. Called once at end of
 // simulation so that unused prefetches are fully accounted.
 func (c *Cache) DrainWrong() {
-	for _, set := range c.sets {
-		for i := range set {
-			w := &set[i]
-			if w.valid && w.prefetch && !w.used {
-				c.Stats.PrefetchWrong++
-				w.used = true
-			}
+	for i := range c.lines {
+		w := &c.lines[i]
+		if w.valid && w.prefetch && !w.used {
+			c.Stats.PrefetchWrong++
+			w.used = true
 		}
 	}
 }
@@ -349,11 +369,9 @@ func (c *Cache) DrainWrong() {
 // ResidentLines returns the number of valid lines (for tests).
 func (c *Cache) ResidentLines() int {
 	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].valid {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
 		}
 	}
 	return n

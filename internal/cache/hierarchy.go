@@ -208,24 +208,55 @@ func (h *Hierarchy) memTransferStart(now uint64) uint64 {
 // returns the completion cycle together with hit/miss information for
 // prefetcher training.
 func (h *Hierarchy) Access(pc uint64, addr mem.Addr, write bool, now uint64) AccessInfo {
-	l := mem.LineOf(addr)
-	info := AccessInfo{PC: pc, Addr: addr, Line: l, Write: write}
+	var info AccessInfo
+	h.AccessInto(&info, pc, addr, write, now)
+	return info
+}
 
-	r1 := h.L1.Access(l, now)
-	if write {
-		defer h.L1.MarkDirty(l)
+// AccessInto is Access with the result written through info instead of
+// returned, saving the struct copy on the per-access hot path.
+func (h *Hierarchy) AccessInto(info *AccessInfo, pc uint64, addr mem.Addr, write bool, now uint64) {
+	l := mem.LineOf(addr)
+	*info = AccessInfo{PC: pc, Addr: addr, Line: l, Write: write}
+
+	// The L1 lookup is specialized inline rather than going through
+	// Cache.Access: prefetches fill into the L2 only, so no L1 line is
+	// ever in the prefetched-unused state and the hit and merge arms
+	// need none of the prefetch-use accounting. Folding the write case
+	// into the same scan also saves MarkDirty's second walk of the set.
+	c1 := h.L1
+	c1.Stats.Accesses++
+	n1 := now
+	if n1 < c1.lastTime {
+		n1 = c1.lastTime // enforce monotonic time for MSHR accounting
 	}
-	switch {
-	case r1.Hit:
-		info.HitL1 = true
-		info.ReadyAt = r1.ReadyAt
-		return info
-	case r1.Merged:
-		// Wait for the L1 fill already in flight; the matching L2
-		// access was classified when the fill was allocated.
-		info.ReadyAt = r1.ReadyAt
-		return info
+	c1.lastTime = n1
+	base := int(uint64(l)&c1.setMask) * c1.ways
+	tags := c1.tags[base : base+c1.ways]
+	for i := range tags {
+		if tags[i] != uint64(l) {
+			continue
+		}
+		w := &c1.lines[base+i]
+		c1.lruTick++
+		w.lru = c1.lruTick
+		if write {
+			w.dirty = true
+		}
+		if w.fillAt <= n1 {
+			c1.Stats.Hits++
+			info.HitL1 = true
+			info.ReadyAt = n1 + c1.cfg.LatencyCycles
+		} else {
+			// Wait for the L1 fill already in flight; the matching L2
+			// access was classified when the fill was allocated.
+			c1.Stats.Misses++
+			c1.Stats.MergedMiss++
+			info.ReadyAt = w.fillAt
+		}
+		return
 	}
+	c1.Stats.Misses++
 
 	// L1 miss: access the L2 after the L1 lookup latency.
 	t2 := now + h.cfg.L1.LatencyCycles
@@ -268,7 +299,9 @@ func (h *Hierarchy) Access(pc uint64, addr mem.Addr, write bool, now uint64) Acc
 	// Fill the L1 with the line; the data is usable once both the L2
 	// (or memory) delivery and the L1 fill complete.
 	info.ReadyAt = h.L1.Fill(l, now, ready-now, false)
-	return info
+	if write {
+		h.L1.MarkDirty(l)
+	}
 }
 
 // Prefetch requests that line l be brought into the L2 at cycle now.
@@ -302,11 +335,17 @@ func (h *Hierarchy) issuePrefetch(l mem.LineAddr, now uint64) bool {
 
 // DrainPrefetchQueue issues up to the configured rate of queued
 // prefetches at cycle now. The simulator calls it once per demand
-// access, modelling the queue's issue bandwidth.
+// access, modelling the queue's issue bandwidth. The empty check lives
+// in this inlinable wrapper so the common no-queue case costs one
+// length test at the call site.
 func (h *Hierarchy) DrainPrefetchQueue(now uint64) {
 	if len(h.pfQueue) == 0 {
 		return
 	}
+	h.drainPrefetchQueue(now)
+}
+
+func (h *Hierarchy) drainPrefetchQueue(now uint64) {
 	rate := h.cfg.PrefetchIssueRate
 	if rate <= 0 {
 		rate = 2

@@ -1,9 +1,8 @@
 package core
 
 import (
-	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 
 	"cbws/internal/mem"
 	"cbws/internal/trace"
@@ -23,9 +22,16 @@ type Census struct {
 	curBlock int
 	cur      Vector
 	prev     map[int]Vector // per static block: previous instance's CBWS
+	diffBuf  Diff           // reusable differential scratch
+	keyBuf   []byte         // reusable canonical-key scratch
 
-	counts     map[string]uint64 // canonical differential → occurrences
-	iterations uint64            // block instances with a defined differential
+	// counts maps a canonical differential to its occurrence counter.
+	// The counter is boxed so the steady-state increment needs no
+	// string allocation: the map probe with string(keyBuf) is
+	// allocation-free, and only a first-seen insert materializes the
+	// key.
+	counts     map[string]*uint64
+	iterations uint64 // block instances with a defined differential
 }
 
 // NewCensus returns a census that traces up to maxVec lines per block
@@ -38,16 +44,17 @@ func NewCensus(maxVec int) *Census {
 		maxVec:   maxVec,
 		curBlock: -1,
 		prev:     make(map[int]Vector),
-		counts:   make(map[string]uint64),
+		counts:   make(map[string]*uint64),
 	}
 }
 
-func diffKey(d Diff) string {
-	var b strings.Builder
+// appendDiffKey appends d's canonical form ("s0,s1,...,") to buf.
+func appendDiffKey(buf []byte, d Diff) []byte {
 	for _, s := range d {
-		fmt.Fprintf(&b, "%d,", s)
+		buf = strconv.AppendInt(buf, s, 10)
+		buf = append(buf, ',')
 	}
-	return b.String()
+	return buf
 }
 
 // Consume processes one trace event.
@@ -63,8 +70,14 @@ func (c *Census) Consume(e trace.Event) {
 		}
 		c.inBlock = false
 		if prev, ok := c.prev[c.curBlock]; ok && len(prev) > 0 && len(c.cur) > 0 {
-			d := Differential(prev, c.cur)
-			c.counts[diffKey(d)]++
+			c.diffBuf = DifferentialInto(c.diffBuf, prev, c.cur)
+			c.keyBuf = appendDiffKey(c.keyBuf[:0], c.diffBuf)
+			if n, ok := c.counts[string(c.keyBuf)]; ok {
+				*n++
+			} else {
+				one := uint64(1)
+				c.counts[string(c.keyBuf)] = &one
+			}
 			c.iterations++
 		}
 		c.prev[c.curBlock] = append(c.prev[c.curBlock][:0], c.cur...)
@@ -77,6 +90,15 @@ func (c *Census) Consume(e trace.Event) {
 			c.cur = append(c.cur, l)
 		}
 	}
+}
+
+// ConsumeBatch implements trace.BatchSink, so batch generators feed the
+// census without the per-event interface call of the legacy Sink path.
+func (c *Census) ConsumeBatch(batch []trace.Event) bool {
+	for i := range batch {
+		c.Consume(batch[i])
+	}
+	return true
 }
 
 // DistinctVectors returns the number of distinct differential vectors
@@ -102,7 +124,7 @@ func (c *Census) Coverage() []CoveragePoint {
 	}
 	freqs := make([]uint64, 0, len(c.counts))
 	for _, n := range c.counts {
-		freqs = append(freqs, n)
+		freqs = append(freqs, *n)
 	}
 	sort.Slice(freqs, func(i, j int) bool { return freqs[i] > freqs[j] })
 	out := make([]CoveragePoint, len(freqs))

@@ -144,13 +144,19 @@ func (p *Prefetcher) Name() string { return "cbws" }
 // Config returns the active configuration.
 func (p *Prefetcher) Config() Config { return p.cfg }
 
-// Reset implements prefetch.Prefetcher.
+// Reset implements prefetch.Prefetcher. Every buffer the prefetcher
+// touches while running is preallocated at its hardware capacity here,
+// so the per-access and per-block paths never allocate (asserted by the
+// AllocsPerRun regression tests).
 func (p *Prefetcher) Reset() {
 	c := p.cfg
 	p.inBlock = false
 	p.curBlock = -1
 	p.cur = make([]mem.LineAddr, 0, c.MaxVector)
 	p.last = make([][]mem.LineAddr, c.Steps)
+	for i := range p.last {
+		p.last[i] = make([]mem.LineAddr, 0, c.MaxVector)
+	}
 	p.curDiff = make([][]int32, c.Steps)
 	for i := range p.curDiff {
 		p.curDiff[i] = make([]int32, 0, c.MaxVector)
@@ -160,6 +166,9 @@ func (p *Prefetcher) Reset() {
 		p.hist[i] = shiftReg{vals: make([]uint16, c.HistoryDepth)}
 	}
 	p.table = make([]tableEntry, c.TableEntries)
+	for i := range p.table {
+		p.table[i].diff = make([]int32, 0, c.MaxVector)
+	}
 	p.rng = 0x20140612 // deterministic seed (MICRO 2014)
 	p.strideMax = 1<<(uint(c.StrideBits)-1) - 1
 	p.strideMin = -(1 << (uint(c.StrideBits) - 1))
@@ -269,10 +278,14 @@ func (p *Prefetcher) OnBlockBegin(id int) {
 	if id != p.curBlock {
 		p.curBlock = id
 		for i := range p.last {
-			p.last[i] = nil
+			p.last[i] = p.last[i][:0]
 		}
 		for i := range p.hist {
-			p.hist[i] = shiftReg{vals: make([]uint16, p.cfg.HistoryDepth)}
+			r := &p.hist[i]
+			for j := range r.vals {
+				r.vals[j] = 0
+			}
+			r.count = 0
 		}
 		p.confident = false
 	}
@@ -338,14 +351,11 @@ func (p *Prefetcher) OnBlockEnd(id int, issue prefetch.IssueFunc) {
 	}
 
 	// 2. Rotate the predecessor CBWS buffers: last[0] becomes the block
-	// that just finished.
+	// that just finished. The rotation permutes the Steps preallocated
+	// buffers, so the copy into the recycled oldest never allocates.
 	oldest := p.last[len(p.last)-1]
 	copy(p.last[1:], p.last[:len(p.last)-1])
-	if oldest != nil {
-		p.last[0] = append(oldest[:0], p.cur...)
-	} else {
-		p.last[0] = append([]mem.LineAddr(nil), p.cur...)
-	}
+	p.last[0] = append(oldest[:0], p.cur...)
 
 	// 3. Predict: for each step i, the post-update history selects the
 	// differential expected between the just-finished block and the

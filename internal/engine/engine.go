@@ -155,115 +155,290 @@ func New(cfg Config, memsys MemPort, blocks BlockObserver) (*Engine, error) {
 // always predicted correctly (an ideal front end).
 func (e *Engine) AttachBranchPredictor(bp BranchPredictor) { e.bp = bp }
 
-// dispatch advances the fetch clock by one instruction and returns the
-// cycle at which the instruction enters the ROB, accounting for ROB
-// back-pressure.
-func (e *Engine) dispatch() uint64 {
-	e.fetchQ++
-	enter := e.fetchQ / e.width
-	if free := e.rob[e.robPos]; free > enter {
-		enter = free
-		e.fetchQ = enter * e.width // fetch stalls until the slot frees
-	}
-	return enter
-}
-
-// commit retires the instruction that completed at cycle complete,
-// honoring in-order commit and commit width, and frees its ROB slot.
-func (e *Engine) commit(complete uint64) {
-	q := complete * e.width
-	if q < e.commitQ+1 {
-		q = e.commitQ + 1
-	}
-	e.commitQ = q
-	e.rob[e.robPos] = q / e.width
-	e.robPos++
-	if e.robPos == len(e.rob) {
-		e.robPos = 0
-	}
-	e.Stats.Instructions++
-}
-
-// Consume processes one trace event.
+// Consume processes one trace event. It is the per-event compatibility
+// entry point; the timing logic lives in ConsumeBatch so the two paths
+// cannot diverge.
 func (e *Engine) Consume(ev trace.Event) {
-	switch ev.Kind {
-	case trace.Instr:
-		for n := ev.Count(); n > 0; n-- {
-			enter := e.dispatch()
-			e.commit(enter + 1)
-		}
-	case trace.Load:
-		enter := e.dispatch()
-		// LDQ back-pressure: at most LDQEntries loads in flight.
-		if free := e.ldq[e.ldqPos]; free > enter {
-			enter = free
-		}
-		ready := e.memsys.Load(ev.PC, ev.Addr, enter)
-		e.ldq[e.ldqPos] = ready
-		e.ldqPos++
-		if e.ldqPos == len(e.ldq) {
-			e.ldqPos = 0
-		}
-		e.commit(ready)
-		e.Stats.Loads++
-	case trace.Store:
-		enter := e.dispatch()
-		if free := e.stq[e.stqPos]; free > enter {
-			enter = free
-		}
-		ready := e.memsys.Store(ev.PC, ev.Addr, enter)
-		e.stq[e.stqPos] = ready
-		e.stqPos++
-		if e.stqPos == len(e.stq) {
-			e.stqPos = 0
-		}
-		// Stores retire through the store buffer without blocking
-		// commit on the cache fill.
-		e.commit(enter + 1)
-		e.Stats.Stores++
-	case trace.Branch:
-		enter := e.dispatch()
-		e.commit(enter + 1)
-		e.Stats.Branches++
-		if e.bp != nil && !e.bp.Update(ev.PC, ev.Taken) {
-			e.Stats.Mispredicts++
-			// Squash: everything fetched past the branch is discarded,
-			// so younger instructions dispatch only after the branch
-			// resolves plus the refill penalty. Without operand
-			// tracking, the branch's commit time is the resolution
-			// estimate — data-dependent branches (the ones that
-			// actually mispredict) resolve when their feeding loads
-			// complete, which in-order commit approximates.
-			stallUntil := e.commitQ + e.cfg.MispredictPenalty*e.width
-			if stallUntil > e.fetchQ {
-				e.fetchQ = stallUntil
-			}
-		}
-	case trace.BlockBegin:
-		// Block markers are real (single-cycle) instructions in the
-		// paper's extended ISA.
-		enter := e.dispatch()
-		e.commit(enter + 1)
-		if !e.inBlock {
-			e.inBlock = true
-			e.blockStartQ = e.commitQ
-		}
-		e.blocks.BlockBegin(ev.Block)
-	case trace.BlockEnd:
-		enter := e.dispatch()
-		e.commit(enter + 1)
-		if e.inBlock {
-			e.inBlock = false
-			e.Stats.BlockSlots += e.commitQ - e.blockStartQ
-			e.Stats.Blocks++
-		}
-		e.blocks.BlockEnd(ev.Block)
-	}
+	batch := [1]trace.Event{ev}
+	e.ConsumeBatch(batch[:])
 }
 
-// Snapshot returns the statistics as of now, with the clock fields
-// filled from the current commit state. Used to mark the end of a
-// warmup window so measured metrics cover only the region of interest.
+// ConsumeBatch implements trace.BatchSink: it processes a whole batch
+// of events with the hot core state (fetch/commit clocks, ROB/LDQ/STQ
+// ring positions, counters) hoisted into locals, writing it back once
+// per batch. The dispatch and commit sequences are inlined at each
+// event kind; they must stay line-for-line equivalent across arms —
+// timing results are required to be bit-identical to per-event
+// consumption.
+//
+// The slot-unit clocks are decomposed into (cycle, sub-slot) pairs with
+// 0 <= sub < width, i.e. fetchQ = fcyc*width + fsub, so the
+// per-instruction path needs no division: dispatch advances the fetch
+// clock by one slot with carry and stalls on ROB back-pressure; commit
+// retires in order at the commit width (commitQ = max(complete*width,
+// commitQ+1), which in decomposed form is a slot increment plus a
+// cycle comparison) and frees the ROB slot. ConsumeBatch never
+// requests a stop.
+func (e *Engine) ConsumeBatch(batch []trace.Event) bool {
+	var (
+		width  = e.width
+		rob    = e.rob
+		robPos = e.robPos
+		ldq    = e.ldq
+		ldqPos = e.ldqPos
+		stq    = e.stq
+		stqPos = e.stqPos
+		st     = e.Stats
+		fcyc   = e.fetchQ / width
+		fsub   = e.fetchQ % width
+		ccyc   = e.commitQ / width
+		csub   = e.commitQ % width
+	)
+	for i := range batch {
+		ev := &batch[i]
+		switch ev.Kind {
+		case trace.Instr:
+			n := ev.N
+			if n <= 0 {
+				n = 1
+			}
+			for ; n > 0; n-- {
+				// dispatch
+				fsub++
+				if fsub == width {
+					fsub = 0
+					fcyc++
+				}
+				enter := fcyc
+				if free := rob[robPos]; free > enter {
+					enter = free
+					fcyc = enter // fetch stalls until the slot frees
+					fsub = 0
+				}
+				// commit(enter + 1)
+				csub++
+				if csub == width {
+					csub = 0
+					ccyc++
+				}
+				if enter+1 > ccyc {
+					ccyc = enter + 1
+					csub = 0
+				}
+				rob[robPos] = ccyc
+				robPos++
+				if robPos == len(rob) {
+					robPos = 0
+				}
+				st.Instructions++
+			}
+		case trace.Load:
+			// dispatch
+			fsub++
+			if fsub == width {
+				fsub = 0
+				fcyc++
+			}
+			enter := fcyc
+			if free := rob[robPos]; free > enter {
+				enter = free
+				fcyc = enter
+				fsub = 0
+			}
+			// LDQ back-pressure: at most LDQEntries loads in flight.
+			if free := ldq[ldqPos]; free > enter {
+				enter = free
+			}
+			ready := e.memsys.Load(ev.PC, ev.Addr, enter)
+			ldq[ldqPos] = ready
+			ldqPos++
+			if ldqPos == len(ldq) {
+				ldqPos = 0
+			}
+			// commit(ready)
+			csub++
+			if csub == width {
+				csub = 0
+				ccyc++
+			}
+			if ready > ccyc {
+				ccyc = ready
+				csub = 0
+			}
+			rob[robPos] = ccyc
+			robPos++
+			if robPos == len(rob) {
+				robPos = 0
+			}
+			st.Instructions++
+			st.Loads++
+		case trace.Store:
+			// dispatch
+			fsub++
+			if fsub == width {
+				fsub = 0
+				fcyc++
+			}
+			enter := fcyc
+			if free := rob[robPos]; free > enter {
+				enter = free
+				fcyc = enter
+				fsub = 0
+			}
+			if free := stq[stqPos]; free > enter {
+				enter = free
+			}
+			ready := e.memsys.Store(ev.PC, ev.Addr, enter)
+			stq[stqPos] = ready
+			stqPos++
+			if stqPos == len(stq) {
+				stqPos = 0
+			}
+			// Stores retire through the store buffer without blocking
+			// commit on the cache fill: commit(enter + 1).
+			csub++
+			if csub == width {
+				csub = 0
+				ccyc++
+			}
+			if enter+1 > ccyc {
+				ccyc = enter + 1
+				csub = 0
+			}
+			rob[robPos] = ccyc
+			robPos++
+			if robPos == len(rob) {
+				robPos = 0
+			}
+			st.Instructions++
+			st.Stores++
+		case trace.Branch:
+			// dispatch
+			fsub++
+			if fsub == width {
+				fsub = 0
+				fcyc++
+			}
+			enter := fcyc
+			if free := rob[robPos]; free > enter {
+				enter = free
+				fcyc = enter
+				fsub = 0
+			}
+			// commit(enter + 1)
+			csub++
+			if csub == width {
+				csub = 0
+				ccyc++
+			}
+			if enter+1 > ccyc {
+				ccyc = enter + 1
+				csub = 0
+			}
+			rob[robPos] = ccyc
+			robPos++
+			if robPos == len(rob) {
+				robPos = 0
+			}
+			st.Instructions++
+			st.Branches++
+			if e.bp != nil && !e.bp.Update(ev.PC, ev.Taken) {
+				st.Mispredicts++
+				// Squash: everything fetched past the branch is discarded,
+				// so younger instructions dispatch only after the branch
+				// resolves plus the refill penalty. Without operand
+				// tracking, the branch's commit time is the resolution
+				// estimate — data-dependent branches (the ones that
+				// actually mispredict) resolve when their feeding loads
+				// complete, which in-order commit approximates.
+				// fetchQ = max(fetchQ, commitQ + penalty*width).
+				scyc := ccyc + e.cfg.MispredictPenalty
+				if scyc > fcyc || (scyc == fcyc && csub > fsub) {
+					fcyc = scyc
+					fsub = csub
+				}
+			}
+		case trace.BlockBegin:
+			// Block markers are real (single-cycle) instructions in the
+			// paper's extended ISA.
+			// dispatch
+			fsub++
+			if fsub == width {
+				fsub = 0
+				fcyc++
+			}
+			enter := fcyc
+			if free := rob[robPos]; free > enter {
+				enter = free
+				fcyc = enter
+				fsub = 0
+			}
+			// commit(enter + 1)
+			csub++
+			if csub == width {
+				csub = 0
+				ccyc++
+			}
+			if enter+1 > ccyc {
+				ccyc = enter + 1
+				csub = 0
+			}
+			rob[robPos] = ccyc
+			robPos++
+			if robPos == len(rob) {
+				robPos = 0
+			}
+			st.Instructions++
+			if !e.inBlock {
+				e.inBlock = true
+				e.blockStartQ = ccyc*width + csub
+			}
+			e.blocks.BlockBegin(ev.Block)
+		case trace.BlockEnd:
+			// dispatch
+			fsub++
+			if fsub == width {
+				fsub = 0
+				fcyc++
+			}
+			enter := fcyc
+			if free := rob[robPos]; free > enter {
+				enter = free
+				fcyc = enter
+				fsub = 0
+			}
+			// commit(enter + 1)
+			csub++
+			if csub == width {
+				csub = 0
+				ccyc++
+			}
+			if enter+1 > ccyc {
+				ccyc = enter + 1
+				csub = 0
+			}
+			rob[robPos] = ccyc
+			robPos++
+			if robPos == len(rob) {
+				robPos = 0
+			}
+			st.Instructions++
+			if e.inBlock {
+				e.inBlock = false
+				st.BlockSlots += ccyc*width + csub - e.blockStartQ
+				st.Blocks++
+			}
+			e.blocks.BlockEnd(ev.Block)
+		}
+	}
+	e.fetchQ = fcyc*width + fsub
+	e.commitQ = ccyc*width + csub
+	e.robPos = robPos
+	e.ldqPos = ldqPos
+	e.stqPos = stqPos
+	e.Stats = st
+	return true
+}
 func (e *Engine) Snapshot() Stats {
 	s := e.Stats
 	s.Cycles = (e.commitQ + e.width - 1) / e.width

@@ -6,6 +6,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"cbws/internal/core"
@@ -59,59 +60,73 @@ func FactoryByName(name string) (Factory, bool) {
 // Options configures a harness run.
 type Options struct {
 	Sim sim.Config
-	// Parallel runs independent simulations on multiple goroutines.
+	// Parallel bounds the number of simulations run concurrently by
+	// Fill. Zero or negative means one per available CPU
+	// (runtime.GOMAXPROCS(0)), the default.
 	Parallel int
 }
 
 // DefaultOptions returns the Table II system with a 4M-instruction
 // window per run, the first 1M excluded from metrics as warmup (the
 // paper simulates 1e9 instructions starting at each benchmark's
-// region of interest).
+// region of interest). Fill parallelism defaults to the full machine
+// width.
 func DefaultOptions() Options {
 	cfg := sim.DefaultConfig()
 	cfg.MaxInstructions = 4_000_000
 	cfg.WarmupInstructions = 1_000_000
-	return Options{Sim: cfg, Parallel: 4}
+	return Options{Sim: cfg, Parallel: runtime.GOMAXPROCS(0)}
+}
+
+// cell is one memoized matrix entry. The sync.Once gives Get
+// single-flight semantics: concurrent requests for the same cell run
+// the simulation exactly once and all block on that one run, instead
+// of racing to simulate it redundantly.
+type cell struct {
+	once sync.Once
+	res  sim.Result
+	err  error
 }
 
 // Matrix memoizes workload × prefetcher simulation results.
 type Matrix struct {
 	opts Options
 
-	mu      sync.Mutex
-	results map[string]sim.Result
+	mu    sync.Mutex
+	cells map[string]*cell
 }
 
 // NewMatrix creates an empty result matrix.
 func NewMatrix(opts Options) *Matrix {
-	return &Matrix{opts: opts, results: make(map[string]sim.Result)}
+	return &Matrix{opts: opts, cells: make(map[string]*cell)}
 }
 
 // Options returns the matrix configuration.
 func (m *Matrix) Options() Options { return m.opts }
 
-// Get simulates (or returns the memoized result of) one cell.
+// Get simulates (or returns the memoized result of) one cell. Safe for
+// concurrent use; concurrent Gets of the same cell simulate it once.
 func (m *Matrix) Get(spec workload.Spec, f Factory) (sim.Result, error) {
 	key := spec.Name + "\x00" + f.Name
 	m.mu.Lock()
-	if r, ok := m.results[key]; ok {
-		m.mu.Unlock()
-		return r, nil
+	c, ok := m.cells[key]
+	if !ok {
+		c = &cell{}
+		m.cells[key] = c
 	}
 	m.mu.Unlock()
-	r, err := sim.Run(m.opts.Sim, spec.Make(), f.New())
-	if err != nil {
-		return sim.Result{}, fmt.Errorf("harness: %s/%s: %w", spec.Name, f.Name, err)
-	}
-	m.mu.Lock()
-	m.results[key] = r
-	m.mu.Unlock()
-	return r, nil
+	c.once.Do(func() {
+		c.res, c.err = sim.Run(m.opts.Sim, spec.Make(), f.New())
+		if c.err != nil {
+			c.err = fmt.Errorf("harness: %s/%s: %w", spec.Name, f.Name, c.err)
+		}
+	})
+	return c.res, c.err
 }
 
 // Fill simulates every cell of specs × factories, using up to
-// opts.Parallel goroutines. Each simulation is fully independent, so
-// parallel cells share nothing.
+// opts.Parallel goroutines (all CPUs when Parallel <= 0). Each
+// simulation is fully independent, so parallel cells share nothing.
 func (m *Matrix) Fill(specs []workload.Spec, factories []Factory) error {
 	type job struct {
 		s workload.Spec
@@ -124,8 +139,8 @@ func (m *Matrix) Fill(specs []workload.Spec, factories []Factory) error {
 		}
 	}
 	par := m.opts.Parallel
-	if par < 1 {
-		par = 1
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
 	}
 	sem := make(chan struct{}, par)
 	errs := make(chan error, len(jobs))

@@ -2,8 +2,12 @@ package harness
 
 import (
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
+	"cbws/internal/prefetch"
+	"cbws/internal/sim"
 	"cbws/internal/workload"
 )
 
@@ -53,6 +57,49 @@ func TestMatrixMemoizes(t *testing.T) {
 	}
 	if a.Metrics != b.Metrics {
 		t.Error("memoized result differs")
+	}
+}
+
+func TestMatrixGetSingleFlight(t *testing.T) {
+	// Concurrent Gets of the same cell must run the simulation exactly
+	// once (single-flight), with every caller receiving that one
+	// result. The factory counts constructions: one construction = one
+	// simulation.
+	m := NewMatrix(tinyOptions())
+	spec, _ := workload.ByName("stencil-default")
+	var built atomic.Int32
+	f := Factory{Name: "none", New: func() prefetch.Prefetcher {
+		built.Add(1)
+		return prefetch.NewNone()
+	}}
+	const callers = 8
+	results := make([]sim.Result, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = m.Get(spec, f)
+		}(i)
+	}
+	wg.Wait()
+	if n := built.Load(); n != 1 {
+		t.Errorf("simulation ran %d times, want 1", n)
+	}
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if results[i].Metrics != results[0].Metrics {
+			t.Errorf("caller %d got a different result", i)
+		}
+	}
+}
+
+func TestDefaultParallelIsMachineWidth(t *testing.T) {
+	if p := DefaultOptions().Parallel; p < 1 {
+		t.Errorf("DefaultOptions().Parallel = %d, want >= 1", p)
 	}
 }
 

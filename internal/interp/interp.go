@@ -64,18 +64,34 @@ func (m *Machine) Word(addr mem.Addr) int64 { return m.memory[addr] }
 // sink. Consecutive non-memory instructions are batched into Instr
 // events.
 func (m *Machine) Run(sink trace.Sink) error {
+	return m.RunBatches(trace.AsBatchSink(sink))
+}
+
+// RunBatches executes the program, emitting events into sink through a
+// reusable batch buffer. Execution stops early — without error and
+// without panicking — once the sink reports it wants no more events.
+func (m *Machine) RunBatches(sink trace.BatchSink) error {
+	b := trace.NewBatcher(sink)
 	pending := 0
-	flush := func() {
+	// flush delivers the pending Instr batch; emit flushes and then
+	// pushes one event. Both report false once the sink has stopped.
+	flush := func() bool {
 		if pending > 0 {
-			sink.Consume(trace.Event{Kind: trace.Instr, N: pending})
+			n := pending
 			pending = 0
+			return b.Event(trace.Event{Kind: trace.Instr, N: n})
 		}
+		return !b.Stopped()
+	}
+	emit := func(e trace.Event) bool {
+		return flush() && b.Event(e)
 	}
 	pc := 0
 	n := len(m.prog.Instrs)
 	for pc >= 0 && pc < n {
 		if m.Steps >= m.maxStep {
 			flush()
+			b.Flush()
 			return fmt.Errorf("%w (%d steps)", ErrStepBudget, m.Steps)
 		}
 		m.Steps++
@@ -149,45 +165,54 @@ func (m *Machine) Run(sink trace.Sink) error {
 			pending++
 			next = in.Target
 		case ir.BrNZ:
-			flush()
 			taken := m.regs[in.A] != 0
 			if taken {
 				next = in.Target
 			}
-			sink.Consume(trace.Event{Kind: trace.Branch, PC: PCBase + uint64(pc)*4, Taken: taken})
+			if !emit(trace.Event{Kind: trace.Branch, PC: PCBase + uint64(pc)*4, Taken: taken}) {
+				return nil
+			}
 		case ir.BrZ:
-			flush()
 			taken := m.regs[in.A] == 0
 			if taken {
 				next = in.Target
 			}
-			sink.Consume(trace.Event{Kind: trace.Branch, PC: PCBase + uint64(pc)*4, Taken: taken})
+			if !emit(trace.Event{Kind: trace.Branch, PC: PCBase + uint64(pc)*4, Taken: taken}) {
+				return nil
+			}
 		case ir.Load:
 			addr := mem.Addr(m.regs[in.A] + in.Imm)
 			m.regs[in.Dst] = m.memory[addr]
-			flush()
-			sink.Consume(trace.Event{Kind: trace.Load, PC: PCBase + uint64(pc)*4, Addr: addr})
+			if !emit(trace.Event{Kind: trace.Load, PC: PCBase + uint64(pc)*4, Addr: addr}) {
+				return nil
+			}
 		case ir.Store:
 			addr := mem.Addr(m.regs[in.A] + in.Imm)
 			m.memory[addr] = m.regs[in.B]
-			flush()
-			sink.Consume(trace.Event{Kind: trace.Store, PC: PCBase + uint64(pc)*4, Addr: addr})
+			if !emit(trace.Event{Kind: trace.Store, PC: PCBase + uint64(pc)*4, Addr: addr}) {
+				return nil
+			}
 		case ir.Ret:
 			flush()
+			b.Flush()
 			return nil
 		case ir.BlockBegin:
-			flush()
-			sink.Consume(trace.Event{Kind: trace.BlockBegin, Block: int(in.Imm)})
+			if !emit(trace.Event{Kind: trace.BlockBegin, Block: int(in.Imm)}) {
+				return nil
+			}
 		case ir.BlockEnd:
-			flush()
-			sink.Consume(trace.Event{Kind: trace.BlockEnd, Block: int(in.Imm)})
+			if !emit(trace.Event{Kind: trace.BlockEnd, Block: int(in.Imm)}) {
+				return nil
+			}
 		default:
 			flush()
+			b.Flush()
 			return fmt.Errorf("interp: unknown opcode %v at %d", in.Op, pc)
 		}
 		pc = next
 	}
 	flush()
+	b.Flush()
 	return nil
 }
 
@@ -208,6 +233,11 @@ func (g Generator) Name() string { return g.Prog.Name }
 // opcode) terminate the stream early; validation errors panic because
 // they indicate a malformed kernel, a programming error.
 func (g Generator) Generate(sink trace.Sink) {
+	g.GenerateBatches(trace.AsBatchSink(sink))
+}
+
+// GenerateBatches implements trace.BatchGenerator.
+func (g Generator) GenerateBatches(sink trace.BatchSink) {
 	m, err := New(g.Prog, g.MaxStep)
 	if err != nil {
 		panic(err)
@@ -215,5 +245,5 @@ func (g Generator) Generate(sink trace.Sink) {
 	if g.Init != nil {
 		g.Init(m.SetWord)
 	}
-	_ = m.Run(sink)
+	_ = m.RunBatches(sink)
 }

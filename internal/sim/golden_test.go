@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"testing"
+
+	"cbws/internal/branch"
+	"cbws/internal/cache"
+	"cbws/internal/core"
+	"cbws/internal/engine"
+	"cbws/internal/prefetch"
+	"cbws/internal/trace"
+	"cbws/internal/workload"
+)
+
+// runPerEvent mirrors Run exactly, except the trace is delivered one
+// event at a time — the shape of the pre-batching pipeline. Timing
+// semantics must not depend on where batch boundaries fall, so both
+// paths have to produce identical metrics.
+func runPerEvent(cfg Config, wl trace.Generator, pf prefetch.Prefetcher) (Result, error) {
+	h, err := cache.NewHierarchy(cfg.Memory)
+	if err != nil {
+		return Result{}, err
+	}
+	pf.Reset()
+	if eo, ok := pf.(prefetch.EvictionObserver); ok {
+		h.OnL1Evict(eo.OnCacheEvict)
+	}
+	p := newPort(h, pf)
+	eng, err := engine.New(cfg.Core, p, p)
+	if err != nil {
+		return Result{}, err
+	}
+	if !cfg.IdealBranchPrediction {
+		bp, err := branch.New(cfg.Branch)
+		if err != nil {
+			return Result{}, err
+		}
+		eng.AttachBranchPredictor(bp)
+	}
+	sink := &runSink{eng: eng, h: h, warmup: cfg.WarmupInstructions,
+		warmed: cfg.WarmupInstructions == 0}
+	var gen trace.Generator = wl
+	if cfg.MaxInstructions > 0 {
+		gen = trace.Limit{Gen: wl, Max: cfg.MaxInstructions}
+	}
+	trace.Drive(gen, trace.SinkFunc(sink.Consume))
+	eng.Finish()
+	h.Finish()
+	final := takeSnapshot(eng, h)
+	m := final.sub(sink.base)
+	return Result{Workload: wl.Name(), Prefetcher: pf.Name(), Metrics: m}, nil
+}
+
+// TestBatchedRunMatchesPerEventReference is the golden equivalence
+// check for the batched pipeline: for a grid of workloads × prefetchers
+// the batched Run and the per-event reference must agree on every
+// metric, bit for bit.
+func TestBatchedRunMatchesPerEventReference(t *testing.T) {
+	factories := map[string]func() prefetch.Prefetcher{
+		"none":   func() prefetch.Prefetcher { return prefetch.NewNone() },
+		"stride": func() prefetch.Prefetcher { return prefetch.NewStride(prefetch.StrideConfig{}) },
+		"sms":    func() prefetch.Prefetcher { return prefetch.NewSMS(prefetch.SMSConfig{}) },
+		"cbws":   func() prefetch.Prefetcher { return core.New(core.Config{}) },
+		"cbws+sms": func() prefetch.Prefetcher {
+			return core.NewComposite(core.New(core.Config{}), prefetch.NewSMS(prefetch.SMSConfig{}))
+		},
+	}
+	cfg := DefaultConfig()
+	cfg.MaxInstructions = 90_000
+	cfg.WarmupInstructions = 25_000
+	for _, wlName := range []string{"stencil-default", "histo-large", "462.libquantum-ref", "429.mcf-ref"} {
+		spec, ok := workload.ByName(wlName)
+		if !ok {
+			t.Fatalf("workload %s missing", wlName)
+		}
+		for pfName, mk := range factories {
+			batched, err := Run(cfg, spec.Make(), mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := runPerEvent(cfg, spec.Make(), mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if batched.Metrics != ref.Metrics {
+				t.Errorf("%s/%s: batched run diverges from per-event reference\n  batched: %+v\n  per-event: %+v",
+					wlName, pfName, batched.Metrics, ref.Metrics)
+			}
+		}
+	}
+}

@@ -61,20 +61,29 @@ func (r Result) String() string {
 // forwarding block markers, exactly as the paper's prefetcher observes
 // the in-order commit stage.
 type port struct {
-	h     *cache.Hierarchy
-	pf    prefetch.Prefetcher
-	now   uint64
-	issue prefetch.IssueFunc
+	h  *cache.Hierarchy
+	pf prefetch.Prefetcher
+	// noTrain short-circuits the per-access observer plumbing for the
+	// no-prefetch baseline, which has no training input and never
+	// queues a prefetch.
+	noTrain bool
+	now     uint64
+	issue   prefetch.IssueFunc
 }
 
 func newPort(h *cache.Hierarchy, pf prefetch.Prefetcher) *port {
 	p := &port{h: h, pf: pf}
+	_, p.noTrain = pf.(*prefetch.None)
 	p.issue = func(l mem.LineAddr) { p.h.Prefetch(l, p.now) }
 	return p
 }
 
 func (p *port) access(pc uint64, addr mem.Addr, write bool, now uint64) uint64 {
-	info := p.h.Access(pc, addr, write, now)
+	var info cache.AccessInfo
+	p.h.AccessInto(&info, pc, addr, write, now)
+	if p.noTrain {
+		return info.ReadyAt
+	}
 	p.now = now
 	p.h.DrainPrefetchQueue(now)
 	p.pf.OnAccess(prefetch.Access{
@@ -132,28 +141,63 @@ func Run(cfg Config, wl trace.Generator, pf prefetch.Prefetcher) (Result, error)
 	// Warmup handling: the first WarmupInstructions train caches and
 	// predictors but are excluded from the reported metrics, like the
 	// paper's fast-forward to each benchmark's region of interest.
-	var base snapshot
-	warmed := cfg.WarmupInstructions == 0
-	sink := trace.SinkFunc(func(ev trace.Event) {
-		eng.Consume(ev)
-		if !warmed && eng.Stats.Instructions >= cfg.WarmupInstructions {
-			warmed = true
-			base = takeSnapshot(eng, h)
-		}
-	})
+	sink := &runSink{eng: eng, h: h, warmup: cfg.WarmupInstructions,
+		warmed: cfg.WarmupInstructions == 0}
 
 	var gen trace.Generator = wl
 	if cfg.MaxInstructions > 0 {
 		gen = trace.Limit{Gen: wl, Max: cfg.MaxInstructions}
 	}
-	gen.Generate(sink)
+	trace.DriveBatches(gen, sink)
 
 	eng.Finish()
 	h.Finish() // settles wrong counts (unused prefetched lines drained)
 	final := takeSnapshot(eng, h)
 
-	m := final.sub(base)
+	m := final.sub(sink.base)
 	return Result{Workload: wl.Name(), Prefetcher: pf.Name(), Metrics: m}, nil
+}
+
+// runSink drives the engine and takes the warmup snapshot. The engine's
+// instruction counter advances by exactly Event.Count per event, so the
+// event that crosses WarmupInstructions can be located by a plain
+// count scan — no simulation needed — and the batch split there: the
+// snapshot lands after exactly the same event the per-event pipeline
+// snapshotted at, while both halves still take the engine's batch fast
+// path.
+type runSink struct {
+	eng    *engine.Engine
+	h      *cache.Hierarchy
+	warmup uint64
+	warmed bool
+	base   snapshot
+}
+
+func (s *runSink) Consume(ev trace.Event) {
+	batch := [1]trace.Event{ev}
+	s.ConsumeBatch(batch[:])
+}
+
+// ConsumeBatch implements trace.BatchSink.
+func (s *runSink) ConsumeBatch(batch []trace.Event) bool {
+	if s.warmed {
+		return s.eng.ConsumeBatch(batch)
+	}
+	remaining := s.warmup - s.eng.Stats.Instructions
+	var cum uint64
+	for i := range batch {
+		cum += uint64(batch[i].Count())
+		if cum >= remaining {
+			s.eng.ConsumeBatch(batch[: i+1 : i+1])
+			s.warmed = true
+			s.base = takeSnapshot(s.eng, s.h)
+			if rest := batch[i+1:]; len(rest) > 0 {
+				return s.eng.ConsumeBatch(rest)
+			}
+			return true
+		}
+	}
+	return s.eng.ConsumeBatch(batch)
 }
 
 // snapshot captures every counter that contributes to the reported

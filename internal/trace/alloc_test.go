@@ -1,0 +1,44 @@
+package trace
+
+import "testing"
+
+// The batched pipeline's selling point is that delivering an event
+// costs a buffer store, not an allocation: the Batcher owns one fixed
+// buffer and the limiter forwards batches in place. Guard that with an
+// allocation regression test — a slip here multiplies into millions of
+// allocations per simulation.
+
+type countBatchSink struct{ events uint64 }
+
+func (c *countBatchSink) ConsumeBatch(batch []Event) bool {
+	c.events += uint64(len(batch))
+	return true
+}
+
+func TestBatcherSteadyStateAllocationFree(t *testing.T) {
+	var cs countBatchSink
+	b := NewBatcher(&cs)
+	ev := Event{Kind: Load, PC: 0x40, Addr: 1 << 20}
+	if avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 4*batchSize; i++ {
+			b.Event(ev)
+		}
+		b.Flush()
+	}); avg != 0 {
+		t.Errorf("batcher delivery allocates %.1f objects per run, want 0", avg)
+	}
+}
+
+func TestLimiterDeliveryAllocationFree(t *testing.T) {
+	var cs countBatchSink
+	lm := &limiter{max: 1 << 50, down: &cs}
+	batch := make([]Event, batchSize)
+	for i := range batch {
+		batch[i] = Event{Kind: Instr, N: 3}
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		lm.ConsumeBatch(batch)
+	}); avg != 0 {
+		t.Errorf("limiter forwarding allocates %.1f objects per run, want 0", avg)
+	}
+}

@@ -73,9 +73,18 @@ func Analyze(gen Generator, max uint64) *Summary {
 	if max > 0 {
 		src = Limit{Gen: gen, Max: max}
 	}
-	src.Generate(a)
+	DriveBatches(src, a)
 	a.finish()
 	return &a.s
+}
+
+// ConsumeBatch implements BatchSink so batched generators feed the
+// analyzer without a per-event adapter.
+func (a *analyzer) ConsumeBatch(batch []Event) bool {
+	for i := range batch {
+		a.Consume(batch[i])
+	}
+	return true
 }
 
 func (a *analyzer) Consume(e Event) {

@@ -103,6 +103,19 @@ func (w *Writer) Consume(e Event) {
 	}
 }
 
+// ConsumeBatch implements BatchSink. Encoding errors are sticky; a
+// stuck writer asks the producer to stop instead of silently chewing
+// through the rest of the stream.
+func (w *Writer) ConsumeBatch(batch []Event) bool {
+	for i := range batch {
+		if w.err != nil {
+			return false
+		}
+		w.Consume(batch[i])
+	}
+	return w.err == nil
+}
+
 // Close terminates the stream and flushes buffered data.
 func (w *Writer) Close() error {
 	if w.err != nil {
@@ -161,15 +174,41 @@ func (r *Reader) Generate(sink Sink) {
 	_ = r.Decode(sink)
 }
 
+// GenerateBatches implements BatchGenerator.
+func (r *Reader) GenerateBatches(sink BatchSink) {
+	_ = r.DecodeBatches(sink)
+}
+
 // Decode decodes events into sink and returns the first error.
 func (r *Reader) Decode(sink Sink) error {
+	return r.DecodeBatches(AsBatchSink(sink))
+}
+
+// DecodeBatches decodes events into sink in batches and returns the
+// first error. Events decoded before an error are still delivered, and
+// decoding stops early (without error) once the sink requests a stop.
+func (r *Reader) DecodeBatches(sink BatchSink) error {
 	var lastPC, lastAddr uint64
+	buf := make([]Event, 0, batchSize)
+	flush := func() bool {
+		if len(buf) == 0 {
+			return true
+		}
+		more := sink.ConsumeBatch(buf)
+		buf = buf[:0]
+		return more
+	}
+	fail := func(err error) error {
+		flush()
+		return fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
 	for {
 		kb, err := r.r.ReadByte()
 		if err != nil {
-			return fmt.Errorf("%w: %v", ErrBadTrace, err)
+			return fail(err)
 		}
 		if kb == kindEOF {
+			flush()
 			return nil
 		}
 		e := Event{Kind: Kind(kb)}
@@ -177,17 +216,17 @@ func (r *Reader) Decode(sink Sink) error {
 		case Instr:
 			n, err := binary.ReadUvarint(r.r)
 			if err != nil {
-				return fmt.Errorf("%w: %v", ErrBadTrace, err)
+				return fail(err)
 			}
 			e.N = int(n)
 		case Load, Store:
 			dpc, err := binary.ReadVarint(r.r)
 			if err != nil {
-				return fmt.Errorf("%w: %v", ErrBadTrace, err)
+				return fail(err)
 			}
 			daddr, err := binary.ReadVarint(r.r)
 			if err != nil {
-				return fmt.Errorf("%w: %v", ErrBadTrace, err)
+				return fail(err)
 			}
 			lastPC = uint64(int64(lastPC) + dpc)
 			lastAddr = uint64(int64(lastAddr) + daddr)
@@ -196,24 +235,28 @@ func (r *Reader) Decode(sink Sink) error {
 		case BlockBegin, BlockEnd:
 			id, err := binary.ReadUvarint(r.r)
 			if err != nil {
-				return fmt.Errorf("%w: %v", ErrBadTrace, err)
+				return fail(err)
 			}
 			e.Block = int(id)
 		case Branch:
 			dpc, err := binary.ReadVarint(r.r)
 			if err != nil {
-				return fmt.Errorf("%w: %v", ErrBadTrace, err)
+				return fail(err)
 			}
 			lastPC = uint64(int64(lastPC) + dpc)
 			e.PC = lastPC
 			t, err := binary.ReadUvarint(r.r)
 			if err != nil {
-				return fmt.Errorf("%w: %v", ErrBadTrace, err)
+				return fail(err)
 			}
 			e.Taken = t != 0
 		default:
+			flush()
 			return fmt.Errorf("%w: unknown kind %d", ErrBadTrace, kb)
 		}
-		sink.Consume(e)
+		buf = append(buf, e)
+		if len(buf) == cap(buf) && !flush() {
+			return nil
+		}
 	}
 }

@@ -109,6 +109,122 @@ type SinkFunc func(Event)
 // Consume calls f(e).
 func (f SinkFunc) Consume(e Event) { f(e) }
 
+// BatchSink is the high-throughput event consumer: one virtual call
+// delivers a whole slice of events. The batch is only valid for the
+// duration of the call — producers reuse the backing array — so
+// implementations must not retain it. The return value is a cooperative
+// stop signal: false means the consumer wants no further events (its
+// budget is exhausted) and the producer should wind down.
+type BatchSink interface {
+	ConsumeBatch(batch []Event) (more bool)
+}
+
+// perEventSink adapts a plain Sink to BatchSink by replaying the batch
+// one event at a time. It never requests a stop.
+type perEventSink struct{ s Sink }
+
+func (p perEventSink) ConsumeBatch(batch []Event) bool {
+	for i := range batch {
+		p.s.Consume(batch[i])
+	}
+	return true
+}
+
+// AsBatchSink returns s itself when it already implements BatchSink and
+// otherwise wraps it in a per-event replay adapter, so batch producers
+// can feed legacy sinks without a special case.
+func AsBatchSink(s Sink) BatchSink {
+	if bs, ok := s.(BatchSink); ok {
+		return bs
+	}
+	return perEventSink{s}
+}
+
+// batchSize is the producer-side buffer length. 256 events (~10KB) is
+// large enough to amortize the per-batch virtual call and small enough
+// to stay resident in L1d while the consumer walks it.
+const batchSize = 256
+
+// Batcher accumulates events into a reusable buffer and hands full
+// buffers to a BatchSink. It is the producer half of the batched
+// pipeline: generators allocate one Batcher per run and emit through it
+// with no further allocation.
+//
+// Batcher also implements Sink for convenience; events pushed after the
+// consumer has stopped are discarded.
+type Batcher struct {
+	sink BatchSink
+	// n is the buffer fill level. Once the consumer stops, n is pinned
+	// at batchSize so Event's single range test routes both the
+	// buffer-full and the stopped case to eventSlow.
+	n       int
+	stopped bool
+	buf     [batchSize]Event
+}
+
+// NewBatcher returns a Batcher feeding sink.
+func NewBatcher(sink BatchSink) *Batcher {
+	return &Batcher{sink: sink}
+}
+
+// Event appends e to the current batch, flushing when the buffer fills.
+// It returns false once the consumer has asked for no more events;
+// producers should stop generating then. The running case — room in the
+// buffer, consumer still live — is kept small enough to inline into the
+// generator loops; the full/stopped cases go through eventSlow.
+func (b *Batcher) Event(e Event) bool {
+	n := b.n
+	if uint(n) >= batchSize {
+		return b.eventSlow(e)
+	}
+	b.buf[n] = e
+	b.n = n + 1
+	return true
+}
+
+// eventSlow handles the buffer-full and consumer-stopped cases: it
+// flushes the pending batch, then starts the next one with e. Compared
+// to flushing eagerly on the fill-completing event, the stop signal is
+// observed one event later; that event is discarded, never delivered,
+// so consumers see an identical stream.
+//
+//go:noinline
+func (b *Batcher) eventSlow(e Event) bool {
+	if b.stopped {
+		return false
+	}
+	if !b.Flush() {
+		return false
+	}
+	b.buf[0] = e
+	b.n = 1
+	return true
+}
+
+// Flush delivers any buffered events. It returns false once the
+// consumer has stopped.
+func (b *Batcher) Flush() bool {
+	if b.stopped {
+		return false
+	}
+	if b.n > 0 {
+		more := b.sink.ConsumeBatch(b.buf[:b.n])
+		b.n = 0
+		if !more {
+			b.stopped = true
+			b.n = batchSize // pin: route future Events to eventSlow
+			return false
+		}
+	}
+	return true
+}
+
+// Stopped reports whether the consumer has requested a stop.
+func (b *Batcher) Stopped() bool { return b.stopped }
+
+// Consume implements Sink.
+func (b *Batcher) Consume(e Event) { b.Event(e) }
+
 // Generator produces a trace by pushing events into a Sink. Workloads
 // implement Generator; producing events by callback avoids materializing
 // billion-event traces.
@@ -117,6 +233,42 @@ type Generator interface {
 	Name() string
 	// Generate pushes the complete event stream into sink.
 	Generate(sink Sink)
+}
+
+// BatchGenerator is the batched counterpart of Generator: the producer
+// emits into reusable event buffers (usually via a Batcher) and honors
+// the sink's cooperative stop signal. All in-repo generators implement
+// it; Drive and DriveBatches select the fast path automatically.
+type BatchGenerator interface {
+	Generator
+	// GenerateBatches pushes the event stream into sink in batches,
+	// stopping early once the sink returns more == false.
+	GenerateBatches(sink BatchSink)
+}
+
+// Drive feeds g's events into sink, taking the batched fast path when
+// the generator supports it. Use it instead of g.Generate(sink) so that
+// callers benefit from batching without caring which kind of generator
+// they hold.
+func Drive(g Generator, sink Sink) {
+	if bg, ok := g.(BatchGenerator); ok {
+		bg.GenerateBatches(AsBatchSink(sink))
+		return
+	}
+	g.Generate(sink)
+}
+
+// DriveBatches feeds g's events into a batch sink. Plain generators are
+// adapted through a Batcher; events they produce after the sink stops
+// are discarded (a push generator offers no way to interrupt it).
+func DriveBatches(g Generator, sink BatchSink) {
+	if bg, ok := g.(BatchGenerator); ok {
+		bg.GenerateBatches(sink)
+		return
+	}
+	b := NewBatcher(sink)
+	g.Generate(b)
+	b.Flush()
 }
 
 // GeneratorFunc adapts a named function to the Generator interface.
@@ -148,10 +300,24 @@ func (t *Trace) Name() string { return t.TraceName }
 // Consume appends e to the trace.
 func (t *Trace) Consume(e Event) { t.Events = append(t.Events, e) }
 
+// ConsumeBatch implements BatchSink by appending the whole batch.
+func (t *Trace) ConsumeBatch(batch []Event) bool {
+	t.Events = append(t.Events, batch...)
+	return true
+}
+
 // Generate replays the captured events into sink.
 func (t *Trace) Generate(sink Sink) {
 	for _, e := range t.Events {
 		sink.Consume(e)
+	}
+}
+
+// GenerateBatches implements BatchGenerator: the whole trace is already
+// materialized, so it is delivered as a single batch.
+func (t *Trace) GenerateBatches(sink BatchSink) {
+	if len(t.Events) > 0 {
+		sink.ConsumeBatch(t.Events)
 	}
 }
 
@@ -167,14 +333,16 @@ func (t *Trace) Instructions() uint64 {
 // Capture materializes the events produced by g.
 func Capture(g Generator) *Trace {
 	t := New(g.Name())
-	g.Generate(t)
+	Drive(g, t)
 	return t
 }
 
 // Limit wraps a generator and truncates its stream after max dynamic
 // instructions, mirroring the paper's 1-billion-instruction simulation
-// windows. The truncation is co-operative: generation stops at the first
-// event past the budget.
+// windows. The truncation is co-operative: an event is forwarded exactly
+// when the instructions forwarded before it are still under the budget
+// (so the final event may overshoot by its own count), and the producer
+// is asked to stop at the first event past it.
 type Limit struct {
 	Gen Generator
 	Max uint64
@@ -183,13 +351,66 @@ type Limit struct {
 // Name returns the underlying generator's name.
 func (l Limit) Name() string { return l.Gen.Name() }
 
-// stopGeneration is the panic sentinel used to unwind out of a
-// generator once the instruction budget is exhausted.
+// stopGeneration is the panic sentinel used to unwind out of a plain
+// push generator once the instruction budget is exhausted. The batched
+// path never panics: batch generators observe the sink's stop signal
+// and return normally.
 type stopGeneration struct{}
 
+// limiter truncates the batch stream at the instruction budget with
+// plain control flow: events are forwarded while the budget holds, the
+// first over-budget event truncates its batch, and the producer is told
+// to stop via the BatchSink return value.
+type limiter struct {
+	down     BatchSink
+	max      uint64
+	consumed uint64
+	done     bool
+}
+
+func (lm *limiter) ConsumeBatch(batch []Event) bool {
+	if lm.done {
+		return false
+	}
+	// Whole-batch fast path: if the batch total stays within budget no
+	// event can be over it (an event is forwarded while the count
+	// before it is under max), so the per-event scan below runs for at
+	// most one batch per run.
+	var sum uint64
+	for i := range batch {
+		sum += uint64(batch[i].Count())
+	}
+	if lm.consumed+sum <= lm.max {
+		lm.consumed += sum
+		return lm.down.ConsumeBatch(batch)
+	}
+	for i := range batch {
+		if lm.consumed >= lm.max {
+			lm.done = true
+			if i > 0 {
+				lm.down.ConsumeBatch(batch[:i])
+			}
+			return false
+		}
+		lm.consumed += uint64(batch[i].Count())
+	}
+	return lm.down.ConsumeBatch(batch)
+}
+
 // Generate forwards events until the instruction budget is reached.
-func (l Limit) Generate(sink Sink) {
-	var n uint64
+func (l Limit) Generate(sink Sink) { l.GenerateBatches(AsBatchSink(sink)) }
+
+// GenerateBatches implements BatchGenerator. Batch-capable generators
+// are stopped cooperatively — no panic, no closure per event. Plain
+// push generators cannot observe a stop signal, so the legacy adapter
+// unwinds them with the panic sentinel once the budget is exhausted.
+func (l Limit) GenerateBatches(sink BatchSink) {
+	lm := &limiter{down: sink, max: l.Max}
+	if bg, ok := l.Gen.(BatchGenerator); ok {
+		bg.GenerateBatches(lm)
+		return
+	}
+	b := NewBatcher(lm)
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(stopGeneration); !ok {
@@ -198,12 +419,11 @@ func (l Limit) Generate(sink Sink) {
 		}
 	}()
 	l.Gen.Generate(SinkFunc(func(e Event) {
-		if n >= l.Max {
+		if !b.Event(e) {
 			panic(stopGeneration{})
 		}
-		n += uint64(e.Count())
-		sink.Consume(e)
 	}))
+	b.Flush()
 }
 
 // Tee duplicates a stream into several sinks in order.
@@ -214,4 +434,24 @@ func (t Tee) Consume(e Event) {
 	for _, s := range t {
 		s.Consume(e)
 	}
+}
+
+// ConsumeBatch forwards the batch to every sink, batch-capable members
+// directly and the rest one event at a time. It requests a stop only
+// once every batch-capable member has (per-event members cannot signal).
+func (t Tee) ConsumeBatch(batch []Event) bool {
+	more := false
+	for _, s := range t {
+		if bs, ok := s.(BatchSink); ok {
+			if bs.ConsumeBatch(batch) {
+				more = true
+			}
+		} else {
+			for i := range batch {
+				s.Consume(batch[i])
+			}
+			more = true
+		}
+	}
+	return more || len(t) == 0
 }

@@ -1,0 +1,37 @@
+package workload
+
+import (
+	"testing"
+
+	"cbws/internal/trace"
+)
+
+type countBatchSink struct{ events uint64 }
+
+func (c *countBatchSink) ConsumeBatch(batch []trace.Event) bool {
+	c.events += uint64(len(batch))
+	return true
+}
+
+func TestGeneratorPipelineAllocationsAreO1(t *testing.T) {
+	// A full generator → Limit → sink run over 200k instructions must
+	// allocate a small constant number of objects (generator state and
+	// the emit buffer), independent of the event count: the per-event
+	// path is a buffer store. The bound is deliberately loose — the
+	// regression it guards against is per-event allocation, which would
+	// show up at 4-5 orders of magnitude above it.
+	spec, ok := ByName("stencil-default")
+	if !ok {
+		t.Fatal("stencil-default missing")
+	}
+	var cs countBatchSink
+	avg := testing.AllocsPerRun(3, func() {
+		trace.Limit{Gen: spec.Make(), Max: 200_000}.GenerateBatches(&cs)
+	})
+	if cs.events == 0 {
+		t.Fatal("no events delivered")
+	}
+	if avg > 100 {
+		t.Errorf("full pipeline run allocates %.0f objects, want O(1) (<= 100)", avg)
+	}
+}

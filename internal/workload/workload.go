@@ -95,19 +95,63 @@ func (p *prng) next() uint64 {
 // intn returns a value in [0, n).
 func (p *prng) intn(n int) int { return int(p.next() % uint64(n)) }
 
-// emit wraps a sink with batching for non-memory instructions and
-// shorthand for the event kinds; all workloads drive one of these.
+// stopEmission unwinds a workload body once the consumer has requested
+// a stop (its instruction budget is exhausted). The bodies are deeply
+// nested loops with no natural early exit, so the one panic per run —
+// recovered in GenerateBatches — replaces the per-event closure and
+// panic the old Limit needed.
+type stopEmission struct{}
+
+// emitBatch is the emit buffer length; it matches the trace package's
+// producer batch size so batch boundaries are unchanged from the
+// Batcher-based pipeline.
+const emitBatch = 256
+
+// emit batches events into one reusable buffer, coalesces consecutive
+// non-memory instructions, and provides shorthand for the event kinds;
+// all workloads drive one of these. It owns its buffer rather than
+// delegating to a trace.Batcher so that the per-event fast paths —
+// pending-instr flush plus the event store — run without a function
+// call per event.
 type emit struct {
-	s    trace.Sink
+	sink trace.BatchSink
+	n    int
 	pend int
+	buf  [emitBatch]trace.Event
 }
 
-func newEmit(s trace.Sink) *emit { return &emit{s: s} }
+func newEmit(sink trace.BatchSink) *emit { return &emit{sink: sink} }
+
+// push appends one event, delivering the buffer when it is full and
+// unwinding the workload body when the consumer stops.
+func (e *emit) push(ev trace.Event) {
+	n := e.n
+	if uint(n) >= emitBatch {
+		e.flushBuf()
+		n = 0
+	}
+	e.buf[n] = ev
+	e.n = n + 1
+}
+
+// flushBuf delivers the buffered events to the sink; a stop request
+// unwinds the workload body (the event stream delivered so far is
+// complete — nothing buffered is lost).
+func (e *emit) flushBuf() {
+	if e.n > 0 {
+		more := e.sink.ConsumeBatch(e.buf[:e.n])
+		e.n = 0
+		if !more {
+			panic(stopEmission{})
+		}
+	}
+}
 
 func (e *emit) flush() {
 	if e.pend > 0 {
-		e.s.Consume(trace.Event{Kind: trace.Instr, N: e.pend})
+		n := e.pend
 		e.pend = 0
+		e.push(trace.Event{Kind: trace.Instr, N: n})
 	}
 }
 
@@ -115,33 +159,75 @@ func (e *emit) flush() {
 func (e *emit) instr(n int) { e.pend += n }
 
 func (e *emit) load(pc uint64, addr mem.Addr) {
+	n := e.n
+	if p := e.pend; p > 0 {
+		if uint(n) < emitBatch-1 {
+			e.pend = 0
+			e.buf[n] = trace.Event{Kind: trace.Instr, N: p}
+			e.buf[n+1] = trace.Event{Kind: trace.Load, PC: pc, Addr: addr}
+			e.n = n + 2
+			return
+		}
+	} else if uint(n) < emitBatch {
+		e.buf[n] = trace.Event{Kind: trace.Load, PC: pc, Addr: addr}
+		e.n = n + 1
+		return
+	}
 	e.flush()
-	e.s.Consume(trace.Event{Kind: trace.Load, PC: pc, Addr: addr})
+	e.push(trace.Event{Kind: trace.Load, PC: pc, Addr: addr})
 }
 
 func (e *emit) store(pc uint64, addr mem.Addr) {
+	n := e.n
+	if p := e.pend; p > 0 {
+		if uint(n) < emitBatch-1 {
+			e.pend = 0
+			e.buf[n] = trace.Event{Kind: trace.Instr, N: p}
+			e.buf[n+1] = trace.Event{Kind: trace.Store, PC: pc, Addr: addr}
+			e.n = n + 2
+			return
+		}
+	} else if uint(n) < emitBatch {
+		e.buf[n] = trace.Event{Kind: trace.Store, PC: pc, Addr: addr}
+		e.n = n + 1
+		return
+	}
 	e.flush()
-	e.s.Consume(trace.Event{Kind: trace.Store, PC: pc, Addr: addr})
+	e.push(trace.Event{Kind: trace.Store, PC: pc, Addr: addr})
 }
 
 // branch emits a conditional-branch event at static site pc with the
 // given outcome.
 func (e *emit) branch(pc uint64, taken bool) {
+	n := e.n
+	if p := e.pend; p > 0 {
+		if uint(n) < emitBatch-1 {
+			e.pend = 0
+			e.buf[n] = trace.Event{Kind: trace.Instr, N: p}
+			e.buf[n+1] = trace.Event{Kind: trace.Branch, PC: pc, Taken: taken}
+			e.n = n + 2
+			return
+		}
+	} else if uint(n) < emitBatch {
+		e.buf[n] = trace.Event{Kind: trace.Branch, PC: pc, Taken: taken}
+		e.n = n + 1
+		return
+	}
 	e.flush()
-	e.s.Consume(trace.Event{Kind: trace.Branch, PC: pc, Taken: taken})
+	e.push(trace.Event{Kind: trace.Branch, PC: pc, Taken: taken})
 }
 
 func (e *emit) begin(id int) {
 	e.flush()
-	e.s.Consume(trace.Event{Kind: trace.BlockBegin, Block: id})
+	e.push(trace.Event{Kind: trace.BlockBegin, Block: id})
 }
 
 func (e *emit) end(id int) {
 	e.flush()
-	e.s.Consume(trace.Event{Kind: trace.BlockEnd, Block: id})
+	e.push(trace.Event{Kind: trace.BlockEnd, Block: id})
 }
 
-// gen adapts a workload body to trace.Generator.
+// gen adapts a workload body to trace.BatchGenerator.
 type gen struct {
 	name string
 	body func(*emit)
@@ -149,10 +235,22 @@ type gen struct {
 
 func (g gen) Name() string { return g.name }
 
-func (g gen) Generate(sink trace.Sink) {
+func (g gen) Generate(sink trace.Sink) { g.GenerateBatches(trace.AsBatchSink(sink)) }
+
+// GenerateBatches implements trace.BatchGenerator: the body emits into
+// one reusable buffer and is unwound at most once when the sink stops.
+func (g gen) GenerateBatches(sink trace.BatchSink) {
 	e := newEmit(sink)
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(stopEmission); !ok {
+				panic(r)
+			}
+		}
+	}()
 	g.body(e)
 	e.flush()
+	e.flushBuf()
 }
 
 // Distinct base addresses per array, spaced 256MB apart so arrays never

@@ -232,6 +232,7 @@ func TestEmitBatching(t *testing.T) {
 	e.instr(4)
 	e.load(0x10, 0x4000)
 	e.flush()
+	e.flushBuf()
 	if len(tr.Events) != 2 {
 		t.Fatalf("events = %v", tr.Events)
 	}
