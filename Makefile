@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check race bench check
+.PHONY: all build test vet fmt-check race bench obs-smoke check
 
 all: check
 
@@ -18,12 +18,21 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# The harness is the one package with real concurrency (parallel matrix
-# fill, single-flight memoization), so it gets a race-detector run.
+# The harness has real concurrency (parallel matrix fill, single-flight
+# memoization) and the sim probes run under it, so both get a
+# race-detector pass.
 race:
-	$(GO) test -race ./internal/harness/...
+	$(GO) test -race ./internal/sim/... ./internal/harness/...
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
-check: build vet fmt-check test race
+# End-to-end observability smoke: simulate 200k instructions with a run
+# record attached, then re-validate the record against the schema.
+obs-smoke:
+	$(GO) build -o /tmp/cbwsim-smoke ./cmd/cbwsim
+	/tmp/cbwsim-smoke -workload stencil-default -prefetcher cbws+sms \
+		-n 200000 -warmup 50000 -obs /tmp/cbwsim-smoke-run.json -sample-interval 20000
+	/tmp/cbwsim-smoke -validate-record /tmp/cbwsim-smoke-run.json
+
+check: build vet fmt-check test race obs-smoke

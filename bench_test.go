@@ -7,6 +7,7 @@
 package cbws_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -81,27 +82,24 @@ func BenchmarkFigure5Skew(b *testing.B) {
 }
 
 // BenchmarkFigure12MPKI regenerates the MPKI comparison of Figure 12
-// over the subset × all seven schemes.
+// over the subset × all seven schemes, reporting one headline metric
+// per scheme keyed by its registry name.
 func BenchmarkFigure12MPKI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m := harness.NewMatrix(benchOptions())
-		var none, hybrid []float64
+		mpki := make(map[string][]float64)
 		for _, spec := range benchSpecs(b) {
 			for _, f := range harness.Prefetchers() {
 				r, err := m.Get(spec, f)
 				if err != nil {
 					b.Fatal(err)
 				}
-				switch f.Name {
-				case "none":
-					none = append(none, r.Metrics.MPKI())
-				case "cbws+sms":
-					hybrid = append(hybrid, r.Metrics.MPKI())
-				}
+				mpki[f.Name] = append(mpki[f.Name], r.Metrics.MPKI())
 			}
 		}
-		b.ReportMetric(stats.Mean(none), "mpki-none")
-		b.ReportMetric(stats.Mean(hybrid), "mpki-cbws+sms")
+		for _, f := range harness.Prefetchers() {
+			b.ReportMetric(stats.Mean(mpki[f.Name]), "mpki-"+f.Name)
+		}
 	}
 }
 
@@ -355,6 +353,34 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := sim.Run(cfg, spec.Make(), f.New()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(300_000) // "bytes" = simulated instructions
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughputProbed is BenchmarkSimulatorThroughput
+// with a time-series probe attached at the default sampling interval —
+// the observability acceptance target is that probed runs stay within a
+// few percent of the unobserved path, with zero steady-state allocs
+// attributable to sampling.
+func BenchmarkSimulatorThroughputProbed(b *testing.B) {
+	for _, pf := range []string{"none", "cbws+sms"} {
+		pf := pf
+		b.Run(pf, func(b *testing.B) {
+			f, _ := harness.FactoryByName(pf)
+			spec, _ := workload.ByName("stencil-default")
+			cfg := sim.DefaultConfig()
+			cfg.MaxInstructions = 300_000
+			ts := sim.NewTimeSeries(int(cfg.MaxInstructions/sim.DefaultSampleInterval) + 2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ts.Reset()
+				if _, err := sim.RunContext(context.Background(), cfg, spec.Make(), f.New(),
+					sim.WithProbe(ts)); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -19,22 +19,43 @@
 //     reproducing the paper's LLVM-based BLOCK_BEGIN/BLOCK_END
 //     instrumentation.
 //
-// Quick start:
+// Quick start — prefetchers are constructed by name from the scheme
+// registry, and runs go through the context-aware entry point, which
+// accepts functional options for observability:
 //
 //	cfg := cbws.DefaultConfig()
 //	cfg.MaxInstructions = 2_000_000
 //	wl, _ := cbws.WorkloadByName("stencil-default")
-//	res, err := cbws.Run(cfg, wl.Make(), cbws.NewCBWSPlusSMS())
+//	pf, _ := cbws.NewPrefetcher("cbws+sms")
+//
+//	series := cbws.NewTimeSeries(64)
+//	res, err := cbws.RunContext(ctx, cfg, wl.Make(), pf,
+//	    cbws.WithProbe(series),
+//	    cbws.WithSampleInterval(100_000))
 //	fmt.Println(res.Metrics.IPC(), res.Metrics.MPKI())
+//	for _, p := range series.Points() {
+//	    fmt.Println(p.Instructions, p.Interval.IPC()) // IPC over time
+//	}
+//
+// Cancelling ctx aborts the simulation promptly (checked at trace batch
+// boundaries) and returns ctx.Err(). cbws.Run is shorthand for
+// RunContext with a background context and no options, and
+// cbws.Prefetchers lists every registered scheme name.
 //
 // The cmd/figures binary regenerates every table and figure of the
-// paper's evaluation; cmd/cbwsim simulates a single workload ×
-// prefetcher pair; cmd/tracegen captures annotated traces to disk.
+// paper's evaluation (with -obs-dir it also writes per-cell run records
+// and time-series files); cmd/cbwsim simulates a single workload ×
+// prefetcher pair (-obs writes its run record); cmd/tracegen captures
+// annotated traces to disk. All CLIs serve pprof and expvar diagnostics
+// under an opt-in -debug-addr flag.
 package cbws
 
 import (
+	"context"
+
 	"cbws/internal/core"
 	"cbws/internal/prefetch"
+	"cbws/internal/registry"
 	"cbws/internal/sim"
 	"cbws/internal/stats"
 	"cbws/internal/trace"
@@ -64,39 +85,115 @@ type WorkloadSpec = workload.Spec
 // uses the paper's sub-1KB configuration.
 type CBWSConfig = core.Config
 
+// Option configures a RunContext run (WithProbe, WithSampleInterval,
+// WithProgress).
+type Option = sim.Option
+
+// Probe observes a run as it executes; see RunContext and WithProbe.
+type Probe = sim.Probe
+
+// Sample is one probe observation: interval and cumulative metrics plus
+// ROB/MSHR occupancy. The pointer handed to a Probe is reused between
+// samples and must not be retained.
+type Sample = sim.Sample
+
+// SamplePoint is the retained, serializable form of one sample.
+type SamplePoint = sim.SamplePoint
+
+// TimeSeries is a Probe recording every sample as a SamplePoint.
+type TimeSeries = sim.TimeSeries
+
 // DefaultConfig returns the paper's Table II system: a 4-wide, 128-entry
 // ROB core with a 32KB 4-way L1D, an inclusive 2MB 8-way L2 and a
 // 300-cycle memory.
 func DefaultConfig() Config { return sim.DefaultConfig() }
 
 // Run simulates workload wl on the configured system under prefetcher
-// pf and returns the collected metrics.
-func Run(cfg Config, wl Workload, pf Prefetcher) (Result, error) { return sim.Run(cfg, wl, pf) }
+// pf and returns the collected metrics. It is RunContext with a
+// background context and no options.
+func Run(cfg Config, wl Workload, pf Prefetcher) (Result, error) {
+	return RunContext(context.Background(), cfg, wl, pf)
+}
+
+// RunContext simulates workload wl on the configured system under
+// prefetcher pf. Cancelling ctx aborts the run promptly (checked at
+// trace batch boundaries) and returns ctx.Err(). Options attach
+// observability: WithProbe samples full metrics plus ROB/MSHR occupancy
+// every WithSampleInterval committed instructions, and WithProgress
+// reports the committed instruction count at the same cadence.
+func RunContext(ctx context.Context, cfg Config, wl Workload, pf Prefetcher, opts ...Option) (Result, error) {
+	return sim.RunContext(ctx, cfg, wl, pf, opts...)
+}
+
+// WithProbe attaches p to a RunContext run.
+func WithProbe(p Probe) Option { return sim.WithProbe(p) }
+
+// WithSampleInterval sets the probe/progress sampling period in
+// committed instructions (default sim.DefaultSampleInterval).
+func WithSampleInterval(n uint64) Option { return sim.WithSampleInterval(n) }
+
+// WithProgress attaches a progress callback invoked with the total
+// committed instruction count every sample interval.
+func WithProgress(fn func(instructions uint64)) Option { return sim.WithProgress(fn) }
+
+// NewTimeSeries returns a TimeSeries probe with room for capacity
+// samples before its backing array has to grow.
+func NewTimeSeries(capacity int) *TimeSeries { return sim.NewTimeSeries(capacity) }
+
+// Prefetchers returns the names of every registered prefetching scheme,
+// evaluated roster first ("none" … "cbws+sms"), then the extension
+// baselines ("ampm", "markov"). Each name constructs via NewPrefetcher.
+func Prefetchers() []string { return registry.Names() }
+
+// NewPrefetcher constructs a registered scheme by name. Unknown names
+// return an error listing the valid ones.
+func NewPrefetcher(name string) (Prefetcher, error) { return registry.New(name) }
 
 // NewCBWS builds the paper's CBWS prefetcher. A zero-value config uses
 // the paper's parameters (16-line vectors, 4 steps, 16-entry table).
+// For the registry-equivalent default configuration use
+// NewPrefetcher("cbws"); NewCBWS remains for custom CBWSConfig values.
 func NewCBWS(cfg CBWSConfig) *core.Prefetcher { return core.New(cfg) }
 
 // NewCBWSPlusSMS builds the integrated CBWS+SMS prefetcher — the paper's
 // best-performing configuration.
-func NewCBWSPlusSMS() Prefetcher {
-	return core.NewComposite(core.New(core.Config{}), prefetch.NewSMS(prefetch.SMSConfig{}))
-}
+//
+// Deprecated: use NewPrefetcher("cbws+sms").
+func NewCBWSPlusSMS() Prefetcher { return mustNew("cbws+sms") }
 
 // NewSMS builds the spatial memory streaming baseline.
-func NewSMS() Prefetcher { return prefetch.NewSMS(prefetch.SMSConfig{}) }
+//
+// Deprecated: use NewPrefetcher("sms").
+func NewSMS() Prefetcher { return mustNew("sms") }
 
 // NewStride builds the 256-stream stride baseline.
-func NewStride() Prefetcher { return prefetch.NewStride(prefetch.StrideConfig{}) }
+//
+// Deprecated: use NewPrefetcher("stride").
+func NewStride() Prefetcher { return mustNew("stride") }
 
 // NewGHBPCDC builds the GHB PC/DC baseline.
-func NewGHBPCDC() Prefetcher { return prefetch.NewGHB(prefetch.GHBConfig{Mode: prefetch.PCDC}) }
+//
+// Deprecated: use NewPrefetcher("ghb-pc/dc").
+func NewGHBPCDC() Prefetcher { return mustNew("ghb-pc/dc") }
 
 // NewGHBGDC builds the GHB G/DC baseline.
-func NewGHBGDC() Prefetcher { return prefetch.NewGHB(prefetch.GHBConfig{Mode: prefetch.GlobalDC}) }
+//
+// Deprecated: use NewPrefetcher("ghb-g/dc").
+func NewGHBGDC() Prefetcher { return mustNew("ghb-g/dc") }
 
 // NewNone builds the no-prefetching baseline.
-func NewNone() Prefetcher { return prefetch.NewNone() }
+//
+// Deprecated: use NewPrefetcher("none").
+func NewNone() Prefetcher { return mustNew("none") }
+
+// mustNew resolves a name known to be registered.
+func mustNew(name string) Prefetcher {
+	p, err := registry.New(name)
+	if err != nil {
+		panic(err) // unreachable: the wrappers only pass registered names
+	}
+	return p
+}
 
 // Workloads returns all 30 benchmark emulations.
 func Workloads() []WorkloadSpec { return workload.All() }

@@ -1,6 +1,8 @@
 package cbws_test
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"cbws"
@@ -60,5 +62,64 @@ func TestFacadeCBWSStorageBudget(t *testing.T) {
 	p := cbws.NewCBWS(cbws.CBWSConfig{})
 	if bits := p.StorageBits(); bits >= 8*1024 {
 		t.Errorf("CBWS storage = %d bits, must stay under 1KB", bits)
+	}
+}
+
+func TestFacadeRegistry(t *testing.T) {
+	names := cbws.Prefetchers()
+	if len(names) < 7 {
+		t.Fatalf("Prefetchers() lists %d schemes, want at least the evaluated 7", len(names))
+	}
+	for _, name := range names {
+		p, err := cbws.NewPrefetcher(name)
+		if err != nil {
+			t.Fatalf("NewPrefetcher(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("NewPrefetcher(%q) builds %q", name, p.Name())
+		}
+	}
+	if _, err := cbws.NewPrefetcher("bogus"); err == nil {
+		t.Error("NewPrefetcher(bogus) should fail")
+	}
+}
+
+func TestFacadeRunContextWithProbe(t *testing.T) {
+	cfg := cbws.DefaultConfig()
+	cfg.MaxInstructions = 200_000
+	cfg.WarmupInstructions = 50_000
+
+	wl, _ := cbws.WorkloadByName("stencil-default")
+	pf, err := cbws.NewPrefetcher("cbws+sms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := cbws.NewTimeSeries(8)
+	res, err := cbws.RunContext(context.Background(), cfg, wl.Make(), pf,
+		cbws.WithProbe(series), cbws.WithSampleInterval(50_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, ok := series.Final()
+	if !ok {
+		t.Fatal("no final sample")
+	}
+	if final != res.Metrics {
+		t.Errorf("probe final snapshot diverges from Result.Metrics")
+	}
+	if series.Len() == 0 {
+		t.Error("empty series")
+	}
+}
+
+func TestFacadeRunContextCancelled(t *testing.T) {
+	cfg := cbws.DefaultConfig()
+	cfg.MaxInstructions = 200_000
+	wl, _ := cbws.WorkloadByName("stencil-default")
+	pf, _ := cbws.NewPrefetcher("none")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cbws.RunContext(ctx, cfg, wl.Make(), pf); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

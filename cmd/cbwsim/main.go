@@ -4,14 +4,28 @@
 // Usage:
 //
 //	cbwsim -workload stencil-default -prefetcher cbws+sms [-n instructions]
+//	cbwsim -workload stencil-default -obs run.json [-sample-interval N]
+//	cbwsim -validate-record run.json
 //	cbwsim -list
+//
+// With -obs a time-series probe samples the run every -sample-interval
+// committed instructions and a structured run record (JSON manifest
+// including the delta-encoded sample series) is written to the given
+// path; -validate-record checks such a file against the schema.
+// -debug-addr serves pprof and expvar diagnostics while the simulation
+// runs. The run is cancellable: an interrupt aborts at the next trace
+// batch boundary.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
+	"cbws/internal/debugsrv"
 	"cbws/internal/harness"
 	"cbws/internal/sim"
 	"cbws/internal/workload"
@@ -19,13 +33,37 @@ import (
 
 func main() {
 	wl := flag.String("workload", "stencil-default", "workload name (see -list)")
-	pf := flag.String("prefetcher", "cbws+sms", "prefetcher: none, stride, ghb-pc/dc, ghb-g/dc, sms, cbws, cbws+sms, ampm")
+	pf := flag.String("prefetcher", "cbws+sms", "prefetcher name (see cbws.Prefetchers: none, stride, ghb-pc/dc, ghb-g/dc, sms, cbws, cbws+sms, ampm, markov)")
 	n := flag.Uint64("n", 4_000_000, "instructions to simulate")
 	warm := flag.Uint64("warmup", 1_000_000, "warmup instructions excluded from metrics")
 	list := flag.Bool("list", false, "list workloads and exit")
 	configPath := flag.String("config", "", "JSON system-config file (overrides Table II defaults)")
 	dumpConfig := flag.Bool("dump-config", false, "print the effective configuration as JSON and exit")
+	obs := flag.String("obs", "", "write a run record (JSON manifest + sample series) to this path")
+	interval := flag.Uint64("sample-interval", 0, "probe sampling period in instructions (0: default)")
+	validate := flag.String("validate-record", "", "validate a run-record JSON file against the schema and exit")
+	debugAddr := flag.String("debug-addr", "", "serve pprof/expvar diagnostics on this address (e.g. :6060)")
 	flag.Parse()
+
+	if *validate != "" {
+		rec, err := harness.ReadRunRecord(*validate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cbwsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid run record (schema %d, %s/%s, %d samples)\n",
+			*validate, rec.Schema, rec.Workload, rec.Prefetcher, len(rec.Samples))
+		return
+	}
+
+	if *debugAddr != "" {
+		addr, err := debugsrv.Serve(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cbwsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cbwsim: diagnostics on http://%s/debug/pprof/ and /debug/vars\n", addr)
+	}
 
 	if *list {
 		fmt.Println("memory-intensive workloads:")
@@ -68,11 +106,36 @@ func main() {
 		}
 		return
 	}
-	res, err := sim.Run(cfg, spec.Make(), f.New())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var opts []sim.Option
+	var ts *sim.TimeSeries
+	sampleEvery := *interval
+	if *obs != "" {
+		if sampleEvery == 0 {
+			sampleEvery = sim.DefaultSampleInterval
+		}
+		ts = sim.NewTimeSeries(int(*n/sampleEvery) + 2)
+		opts = append(opts, sim.WithProbe(ts), sim.WithSampleInterval(sampleEvery))
+	}
+
+	start := time.Now()
+	res, err := sim.RunContext(ctx, cfg, spec.Make(), f.New(), opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cbwsim:", err)
 		os.Exit(1)
 	}
+	if ts != nil {
+		rec := harness.NewRunRecord(cfg, res, sampleEvery, ts.Points(), time.Since(start))
+		if err := rec.WriteJSON(*obs); err != nil {
+			fmt.Fprintln(os.Stderr, "cbwsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cbwsim: wrote run record %s (%d samples)\n", *obs, len(rec.Samples))
+	}
+
 	m := res.Metrics
 	fmt.Printf("workload     %s\nprefetcher   %s\n", res.Workload, res.Prefetcher)
 	fmt.Printf("instructions %d\ncycles       %d\nIPC          %.4f\n", m.Instructions, m.Cycles, m.IPC())

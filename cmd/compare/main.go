@@ -8,10 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
+	"cbws/internal/debugsrv"
 	"cbws/internal/harness"
 	"cbws/internal/report"
 	"cbws/internal/sim"
@@ -25,7 +28,20 @@ func main() {
 	b := flag.String("b", "cbws+sms", "second prefetcher")
 	n := flag.Uint64("n", 4_000_000, "instructions to simulate")
 	warm := flag.Uint64("warmup", 1_000_000, "warmup instructions excluded from metrics")
+	debugAddr := flag.String("debug-addr", "", "serve pprof/expvar diagnostics on this address (e.g. :6060)")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		addr, err := debugsrv.Serve(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compare:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "compare: diagnostics on http://%s/debug/pprof/ and /debug/vars\n", addr)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	spec, ok := workload.ByName(*wl)
 	if !ok {
@@ -41,7 +57,7 @@ func main() {
 		cfg := sim.DefaultConfig()
 		cfg.MaxInstructions = *n
 		cfg.WarmupInstructions = *warm
-		res, err := sim.Run(cfg, spec.Make(), f.New())
+		res, err := sim.RunContext(ctx, cfg, spec.Make(), f.New())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "compare:", err)
 			os.Exit(1)

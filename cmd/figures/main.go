@@ -5,9 +5,13 @@
 // Usage:
 //
 //	figures [-n instructions] [-par N] [-fig all|1|t1|3|5|t2|t3|12|13|14|15]
+//	figures -obs-dir obs/ [-sample-interval N]
 //
 // With -fig all (the default) the full evaluation matrix (30 workloads ×
 // 7 schemes) is simulated once and every figure is derived from it.
+// With -obs-dir every matrix cell additionally writes a structured run
+// record (JSON manifest) and a time-series CSV into the directory;
+// -debug-addr serves pprof/expvar diagnostics while the matrix fills.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"cbws/internal/debugsrv"
 	"cbws/internal/harness"
 	"cbws/internal/report"
 )
@@ -25,12 +30,26 @@ func main() {
 	par := flag.Int("par", 0, "parallel simulations (<= 0: one per CPU)")
 	fig := flag.String("fig", "all", "figure to regenerate (all, 1, t1, 3, 5, t2, t3, 12, 13, 14, 15, ext)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	obsDir := flag.String("obs-dir", "", "write per-cell run records (JSON) and time series (CSV) into this directory")
+	interval := flag.Uint64("sample-interval", 0, "probe sampling period in instructions (0: default; used with -obs-dir)")
+	debugAddr := flag.String("debug-addr", "", "serve pprof/expvar diagnostics on this address (e.g. :6060)")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		addr, err := debugsrv.Serve(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "figures: diagnostics on http://%s/debug/pprof/ and /debug/vars\n", addr)
+	}
 
 	opts := harness.DefaultOptions()
 	opts.Sim.MaxInstructions = *n
 	opts.Sim.WarmupInstructions = *warm
 	opts.Parallel = *par
+	opts.ObsDir = *obsDir
+	opts.SampleInterval = *interval
 	m := harness.NewMatrix(opts)
 
 	if err := run(m, opts, *fig, *n, *csv); err != nil {

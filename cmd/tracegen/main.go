@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"cbws/internal/debugsrv"
 	"cbws/internal/trace"
 	"cbws/internal/workload"
 )
@@ -21,7 +22,17 @@ func main() {
 	n := flag.Uint64("n", 1_000_000, "instructions to capture")
 	out := flag.String("o", "", "output file (default <workload>.cbwt)")
 	statsOnly := flag.Bool("stats", false, "print a trace summary instead of writing a file")
+	debugAddr := flag.String("debug-addr", "", "serve pprof/expvar diagnostics on this address (e.g. :6060)")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		addr, err := debugsrv.Serve(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: diagnostics on http://%s/debug/pprof/ and /debug/vars\n", addr)
+	}
 
 	spec, ok := workload.ByName(*wl)
 	if !ok {

@@ -1,6 +1,7 @@
 package cbws_test
 
 import (
+	"context"
 	"fmt"
 
 	"cbws"
@@ -37,4 +38,47 @@ func ExampleRun() {
 	fmt.Println(res.Workload, "under", res.Prefetcher,
 		"simulated", res.Metrics.Instructions, "instructions")
 	// Output: nw under cbws+sms simulated 100000 instructions
+}
+
+// ExampleRunContext shows the options API: constructing a prefetcher by
+// registry name and sampling a time series while the run executes.
+func ExampleRunContext() {
+	cfg := cbws.DefaultConfig()
+	cfg.MaxInstructions = 100_000
+
+	wl, _ := cbws.WorkloadByName("nw")
+	pf, err := cbws.NewPrefetcher("cbws+sms")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	series := cbws.NewTimeSeries(8)
+	res, err := cbws.RunContext(context.Background(), cfg, wl.Make(), pf,
+		cbws.WithProbe(series), cbws.WithSampleInterval(25_000))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	final, _ := series.Final()
+	fmt.Println(res.Workload, "sampled", series.Len(), "points;",
+		"final snapshot matches result:", final == res.Metrics)
+	// Output: nw sampled 5 points; final snapshot matches result: true
+}
+
+// ExampleNewPrefetcher enumerates the scheme registry.
+func ExampleNewPrefetcher() {
+	for _, name := range cbws.Prefetchers() {
+		p, _ := cbws.NewPrefetcher(name)
+		fmt.Println(p.Name())
+	}
+	// Output:
+	// none
+	// stride
+	// ghb-pc/dc
+	// ghb-g/dc
+	// sms
+	// cbws
+	// cbws+sms
+	// ampm
+	// markov
 }

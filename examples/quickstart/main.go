@@ -1,9 +1,12 @@
 // Quickstart: simulate the Parboil stencil under SMS and under the
 // integrated CBWS+SMS prefetcher, and compare the headline metrics —
-// the smallest end-to-end use of the public API.
+// the smallest end-to-end use of the public API. The second scheme is
+// also run with a time-series probe attached, showing the options API
+// and how IPC evolves over the measured window.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +23,11 @@ func main() {
 		log.Fatal("stencil workload missing")
 	}
 
-	for _, pf := range []cbws.Prefetcher{cbws.NewSMS(), cbws.NewCBWSPlusSMS()} {
+	for _, name := range []string{"sms", "cbws+sms"} {
+		pf, err := cbws.NewPrefetcher(name)
+		if err != nil {
+			log.Fatal(err)
+		}
 		res, err := cbws.Run(cfg, wl.Make(), pf)
 		if err != nil {
 			log.Fatal(err)
@@ -29,5 +36,22 @@ func main() {
 		fmt.Printf("%-9s IPC=%.3f  MPKI=%.2f  timely=%.1f%%  mem-traffic=%.1fMB\n",
 			res.Prefetcher, m.IPC(), m.MPKI(), 100*m.TimelyFrac(),
 			float64(m.BytesFromMem)/(1<<20))
+	}
+
+	// The same run, observed: sample the metrics every 250k committed
+	// instructions and print per-interval IPC.
+	pf, _ := cbws.NewPrefetcher("cbws+sms")
+	series := cbws.NewTimeSeries(8)
+	if _, err := cbws.RunContext(context.Background(), cfg, wl.Make(), pf,
+		cbws.WithProbe(series), cbws.WithSampleInterval(250_000)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncbws+sms IPC over time:")
+	for _, p := range series.Points() {
+		if p.Final {
+			continue // the end-of-run sample repeats the last interval tail
+		}
+		fmt.Printf("  @%7d instr  interval IPC=%.3f  ROB=%3d  L2-MSHR=%2d\n",
+			p.Instructions, p.Interval.IPC(), p.ROBOccupancy, p.L2MSHROccupancy)
 	}
 }

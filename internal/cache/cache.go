@@ -192,6 +192,19 @@ func (c *Cache) mshrFree(now uint64) (bool, uint64) {
 	return false, earliest
 }
 
+// MSHROccupancy returns the number of fills still outstanding at cycle
+// now. It is a read-only observability accessor: unlike mshrFree it
+// never reaps, so sampling cannot perturb allocation decisions.
+func (c *Cache) MSHROccupancy(now uint64) int {
+	n := 0
+	for _, t := range c.mshr {
+		if t > now {
+			n++
+		}
+	}
+	return n
+}
+
 // victim selects the replacement way in l's set: an invalid way if any,
 // otherwise the LRU way. Ways with outstanding fills are skipped when
 // possible (they are pinned by their MSHR). Returns a flat way index.

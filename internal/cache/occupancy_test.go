@@ -1,0 +1,45 @@
+package cache
+
+import "testing"
+
+func TestMSHROccupancy(t *testing.T) {
+	c := mustCache(t, small()) // 2 MSHRs
+	if got := c.MSHROccupancy(0); got != 0 {
+		t.Fatalf("idle occupancy = %d, want 0", got)
+	}
+	c.Fill(1, 0, 300, false) // outstanding until 300
+	c.Fill(2, 0, 100, false) // outstanding until 100
+	if got := c.MSHROccupancy(50); got != 2 {
+		t.Errorf("occupancy at 50 = %d, want 2", got)
+	}
+	if got := c.MSHROccupancy(200); got != 1 {
+		t.Errorf("occupancy at 200 = %d, want 1 (one fill completed)", got)
+	}
+	if got := c.MSHROccupancy(400); got != 0 {
+		t.Errorf("occupancy at 400 = %d, want 0 (all fills completed)", got)
+	}
+}
+
+// TestMSHROccupancyDoesNotReap pins the observability contract: reading
+// the occupancy must not reap completed entries, because the eager reap
+// order inside mshrFree is part of the timing model — a probe that
+// reaped would perturb later allocation decisions.
+func TestMSHROccupancyDoesNotReap(t *testing.T) {
+	a := mustCache(t, small())
+	b := mustCache(t, small())
+	for _, c := range []*Cache{a, b} {
+		c.Fill(1, 0, 100, false)
+		c.Fill(2, 0, 100, false)
+	}
+	// Observe a far in the future; b is left untouched.
+	if got := a.MSHROccupancy(1_000_000); got != 0 {
+		t.Fatalf("occupancy = %d, want 0", got)
+	}
+	// Both caches must now behave identically: the observed one must
+	// still stall/complete fills exactly like the unobserved one.
+	fa := a.Fill(3, 200, 100, false)
+	fb := b.Fill(3, 200, 100, false)
+	if fa != fb {
+		t.Errorf("observed cache fills at %d, unobserved at %d — observation perturbed timing", fa, fb)
+	}
+}

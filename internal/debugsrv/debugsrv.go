@@ -1,0 +1,30 @@
+// Package debugsrv serves the standard Go diagnostics endpoints —
+// /debug/pprof/* (CPU, heap, goroutine profiles) and /debug/vars
+// (expvar, including memstats) — for the CLIs' opt-in -debug-addr flag.
+// Serving is best-effort and fully detached from the simulation: the
+// listener runs on its own goroutine and is torn down with the process.
+package debugsrv
+
+import (
+	_ "expvar" // registers /debug/vars on the default mux
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+)
+
+// Serve starts the diagnostics HTTP server on addr (e.g. ":6060" or
+// "127.0.0.1:0") and returns the bound address. The server uses the
+// default mux, where the pprof and expvar handlers self-register.
+func Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("debugsrv: %w", err)
+	}
+	go func() {
+		// The listener lives for the process; Serve only returns on
+		// close, and its error has nowhere useful to go.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

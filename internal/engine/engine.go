@@ -439,6 +439,24 @@ func (e *Engine) ConsumeBatch(batch []trace.Event) bool {
 	e.Stats = st
 	return true
 }
+
+// ROBOccupancy returns the number of reorder-buffer entries whose
+// instruction has dispatched but not yet committed at the current fetch
+// point — the in-flight window the next instruction contends with. It
+// is an observability accessor (probes sample it every interval); the
+// scan over the ROB ring is O(ROBEntries) and stays off the per-event
+// hot path.
+func (e *Engine) ROBOccupancy() int {
+	fcyc := e.fetchQ / e.width
+	n := 0
+	for _, freeAt := range e.rob {
+		if freeAt > fcyc {
+			n++
+		}
+	}
+	return n
+}
+
 func (e *Engine) Snapshot() Stats {
 	s := e.Stats
 	s.Cycles = (e.commitQ + e.width - 1) / e.width

@@ -1,16 +1,21 @@
 // Package harness runs the paper's evaluation: every workload × every
 // prefetcher on the Table II system, memoizing results so that all
 // figures derive from one simulation matrix, and rendering each figure
-// and table of the paper as a report.Table.
+// and table of the paper as a report.Table. With an observability
+// directory configured it also writes a structured run record (JSON
+// manifest plus time-series CSV) per matrix cell.
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
-	"cbws/internal/core"
 	"cbws/internal/prefetch"
+	"cbws/internal/registry"
 	"cbws/internal/sim"
 	"cbws/internal/workload"
 )
@@ -21,40 +26,38 @@ type Factory struct {
 	New  func() prefetch.Prefetcher
 }
 
+// fromRegistry converts registry factories to the harness view.
+func fromRegistry(in []registry.Factory) []Factory {
+	out := make([]Factory, len(in))
+	for i, f := range in {
+		out[i] = Factory{Name: f.Name, New: f.New}
+	}
+	return out
+}
+
 // Prefetchers returns the six evaluated schemes in the paper's plotting
 // order: no-prefetch, stride, GHB PC/DC, GHB G/DC, SMS, CBWS, CBWS+SMS.
+// The roster is backed by the shared scheme registry
+// (internal/registry).
 func Prefetchers() []Factory {
-	return []Factory{
-		{Name: "none", New: func() prefetch.Prefetcher { return prefetch.NewNone() }},
-		{Name: "stride", New: func() prefetch.Prefetcher { return prefetch.NewStride(prefetch.StrideConfig{}) }},
-		{Name: "ghb-pc/dc", New: func() prefetch.Prefetcher { return prefetch.NewGHB(prefetch.GHBConfig{Mode: prefetch.PCDC}) }},
-		{Name: "ghb-g/dc", New: func() prefetch.Prefetcher { return prefetch.NewGHB(prefetch.GHBConfig{Mode: prefetch.GlobalDC}) }},
-		{Name: "sms", New: func() prefetch.Prefetcher { return prefetch.NewSMS(prefetch.SMSConfig{}) }},
-		{Name: "cbws", New: func() prefetch.Prefetcher { return core.New(core.Config{}) }},
-		{Name: "cbws+sms", New: func() prefetch.Prefetcher {
-			return core.NewComposite(core.New(core.Config{}), prefetch.NewSMS(prefetch.SMSConfig{}))
-		}},
-	}
+	return fromRegistry(registry.Evaluated())
 }
 
 // ExtendedPrefetchers returns the evaluated schemes plus extension
 // baselines beyond the paper's roster (AMPM and Markov, which the
 // paper's related-work section discusses but does not evaluate).
 func ExtendedPrefetchers() []Factory {
-	return append(Prefetchers(),
-		Factory{Name: "ampm", New: func() prefetch.Prefetcher { return prefetch.NewAMPM(prefetch.AMPMConfig{}) }},
-		Factory{Name: "markov", New: func() prefetch.Prefetcher { return prefetch.NewMarkov(prefetch.MarkovConfig{}) }},
-	)
+	return fromRegistry(registry.All())
 }
 
-// FactoryByName looks up an evaluated or extension scheme.
+// FactoryByName looks up an evaluated or extension scheme in the shared
+// registry.
 func FactoryByName(name string) (Factory, bool) {
-	for _, f := range ExtendedPrefetchers() {
-		if f.Name == name {
-			return f, true
-		}
+	f, ok := registry.ByName(name)
+	if !ok {
+		return Factory{}, false
 	}
-	return Factory{}, false
+	return Factory{Name: f.Name, New: f.New}, true
 }
 
 // Options configures a harness run.
@@ -64,6 +67,14 @@ type Options struct {
 	// Fill. Zero or negative means one per available CPU
 	// (runtime.GOMAXPROCS(0)), the default.
 	Parallel int
+	// ObsDir, when non-empty, attaches a time-series probe to every
+	// simulation and writes a run record (JSON manifest + CSV series)
+	// per matrix cell into the directory, which is created if missing.
+	ObsDir string
+	// SampleInterval is the probe sampling period in committed
+	// instructions (0: sim.DefaultSampleInterval). Only used when
+	// ObsDir is set.
+	SampleInterval uint64
 }
 
 // DefaultOptions returns the Table II system with a 4M-instruction
@@ -78,12 +89,14 @@ func DefaultOptions() Options {
 	return Options{Sim: cfg, Parallel: runtime.GOMAXPROCS(0)}
 }
 
-// cell is one memoized matrix entry. The sync.Once gives Get
-// single-flight semantics: concurrent requests for the same cell run
-// the simulation exactly once and all block on that one run, instead
-// of racing to simulate it redundantly.
+// cell is one memoized matrix entry with single-flight semantics:
+// concurrent requests for the same cell run the simulation exactly once
+// and all block on that one run, instead of racing to simulate it
+// redundantly. The done channel (rather than a sync.Once) lets waiters
+// also honor their own context, and lets a cell whose owning run was
+// cancelled be retried instead of caching the cancellation forever.
 type cell struct {
-	once sync.Once
+	done chan struct{}
 	res  sim.Result
 	err  error
 }
@@ -107,27 +120,106 @@ func (m *Matrix) Options() Options { return m.opts }
 // Get simulates (or returns the memoized result of) one cell. Safe for
 // concurrent use; concurrent Gets of the same cell simulate it once.
 func (m *Matrix) Get(spec workload.Spec, f Factory) (sim.Result, error) {
+	return m.GetContext(context.Background(), spec, f)
+}
+
+// isCtxErr reports whether err is (or wraps) a context cancellation or
+// deadline error.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// GetContext is Get with cancellation: the context aborts both a run
+// this call owns and the wait on a run another call owns. A cell whose
+// owning run was cancelled is dropped from the matrix, so a later Get
+// with a live context re-simulates it rather than inheriting the
+// cancellation.
+func (m *Matrix) GetContext(ctx context.Context, spec workload.Spec, f Factory) (sim.Result, error) {
 	key := spec.Name + "\x00" + f.Name
-	m.mu.Lock()
-	c, ok := m.cells[key]
-	if !ok {
-		c = &cell{}
-		m.cells[key] = c
-	}
-	m.mu.Unlock()
-	c.once.Do(func() {
-		c.res, c.err = sim.Run(m.opts.Sim, spec.Make(), f.New())
-		if c.err != nil {
-			c.err = fmt.Errorf("harness: %s/%s: %w", spec.Name, f.Name, c.err)
+	for {
+		m.mu.Lock()
+		c, ok := m.cells[key]
+		if !ok {
+			c = &cell{done: make(chan struct{})}
+			m.cells[key] = c
+			m.mu.Unlock()
+			c.res, c.err = m.run(ctx, spec, f)
+			if c.err != nil && isCtxErr(c.err) {
+				m.mu.Lock()
+				delete(m.cells, key)
+				m.mu.Unlock()
+			}
+			close(c.done)
+			return c.res, c.err
 		}
-	})
-	return c.res, c.err
+		m.mu.Unlock()
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			return sim.Result{}, ctx.Err()
+		}
+		if c.err != nil && isCtxErr(c.err) {
+			continue // owner was cancelled; retry with our context
+		}
+		return c.res, c.err
+	}
+}
+
+// run executes one simulation, attaching the observability probe and
+// writing the run record when an ObsDir is configured.
+func (m *Matrix) run(ctx context.Context, spec workload.Spec, f Factory) (sim.Result, error) {
+	wrap := func(err error) error {
+		return fmt.Errorf("harness: %s/%s: %w", spec.Name, f.Name, err)
+	}
+	if m.opts.ObsDir == "" {
+		res, err := sim.RunContext(ctx, m.opts.Sim, spec.Make(), f.New())
+		if err != nil {
+			return res, wrap(err)
+		}
+		return res, nil
+	}
+	interval := m.opts.SampleInterval
+	if interval == 0 {
+		interval = sim.DefaultSampleInterval
+	}
+	ts := sim.NewTimeSeries(seriesCapacity(m.opts.Sim, interval))
+	start := time.Now()
+	res, err := sim.RunContext(ctx, m.opts.Sim, spec.Make(), f.New(),
+		sim.WithProbe(ts), sim.WithSampleInterval(interval))
+	if err != nil {
+		return res, wrap(err)
+	}
+	rec := NewRunRecord(m.opts.Sim, res, interval, ts.Points(), time.Since(start))
+	if err := rec.WriteFiles(m.opts.ObsDir); err != nil {
+		return res, wrap(err)
+	}
+	return res, nil
+}
+
+// seriesCapacity sizes a TimeSeries so steady-state sampling never
+// reallocates: one point per interval of the measured window, plus the
+// final sample and slack for boundary overshoot.
+func seriesCapacity(cfg sim.Config, interval uint64) int {
+	if cfg.MaxInstructions == 0 || interval == 0 {
+		return 64
+	}
+	return int(cfg.MaxInstructions/interval) + 2
 }
 
 // Fill simulates every cell of specs × factories, using up to
-// opts.Parallel goroutines (all CPUs when Parallel <= 0). Each
-// simulation is fully independent, so parallel cells share nothing.
+// opts.Parallel goroutines (all CPUs when Parallel <= 0).
 func (m *Matrix) Fill(specs []workload.Spec, factories []Factory) error {
+	return m.FillContext(context.Background(), specs, factories)
+}
+
+// FillContext fills the matrix under a context. Every launched
+// simulation is waited for before returning — an early failure never
+// leaves runs in flight — and all failures are aggregated with
+// errors.Join. Cancelling the context stops new launches, aborts
+// in-flight runs at their next batch boundary, and reports ctx.Err()
+// (individual per-cell cancellations are folded into it rather than
+// repeated per cell).
+func (m *Matrix) FillContext(ctx context.Context, specs []workload.Spec, factories []Factory) error {
 	type job struct {
 		s workload.Spec
 		f Factory
@@ -143,19 +235,32 @@ func (m *Matrix) Fill(specs []workload.Spec, factories []Factory) error {
 		par = runtime.GOMAXPROCS(0)
 	}
 	sem := make(chan struct{}, par)
-	errs := make(chan error, len(jobs))
+	var (
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		errs  []error
+	)
+launch:
 	for _, j := range jobs {
-		sem <- struct{}{}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			break launch
+		}
+		wg.Add(1)
 		go func(j job) {
+			defer wg.Done()
 			defer func() { <-sem }()
-			_, err := m.Get(j.s, j.f)
-			errs <- err
+			if _, err := m.GetContext(ctx, j.s, j.f); err != nil && !isCtxErr(err) {
+				errMu.Lock()
+				errs = append(errs, err)
+				errMu.Unlock()
+			}
 		}(j)
 	}
-	for range jobs {
-		if err := <-errs; err != nil {
-			return err
-		}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
 	}
-	return nil
+	return errors.Join(errs...)
 }

@@ -1,0 +1,115 @@
+// Package registry is the single name-based catalogue of prefetching
+// schemes. Every surface that constructs a prefetcher by name — the
+// public cbws facade, the evaluation harness, the CLIs and the
+// benchmarks — delegates here, so adding a scheme in one place makes it
+// available everywhere.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cbws/internal/core"
+	"cbws/internal/prefetch"
+)
+
+// Factory names and constructs one prefetching scheme.
+type Factory struct {
+	Name string
+	// Extension marks schemes beyond the paper's evaluated roster
+	// (related-work baselines); the paper figures exclude them.
+	Extension bool
+	New       func() prefetch.Prefetcher
+}
+
+// factories lists every registered scheme in the paper's plotting order,
+// evaluated roster first, then the extension baselines.
+var factories = []Factory{
+	{Name: "none", New: func() prefetch.Prefetcher { return prefetch.NewNone() }},
+	{Name: "stride", New: func() prefetch.Prefetcher { return prefetch.NewStride(prefetch.StrideConfig{}) }},
+	{Name: "ghb-pc/dc", New: func() prefetch.Prefetcher { return prefetch.NewGHB(prefetch.GHBConfig{Mode: prefetch.PCDC}) }},
+	{Name: "ghb-g/dc", New: func() prefetch.Prefetcher { return prefetch.NewGHB(prefetch.GHBConfig{Mode: prefetch.GlobalDC}) }},
+	{Name: "sms", New: func() prefetch.Prefetcher { return prefetch.NewSMS(prefetch.SMSConfig{}) }},
+	{Name: "cbws", New: func() prefetch.Prefetcher { return core.New(core.Config{}) }},
+	{Name: "cbws+sms", New: func() prefetch.Prefetcher {
+		return core.NewComposite(core.New(core.Config{}), prefetch.NewSMS(prefetch.SMSConfig{}))
+	}},
+	{Name: "ampm", Extension: true, New: func() prefetch.Prefetcher { return prefetch.NewAMPM(prefetch.AMPMConfig{}) }},
+	{Name: "markov", Extension: true, New: func() prefetch.Prefetcher { return prefetch.NewMarkov(prefetch.MarkovConfig{}) }},
+}
+
+// Evaluated returns the schemes of the paper's evaluation in plotting
+// order: none, stride, GHB PC/DC, GHB G/DC, SMS, CBWS, CBWS+SMS.
+func Evaluated() []Factory {
+	out := make([]Factory, 0, len(factories))
+	for _, f := range factories {
+		if !f.Extension {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// All returns every registered scheme: the evaluated roster followed by
+// the extension baselines.
+func All() []Factory {
+	out := make([]Factory, len(factories))
+	copy(out, factories)
+	return out
+}
+
+// Names returns the registered scheme names in registration order.
+func Names() []string {
+	out := make([]string, len(factories))
+	for i, f := range factories {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// ByName looks up a registered scheme.
+func ByName(name string) (Factory, bool) {
+	for _, f := range factories {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Factory{}, false
+}
+
+// New constructs the named scheme, or an error listing the valid names
+// (nearest first) when the name is unknown.
+func New(name string) (prefetch.Prefetcher, error) {
+	if f, ok := ByName(name); ok {
+		return f.New(), nil
+	}
+	names := Names()
+	sort.Slice(names, func(i, j int) bool {
+		return editDistance(name, names[i]) < editDistance(name, names[j])
+	})
+	return nil, fmt.Errorf("registry: unknown prefetcher %q (did you mean %q? valid: %s)",
+		name, names[0], strings.Join(Names(), ", "))
+}
+
+// editDistance is the Levenshtein distance between a and b, used only to
+// order the suggestion in New's error message.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

@@ -1,0 +1,70 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRoundTrip checks that every listed name constructs a prefetcher
+// that reports the same name, via both ByName and New.
+func TestRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		f, ok := ByName(name)
+		if !ok {
+			t.Fatalf("ByName(%q) missing a listed name", name)
+		}
+		if f.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, f.Name)
+		}
+		if got := f.New().Name(); got != name {
+			t.Errorf("factory %q constructs prefetcher named %q", name, got)
+		}
+		p, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if got := p.Name(); got != name {
+			t.Errorf("New(%q).Name() = %q", name, got)
+		}
+	}
+}
+
+// TestEvaluatedRoster pins the paper's evaluated schemes and their
+// plotting order; extensions stay out of the evaluated set.
+func TestEvaluatedRoster(t *testing.T) {
+	want := []string{"none", "stride", "ghb-pc/dc", "ghb-g/dc", "sms", "cbws", "cbws+sms"}
+	got := Evaluated()
+	if len(got) != len(want) {
+		t.Fatalf("Evaluated() has %d schemes, want %d", len(got), len(want))
+	}
+	for i, f := range got {
+		if f.Name != want[i] {
+			t.Errorf("Evaluated()[%d] = %q, want %q", i, f.Name, want[i])
+		}
+		if f.Extension {
+			t.Errorf("%s marked as extension inside the evaluated roster", f.Name)
+		}
+	}
+	if len(All()) <= len(want) {
+		t.Error("All() should extend the evaluated roster with extension schemes")
+	}
+}
+
+// TestUnknownName checks the error path: unknown names fail with a
+// nearest-name suggestion and the full roster.
+func TestUnknownName(t *testing.T) {
+	if _, ok := ByName("cbw"); ok {
+		t.Error(`ByName("cbw") should miss`)
+	}
+	_, err := New("cbw")
+	if err == nil {
+		t.Fatal(`New("cbw") should fail`)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"cbws"`) {
+		t.Errorf("error should suggest the nearest name cbws: %s", msg)
+	}
+	if !strings.Contains(msg, "cbws+sms") || !strings.Contains(msg, "ghb-pc/dc") {
+		t.Errorf("error should list the valid names: %s", msg)
+	}
+}

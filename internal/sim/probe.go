@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"cbws/internal/stats"
+)
+
+// Sample is one probe observation, taken every SampleInterval committed
+// instructions and once more at the end of the run. The struct handed to
+// Probe.OnSample is owned by the simulator and reused between samples —
+// implementations must copy what they keep and must not retain the
+// pointer past the call.
+type Sample struct {
+	// Index is the 0-based sample sequence number within the run.
+	Index int
+	// Instructions is the total committed instruction count at the
+	// sample point, including warmup.
+	Instructions uint64
+	// Cycles is the core clock at the sample point.
+	Cycles uint64
+	// Interval holds the metric deltas since the previous sample (for
+	// the first sample: since the end of warmup) — the delta-encoded
+	// series element.
+	Interval stats.Metrics
+	// Cumulative holds the metrics accumulated since the end of warmup.
+	// The final sample's Cumulative is bit-identical to the run's
+	// Result.Metrics.
+	Cumulative stats.Metrics
+	// ROBOccupancy is the number of reorder-buffer entries still
+	// waiting to commit at the sample point.
+	ROBOccupancy int
+	// L1MSHROccupancy and L2MSHROccupancy count the outstanding fills
+	// at each cache level at the sample point.
+	L1MSHROccupancy int
+	L2MSHROccupancy int
+	// Final marks the end-of-run sample, taken after the hierarchy has
+	// settled its accounting (unused prefetched lines charged as wrong).
+	Final bool
+}
+
+// Probe observes a run as it executes. OnSample is called synchronously
+// from the simulation loop every sample interval; implementations should
+// be cheap and must not retain the *Sample (it is reused).
+type Probe interface {
+	OnSample(s *Sample)
+}
+
+// ProbeFunc adapts a function to the Probe interface.
+type ProbeFunc func(s *Sample)
+
+// OnSample calls f(s).
+func (f ProbeFunc) OnSample(s *Sample) { f(s) }
+
+// SamplePoint is the retained, serializable form of one sample: the
+// delta-encoded interval metrics plus the instantaneous occupancies.
+// Cumulative metrics are reconstructed by summing interval counters, so
+// the series stays compact.
+type SamplePoint struct {
+	Instructions    uint64        `json:"instructions"`
+	Cycles          uint64        `json:"cycles"`
+	Interval        stats.Metrics `json:"interval"`
+	ROBOccupancy    int           `json:"rob_occupancy"`
+	L1MSHROccupancy int           `json:"l1_mshr_occupancy"`
+	L2MSHROccupancy int           `json:"l2_mshr_occupancy"`
+	Final           bool          `json:"final,omitempty"`
+}
+
+// TimeSeries is a Probe that records every sample as a SamplePoint. With
+// a sufficient capacity hint it allocates nothing during the run, which
+// keeps probed simulations on the zero-alloc steady-state path.
+type TimeSeries struct {
+	points   []SamplePoint
+	final    stats.Metrics
+	hasFinal bool
+}
+
+// NewTimeSeries returns an empty series with room for capacity samples
+// before the backing array has to grow.
+func NewTimeSeries(capacity int) *TimeSeries {
+	return &TimeSeries{points: make([]SamplePoint, 0, capacity)}
+}
+
+// OnSample implements Probe.
+func (t *TimeSeries) OnSample(s *Sample) {
+	t.points = append(t.points, SamplePoint{
+		Instructions:    s.Instructions,
+		Cycles:          s.Cycles,
+		Interval:        s.Interval,
+		ROBOccupancy:    s.ROBOccupancy,
+		L1MSHROccupancy: s.L1MSHROccupancy,
+		L2MSHROccupancy: s.L2MSHROccupancy,
+		Final:           s.Final,
+	})
+	if s.Final {
+		t.final = s.Cumulative
+		t.hasFinal = true
+	}
+}
+
+// Points returns the recorded series. The slice is owned by the
+// TimeSeries; callers must not mutate it while the run is in flight.
+func (t *TimeSeries) Points() []SamplePoint { return t.points }
+
+// Len returns the number of recorded samples.
+func (t *TimeSeries) Len() int { return len(t.points) }
+
+// Final returns the cumulative metrics of the end-of-run sample and
+// whether the run completed (a cancelled run emits no final sample).
+func (t *TimeSeries) Final() (stats.Metrics, bool) { return t.final, t.hasFinal }
+
+// Reset clears the series for reuse, keeping the backing array.
+func (t *TimeSeries) Reset() {
+	t.points = t.points[:0]
+	t.final = stats.Metrics{}
+	t.hasFinal = false
+}
+
+// DefaultSampleInterval is the sampling period, in committed
+// instructions, used when a probe or progress callback is attached
+// without an explicit WithSampleInterval.
+const DefaultSampleInterval = 100_000
+
+// options collects the RunContext functional options.
+type options struct {
+	probe    Probe
+	interval uint64
+	progress func(instructions uint64)
+}
+
+// Option configures a RunContext run.
+type Option func(*options)
+
+// WithProbe attaches p to the run: p.OnSample fires every sample
+// interval and once at the end of the run.
+func WithProbe(p Probe) Option {
+	return func(o *options) { o.probe = p }
+}
+
+// WithSampleInterval sets the sampling period in committed instructions
+// (default DefaultSampleInterval). It only takes effect together with
+// WithProbe or WithProgress; n == 0 keeps the default.
+func WithSampleInterval(n uint64) Option {
+	return func(o *options) { o.interval = n }
+}
+
+// WithProgress attaches a progress callback invoked with the total
+// committed instruction count (including warmup) every sample interval.
+// Unlike probe samples, progress fires during warmup too.
+func WithProgress(fn func(instructions uint64)) Option {
+	return func(o *options) { o.progress = fn }
+}

@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cbws/internal/cache"
+	"cbws/internal/engine"
+	"cbws/internal/registry"
+	"cbws/internal/trace"
+	"cbws/internal/workload"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MaxInstructions = 300_000
+	cfg.WarmupInstructions = 80_000
+	return cfg
+}
+
+// TestProbeFinalMatchesResult is the golden coherence check for the
+// observability layer: for a grid of workloads × prefetchers, the final
+// probe sample's cumulative metrics must be bit-identical to the run's
+// Result.Metrics, and the delta-encoded interval series must telescope
+// back to the same totals.
+func TestProbeFinalMatchesResult(t *testing.T) {
+	for _, wlName := range []string{"stencil-default", "429.mcf-ref"} {
+		for _, pfName := range []string{"none", "sms", "cbws+sms"} {
+			spec, ok := workload.ByName(wlName)
+			if !ok {
+				t.Fatalf("workload %s missing", wlName)
+			}
+			f, ok := registry.ByName(pfName)
+			if !ok {
+				t.Fatalf("prefetcher %s missing", pfName)
+			}
+			ts := NewTimeSeries(16)
+			res, err := RunContext(context.Background(), testConfig(), spec.Make(), f.New(),
+				WithProbe(ts), WithSampleInterval(50_000))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", wlName, pfName, err)
+			}
+			final, ok := ts.Final()
+			if !ok {
+				t.Fatalf("%s/%s: no final sample", wlName, pfName)
+			}
+			if final != res.Metrics {
+				t.Errorf("%s/%s: final cumulative sample diverges from Result.Metrics:\nprobe:  %+v\nresult: %+v",
+					wlName, pfName, final, res.Metrics)
+			}
+			if ts.Len() == 0 {
+				t.Fatalf("%s/%s: empty series", wlName, pfName)
+			}
+			pts := ts.Points()
+			if !pts[len(pts)-1].Final {
+				t.Errorf("%s/%s: last point not marked final", wlName, pfName)
+			}
+			sum := Result{}.Metrics // zero metrics
+			for _, p := range pts {
+				sum.Instructions += p.Interval.Instructions
+				sum.Cycles += p.Interval.Cycles
+				sum.DemandL2 += p.Interval.DemandL2
+				sum.BytesFromMem += p.Interval.BytesFromMem
+				sum.PrefetchIssued += p.Interval.PrefetchIssued
+			}
+			if sum.Instructions != res.Metrics.Instructions ||
+				sum.Cycles != res.Metrics.Cycles ||
+				sum.DemandL2 != res.Metrics.DemandL2 ||
+				sum.BytesFromMem != res.Metrics.BytesFromMem ||
+				sum.PrefetchIssued != res.Metrics.PrefetchIssued {
+				t.Errorf("%s/%s: interval series does not telescope to the run totals: sum %+v, want %+v",
+					wlName, pfName, sum, res.Metrics)
+			}
+		}
+	}
+}
+
+// TestProbeDoesNotPerturbRun pins that attaching a probe changes no
+// reported metric: sampling is read-only and batch splitting cannot move
+// timing (the batched/per-event golden test guarantees boundary
+// independence).
+func TestProbeDoesNotPerturbRun(t *testing.T) {
+	spec, _ := workload.ByName("histo-large")
+	f, _ := registry.ByName("cbws+sms")
+
+	plain, err := Run(testConfig(), spec.Make(), f.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	probed, err := RunContext(context.Background(), testConfig(), spec.Make(), f.New(),
+		WithProbe(NewTimeSeries(16)), WithSampleInterval(30_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Metrics != probed.Metrics {
+		t.Errorf("probe perturbed the run:\nplain:  %+v\nprobed: %+v", plain.Metrics, probed.Metrics)
+	}
+}
+
+// TestProbeSamplesCarryOccupancy checks that samples report plausible
+// occupancy readings: bounded by the configured structures, and at
+// least one non-trivial ROB reading on a memory-bound workload.
+func TestProbeSamplesCarryOccupancy(t *testing.T) {
+	spec, _ := workload.ByName("429.mcf-ref")
+	f, _ := registry.ByName("none")
+	cfg := testConfig()
+	ts := NewTimeSeries(16)
+	if _, err := RunContext(context.Background(), cfg, spec.Make(), f.New(),
+		WithProbe(ts), WithSampleInterval(40_000)); err != nil {
+		t.Fatal(err)
+	}
+	sawROB := false
+	for _, p := range ts.Points() {
+		if p.ROBOccupancy < 0 || p.ROBOccupancy > cfg.Core.ROBEntries {
+			t.Fatalf("ROB occupancy %d out of [0, %d]", p.ROBOccupancy, cfg.Core.ROBEntries)
+		}
+		if p.L1MSHROccupancy < 0 || p.L1MSHROccupancy > cfg.Memory.L1.MSHRs {
+			t.Fatalf("L1 MSHR occupancy %d out of [0, %d]", p.L1MSHROccupancy, cfg.Memory.L1.MSHRs)
+		}
+		if p.L2MSHROccupancy < 0 || p.L2MSHROccupancy > cfg.Memory.L2.MSHRs {
+			t.Fatalf("L2 MSHR occupancy %d out of [0, %d]", p.L2MSHROccupancy, cfg.Memory.L2.MSHRs)
+		}
+		if p.ROBOccupancy > 0 {
+			sawROB = true
+		}
+	}
+	if !sawROB {
+		t.Error("no sample observed a non-empty ROB on a memory-bound workload")
+	}
+}
+
+// TestProgressReportsDuringWarmup checks that WithProgress fires from
+// the start of the run (including warmup) at the sampling cadence, with
+// monotonically increasing counts.
+func TestProgressReportsDuringWarmup(t *testing.T) {
+	spec, _ := workload.ByName("stencil-default")
+	f, _ := registry.ByName("none")
+	cfg := testConfig()
+	var marks []uint64
+	if _, err := RunContext(context.Background(), cfg, spec.Make(), f.New(),
+		WithProgress(func(n uint64) { marks = append(marks, n) }),
+		WithSampleInterval(50_000)); err != nil {
+		t.Fatal(err)
+	}
+	if len(marks) == 0 {
+		t.Fatal("no progress marks")
+	}
+	if marks[0] > cfg.WarmupInstructions {
+		t.Errorf("first progress mark at %d, after warmup end %d — warmup not covered",
+			marks[0], cfg.WarmupInstructions)
+	}
+	for i := 1; i < len(marks); i++ {
+		if marks[i] <= marks[i-1] {
+			t.Fatalf("progress not monotonic: %v", marks)
+		}
+	}
+}
+
+// TestRunContextCancellation checks that a cancellation mid-run aborts
+// promptly — the run stops at a batch boundary long before the
+// instruction budget — and surfaces ctx.Err().
+func TestRunContextCancellation(t *testing.T) {
+	spec, _ := workload.ByName("stencil-default")
+	f, _ := registry.ByName("none")
+	cfg := DefaultConfig()
+	cfg.MaxInstructions = 50_000_000 // far more than we intend to simulate
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var lastSeen uint64
+	_, err := RunContext(ctx, cfg, spec.Make(), f.New(),
+		WithProgress(func(n uint64) {
+			lastSeen = n
+			if n >= 100_000 {
+				cancel()
+			}
+		}),
+		WithSampleInterval(100_000))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The cancellation lands at the next batch boundary: well under a
+	// million instructions past the cancel point, nowhere near the 50M
+	// budget.
+	if lastSeen > 2_000_000 {
+		t.Errorf("run continued to %d instructions after cancellation", lastSeen)
+	}
+}
+
+// TestRunContextPreCancelled checks the immediate-return path.
+func TestRunContextPreCancelled(t *testing.T) {
+	spec, _ := workload.ByName("stencil-default")
+	f, _ := registry.ByName("none")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, testConfig(), spec.Make(), f.New()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunEqualsRunContextNoOptions pins the compatibility contract: Run
+// and an option-less RunContext take the identical path.
+func TestRunEqualsRunContextNoOptions(t *testing.T) {
+	spec, _ := workload.ByName("histo-large")
+	f, _ := registry.ByName("sms")
+	a, err := Run(testConfig(), spec.Make(), f.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), testConfig(), spec.Make(), f.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics != b.Metrics {
+		t.Errorf("Run and RunContext diverge:\nRun:        %+v\nRunContext: %+v", a.Metrics, b.Metrics)
+	}
+}
+
+// TestSamplingSteadyStateAllocs asserts the zero-alloc steady state of
+// the sampling path: taking a snapshot, computing interval/cumulative
+// deltas, reading the occupancies and delivering the sample to a
+// preallocated TimeSeries allocates nothing. The sink is first driven
+// through real simulated work so the snapshots are non-trivial.
+func TestSamplingSteadyStateAllocs(t *testing.T) {
+	spec, _ := workload.ByName("stencil-default")
+	f, _ := registry.ByName("cbws+sms")
+	cfg := testConfig()
+
+	h, err := cache.NewHierarchy(cfg.Memory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := f.New()
+	pf.Reset()
+	p := newPort(h, pf)
+	eng, err := engine.New(cfg.Core, p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTimeSeries(4096)
+	s := &runSink{eng: eng, h: h, warmed: true, probe: ts, interval: 5_000, nextMark: 5_000}
+	trace.DriveBatches(trace.Limit{Gen: spec.Make(), Max: 100_000}, s)
+	if ts.Len() == 0 {
+		t.Fatal("sink emitted no samples while being driven")
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		s.emitSample(takeSnapshot(eng, h), false)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state sampling allocates %v allocs/op, want 0", allocs)
+	}
+}

@@ -4,6 +4,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"cbws/internal/branch"
@@ -115,8 +116,36 @@ func (p *port) BlockBegin(id int) { p.pf.OnBlockBegin(id) }
 func (p *port) BlockEnd(id int) { p.pf.OnBlockEnd(id, p.issue) }
 
 // Run simulates workload wl on the configured system with prefetcher pf
-// (which is Reset first) and returns the collected metrics.
+// (which is Reset first) and returns the collected metrics. It is
+// RunContext with a background context and no options.
 func Run(cfg Config, wl trace.Generator, pf prefetch.Prefetcher) (Result, error) {
+	return RunContext(context.Background(), cfg, wl, pf)
+}
+
+// RunContext simulates workload wl on the configured system with
+// prefetcher pf (which is Reset first) and returns the collected
+// metrics. The context is checked at batch boundaries: cancelling it
+// aborts the run promptly and returns ctx.Err(). Options attach
+// observability — WithProbe samples a full metrics snapshot plus
+// ROB/MSHR occupancy every WithSampleInterval committed instructions,
+// WithProgress reports the committed instruction count at the same
+// cadence. With no options the run takes exactly the unobserved fast
+// path and produces bit-identical results to prior releases.
+func RunContext(ctx context.Context, cfg Config, wl trace.Generator, pf prefetch.Prefetcher, opts ...Option) (Result, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if (o.probe != nil || o.progress != nil) && o.interval == 0 {
+		o.interval = DefaultSampleInterval
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+
 	h, err := cache.NewHierarchy(cfg.Memory)
 	if err != nil {
 		return Result{}, err
@@ -142,35 +171,64 @@ func Run(cfg Config, wl trace.Generator, pf prefetch.Prefetcher) (Result, error)
 	// predictors but are excluded from the reported metrics, like the
 	// paper's fast-forward to each benchmark's region of interest.
 	sink := &runSink{eng: eng, h: h, warmup: cfg.WarmupInstructions,
-		warmed: cfg.WarmupInstructions == 0}
+		warmed: cfg.WarmupInstructions == 0,
+		probe:  o.probe, progress: o.progress, interval: o.interval,
+		nextMark: o.interval}
+	if done := ctx.Done(); done != nil {
+		// Background and TODO contexts can never be cancelled; leaving
+		// ctx nil keeps the per-batch check a single pointer test.
+		sink.ctx = ctx
+	}
 
 	var gen trace.Generator = wl
 	if cfg.MaxInstructions > 0 {
 		gen = trace.Limit{Gen: wl, Max: cfg.MaxInstructions}
 	}
 	trace.DriveBatches(gen, sink)
+	if sink.err != nil {
+		return Result{}, sink.err
+	}
 
 	eng.Finish()
 	h.Finish() // settles wrong counts (unused prefetched lines drained)
 	final := takeSnapshot(eng, h)
 
 	m := final.sub(sink.base)
+	if sink.probe != nil {
+		sink.emitSample(final, true)
+	}
 	return Result{Workload: wl.Name(), Prefetcher: pf.Name(), Metrics: m}, nil
 }
 
-// runSink drives the engine and takes the warmup snapshot. The engine's
-// instruction counter advances by exactly Event.Count per event, so the
-// event that crosses WarmupInstructions can be located by a plain
-// count scan — no simulation needed — and the batch split there: the
-// snapshot lands after exactly the same event the per-event pipeline
-// snapshotted at, while both halves still take the engine's batch fast
-// path.
+// runSink drives the engine, takes the warmup snapshot and emits probe
+// samples. The engine's instruction counter advances by exactly
+// Event.Count per event, so the event that crosses the next boundary —
+// the warmup end or a sampling mark — can be located by a plain count
+// scan, no simulation needed, and the batch split there: the snapshot
+// lands after exactly the same event the per-event pipeline would have
+// snapshotted at, while every fragment still takes the engine's batch
+// fast path. With no probe, progress callback or cancellable context
+// attached, the post-warmup path is a single boundary check followed by
+// the plain batched consume.
 type runSink struct {
 	eng    *engine.Engine
 	h      *cache.Hierarchy
 	warmup uint64
 	warmed bool
 	base   snapshot
+
+	// ctx is non-nil only for cancellable contexts; it is polled once
+	// per batch (at most every 256 events).
+	ctx context.Context
+	err error
+
+	probe    Probe
+	progress func(instructions uint64)
+	interval uint64 // sampling period in instructions; 0 disables marks
+	nextMark uint64 // next sampling boundary, in committed instructions
+	prev     snapshot
+	seq      int
+	sample   Sample // reused across samples: steady-state sampling allocates nothing
 }
 
 func (s *runSink) Consume(ev trace.Event) {
@@ -178,26 +236,104 @@ func (s *runSink) Consume(ev trace.Event) {
 	s.ConsumeBatch(batch[:])
 }
 
-// ConsumeBatch implements trace.BatchSink.
-func (s *runSink) ConsumeBatch(batch []trace.Event) bool {
-	if s.warmed {
-		return s.eng.ConsumeBatch(batch)
+// nextBoundary returns the smallest pending instruction boundary (the
+// warmup end or the next sampling mark) and whether one exists.
+func (s *runSink) nextBoundary() (uint64, bool) {
+	if !s.warmed {
+		if s.interval != 0 && s.nextMark < s.warmup {
+			return s.nextMark, true
+		}
+		return s.warmup, true
 	}
-	remaining := s.warmup - s.eng.Stats.Instructions
-	var cum uint64
-	for i := range batch {
-		cum += uint64(batch[i].Count())
-		if cum >= remaining {
-			s.eng.ConsumeBatch(batch[: i+1 : i+1])
-			s.warmed = true
-			s.base = takeSnapshot(s.eng, s.h)
-			if rest := batch[i+1:]; len(rest) > 0 {
-				return s.eng.ConsumeBatch(rest)
+	if s.interval != 0 {
+		return s.nextMark, true
+	}
+	return 0, false
+}
+
+// crossBoundary handles the boundary the engine just committed past:
+// the warmup end snapshots the metric base, sampling marks report
+// progress and emit a probe sample.
+func (s *runSink) crossBoundary() {
+	done := s.eng.Stats.Instructions
+	atWarmup := !s.warmed && done >= s.warmup
+	if atWarmup {
+		s.warmed = true
+		s.base = takeSnapshot(s.eng, s.h)
+		s.prev = s.base
+	}
+	if s.interval != 0 && done >= s.nextMark {
+		for s.nextMark <= done {
+			s.nextMark += s.interval
+		}
+		if s.progress != nil {
+			s.progress(done)
+		}
+		// Samples cover only the measured region: marks inside warmup
+		// (and the mark coinciding with the warmup end, whose interval
+		// would mix warm and measured execution) report progress only.
+		if s.probe != nil && s.warmed && !atWarmup {
+			s.emitSample(takeSnapshot(s.eng, s.h), false)
+		}
+	}
+}
+
+// emitSample fills the reused Sample from the snapshot cur and hands it
+// to the probe. The caller guarantees cur was taken at the current
+// engine state.
+func (s *runSink) emitSample(cur snapshot, final bool) {
+	now := cur.engine.Cycles
+	s.sample = Sample{
+		Index:           s.seq,
+		Instructions:    s.eng.Stats.Instructions,
+		Cycles:          now,
+		Interval:        cur.sub(s.prev),
+		Cumulative:      cur.sub(s.base),
+		ROBOccupancy:    s.eng.ROBOccupancy(),
+		L1MSHROccupancy: s.h.L1.MSHROccupancy(now),
+		L2MSHROccupancy: s.h.L2.MSHROccupancy(now),
+		Final:           final,
+	}
+	s.seq++
+	s.prev = cur
+	s.probe.OnSample(&s.sample)
+}
+
+// ConsumeBatch implements trace.BatchSink. Batches are split at every
+// pending boundary so that snapshots land on exact instruction counts;
+// a cancelled context stops the producer cooperatively.
+func (s *runSink) ConsumeBatch(batch []trace.Event) bool {
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			s.err = err
+			return false
+		}
+	}
+	for {
+		bound, ok := s.nextBoundary()
+		if !ok {
+			return s.eng.ConsumeBatch(batch)
+		}
+		remaining := bound - s.eng.Stats.Instructions
+		var cum uint64
+		split := -1
+		for i := range batch {
+			cum += uint64(batch[i].Count())
+			if cum >= remaining {
+				split = i
+				break
 			}
+		}
+		if split < 0 {
+			return s.eng.ConsumeBatch(batch)
+		}
+		s.eng.ConsumeBatch(batch[: split+1 : split+1])
+		s.crossBoundary()
+		batch = batch[split+1:]
+		if len(batch) == 0 {
 			return true
 		}
 	}
-	return s.eng.ConsumeBatch(batch)
 }
 
 // snapshot captures every counter that contributes to the reported

@@ -9,35 +9,37 @@ import (
 	"math"
 )
 
-// Metrics are the raw counters of one simulation run.
+// Metrics are the raw counters of one simulation run. The JSON tags are
+// the run-record serialization schema (internal/harness run records);
+// renaming one is a schema change.
 type Metrics struct {
-	Instructions uint64
-	Cycles       uint64
-	Loads        uint64
-	Stores       uint64
-	Branches     uint64
-	Mispredicts  uint64
-	Blocks       uint64  // dynamic code block (loop iteration) count
-	LoopFrac     float64 // fraction of runtime inside annotated blocks
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles"`
+	Loads        uint64  `json:"loads"`
+	Stores       uint64  `json:"stores"`
+	Branches     uint64  `json:"branches"`
+	Mispredicts  uint64  `json:"mispredicts"`
+	Blocks       uint64  `json:"blocks"`    // dynamic code block (loop iteration) count
+	LoopFrac     float64 `json:"loop_frac"` // fraction of runtime inside annotated blocks
 
-	DemandL2       uint64 // demand accesses that reached the L2
-	DemandL2Misses uint64 // demand accesses whose data was not ready at the L2
+	DemandL2       uint64 `json:"demand_l2"`        // demand accesses that reached the L2
+	DemandL2Misses uint64 `json:"demand_l2_misses"` // demand accesses whose data was not ready at the L2
 
-	Timely    uint64 // Figure 13 classes, in demand L2 accesses
-	ShorterWT uint64
-	NonTimely uint64
-	Missing   uint64
-	PlainHit  uint64
-	Wrong     uint64 // prefetched lines never demanded
+	Timely    uint64 `json:"timely"` // Figure 13 classes, in demand L2 accesses
+	ShorterWT uint64 `json:"shorter_wt"`
+	NonTimely uint64 `json:"non_timely"`
+	Missing   uint64 `json:"missing"`
+	PlainHit  uint64 `json:"plain_hit"`
+	Wrong     uint64 `json:"wrong"` // prefetched lines never demanded
 
-	BytesFromMem      uint64 // total read traffic (demand + prefetch)
-	DemandBytes       uint64 // read traffic from demand misses alone
-	WritebackBytes    uint64 // dirty-eviction write traffic
-	PrefetchIssued    uint64
-	PrefetchRedundant uint64
-	PrefetchDropped   uint64
-	PrefetchUseful    uint64
-	PrefetchLate      uint64
+	BytesFromMem      uint64 `json:"bytes_from_mem"`  // total read traffic (demand + prefetch)
+	DemandBytes       uint64 `json:"demand_bytes"`    // read traffic from demand misses alone
+	WritebackBytes    uint64 `json:"writeback_bytes"` // dirty-eviction write traffic
+	PrefetchIssued    uint64 `json:"prefetch_issued"`
+	PrefetchRedundant uint64 `json:"prefetch_redundant"`
+	PrefetchDropped   uint64 `json:"prefetch_dropped"`
+	PrefetchUseful    uint64 `json:"prefetch_useful"`
+	PrefetchLate      uint64 `json:"prefetch_late"`
 }
 
 // IPC returns instructions per cycle.
