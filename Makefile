@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check race bench obs-smoke check
+.PHONY: all build test vet fmt-check race bench obs-smoke check \
+	fuzz-smoke golden bench-gate
 
 all: check
 
@@ -34,5 +35,33 @@ obs-smoke:
 	/tmp/cbwsim-smoke -workload stencil-default -prefetcher cbws+sms \
 		-n 200000 -warmup 50000 -obs /tmp/cbwsim-smoke-run.json -sample-interval 20000
 	/tmp/cbwsim-smoke -validate-record /tmp/cbwsim-smoke-run.json
+
+# Each differential fuzz target gets a short coverage-guided run on top
+# of its seed corpus (CI uses 30s per target; override with FUZZTIME).
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test ./internal/check/ -run '^$$' -fuzz '^FuzzCacheVsRef$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/check/ -run '^$$' -fuzz '^FuzzCBWSVsRef$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime $(FUZZTIME)
+
+# Golden determinism gate: rebuild the full-matrix manifest with serial
+# and parallel fills and require both to match golden/seed.json byte
+# for byte. To re-baseline after an intentional behaviour change:
+#   go run ./cmd/figures -n 400000 -warmup 100000 -golden golden/seed.json
+golden:
+	$(GO) build -o /tmp/cbws-figures ./cmd/figures
+	/tmp/cbws-figures -n 400000 -warmup 100000 -par 1 -golden /tmp/cbws-golden-serial.json
+	/tmp/cbws-figures -n 400000 -warmup 100000 -par 0 -golden /tmp/cbws-golden-parallel.json
+	cmp /tmp/cbws-golden-serial.json golden/seed.json
+	cmp /tmp/cbws-golden-parallel.json golden/seed.json
+
+# Benchmark regression gate: the pipeline and CBWS hot-path benchmarks
+# must stay within the baseline's time ratio with exact allocs/op.
+# To re-baseline: make bench-gate BENCHGATE_FLAGS='-write BENCH_baseline.json'
+BENCHGATE_FLAGS ?= -baseline BENCH_baseline.json
+bench-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineEventsPerSec$$|BenchmarkCBWSOnAccess$$' \
+		-count 3 . | tee /tmp/cbws-bench.out
+	$(GO) run ./cmd/benchgate $(BENCHGATE_FLAGS) -input /tmp/cbws-bench.out
 
 check: build vet fmt-check test race obs-smoke

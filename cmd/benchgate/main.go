@@ -1,0 +1,225 @@
+// Command benchgate compares `go test -bench` output against a
+// checked-in baseline and fails on regressions: wall time may grow by
+// at most the configured ratio (default 2x, absorbing CI machine
+// noise), while allocations per operation must match exactly (they are
+// deterministic, so any change is a real regression or a real
+// improvement to re-baseline).
+//
+// Usage:
+//
+//	go test -bench 'Pipeline|CBWS' -run '^$' . | benchgate -baseline BENCH_baseline.json
+//	go test -bench ... | benchgate -write BENCH_baseline.json
+//
+// Only benchmarks present in the baseline are gated; extra benchmarks
+// in the input are ignored, but a gated benchmark missing from the
+// input is an error (the gate must never pass vacuously). Repeated
+// runs of one benchmark (go test -count) are folded with min(ns/op),
+// the least-noisy estimate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BaselineEntry pins one benchmark.
+type BaselineEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Baseline is the checked-in gate file.
+type Baseline struct {
+	// MaxTimeRatio bounds measured/baseline ns/op (0 means the
+	// command-line default).
+	MaxTimeRatio float64                  `json:"max_time_ratio,omitempty"`
+	Benchmarks   map[string]BaselineEntry `json:"benchmarks"`
+}
+
+// Measurement is one parsed benchmark result line.
+type Measurement struct {
+	Name        string // -N GOMAXPROCS suffix stripped
+	NsPerOp     float64
+	AllocsPerOp int64
+	HasAllocs   bool
+}
+
+// parseLine parses one `go test -bench` result line, returning ok=false
+// for non-benchmark lines (headers, PASS, metrics-only output).
+func parseLine(line string) (Measurement, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Measurement{}, false
+	}
+	m := Measurement{Name: f[0]}
+	if i := strings.LastIndex(m.Name, "-"); i > 0 {
+		if _, err := strconv.Atoi(m.Name[i+1:]); err == nil {
+			m.Name = m.Name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	found := false
+	for i := 2; i < len(f); i++ {
+		v, err := strconv.ParseFloat(f[i-1], 64)
+		if err != nil {
+			continue
+		}
+		switch f[i] {
+		case "ns/op":
+			m.NsPerOp = v
+			found = true
+		case "allocs/op":
+			m.AllocsPerOp = int64(v)
+			m.HasAllocs = true
+		}
+	}
+	return m, found
+}
+
+// parseBench folds all benchmark lines of r into per-name measurements,
+// taking min(ns/op) over repeated runs; allocs/op must agree exactly
+// across repeats.
+func parseBench(r io.Reader) (map[string]Measurement, error) {
+	out := make(map[string]Measurement)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		prev, seen := out[m.Name]
+		if !seen {
+			out[m.Name] = m
+			continue
+		}
+		if m.HasAllocs && prev.HasAllocs && m.AllocsPerOp != prev.AllocsPerOp {
+			return nil, fmt.Errorf("%s: allocs/op differ across runs (%d vs %d)",
+				m.Name, prev.AllocsPerOp, m.AllocsPerOp)
+		}
+		if m.NsPerOp < prev.NsPerOp {
+			prev.NsPerOp = m.NsPerOp
+		}
+		prev.HasAllocs = prev.HasAllocs || m.HasAllocs
+		out[m.Name] = prev
+	}
+	return out, sc.Err()
+}
+
+// gate checks measurements against the baseline and returns one line
+// per violation.
+func gate(base Baseline, got map[string]Measurement, defaultRatio float64) []string {
+	ratio := base.MaxTimeRatio
+	if ratio == 0 {
+		ratio = defaultRatio
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var bad []string
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		m, ok := got[name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: gated benchmark missing from input", name))
+			continue
+		}
+		if limit := want.NsPerOp * ratio; m.NsPerOp > limit {
+			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op exceeds %.1fx baseline %.0f ns/op (limit %.0f)",
+				name, m.NsPerOp, ratio, want.NsPerOp, limit))
+		}
+		if !m.HasAllocs {
+			bad = append(bad, fmt.Sprintf("%s: input has no allocs/op (run benchmarks with -benchmem or b.ReportAllocs)", name))
+		} else if m.AllocsPerOp != want.AllocsPerOp {
+			bad = append(bad, fmt.Sprintf("%s: %d allocs/op, baseline pins exactly %d",
+				name, m.AllocsPerOp, want.AllocsPerOp))
+		}
+	}
+	return bad
+}
+
+// writeBaseline emits a fresh baseline file from the measured input.
+func writeBaseline(path string, got map[string]Measurement, ratio float64) error {
+	base := Baseline{MaxTimeRatio: ratio, Benchmarks: make(map[string]BaselineEntry, len(got))}
+	for name, m := range got {
+		if !m.HasAllocs {
+			return fmt.Errorf("%s: cannot baseline without allocs/op", name)
+		}
+		base.Benchmarks[name] = BaselineEntry{NsPerOp: m.NsPerOp, AllocsPerOp: m.AllocsPerOp}
+	}
+	b, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "baseline JSON file to gate against")
+	write := flag.String("write", "", "write a new baseline JSON file from the input instead of gating")
+	ratio := flag.Float64("ratio", 2.0, "maximum measured/baseline ns/op ratio (overridden by the baseline's max_time_ratio)")
+	input := flag.String("input", "-", "bench output file (default stdin)")
+	flag.Parse()
+
+	fail := func(code int, format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+		os.Exit(code)
+	}
+	if flag.NArg() > 0 {
+		fail(2, "unexpected argument %q", flag.Arg(0))
+	}
+	if (*baselinePath == "") == (*write == "") {
+		fail(2, "exactly one of -baseline or -write is required")
+	}
+
+	in := os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fail(2, "%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parseBench(in)
+	if err != nil {
+		fail(1, "%v", err)
+	}
+	if len(got) == 0 {
+		fail(1, "no benchmark results in input")
+	}
+
+	if *write != "" {
+		if err := writeBaseline(*write, got, *ratio); err != nil {
+			fail(1, "%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: wrote %s (%d benchmarks)\n", *write, len(got))
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fail(2, "%v", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fail(2, "%s: %v", *baselinePath, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		fail(2, "%s: baseline gates no benchmarks", *baselinePath)
+	}
+	if bad := gate(base, got, *ratio); len(bad) > 0 {
+		for _, line := range bad {
+			fmt.Fprintln(os.Stderr, "benchgate:", line)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmarks within limits\n", len(base.Benchmarks))
+}

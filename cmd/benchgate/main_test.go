@@ -1,0 +1,150 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name string
+		line string
+		ok   bool
+		want Measurement
+	}{
+		{
+			name: "plain with allocs",
+			line: "BenchmarkCBWSOnAccess         \t       1\t      1127 ns/op\t       0 B/op\t       0 allocs/op",
+			ok:   true,
+			want: Measurement{Name: "BenchmarkCBWSOnAccess", NsPerOp: 1127, AllocsPerOp: 0, HasAllocs: true},
+		},
+		{
+			name: "gomaxprocs suffix stripped",
+			line: "BenchmarkPipelineEventsPerSec-8 \t     100\t  891634 ns/op\t 174.0 Mevents/s\t   13656 B/op\t       4 allocs/op",
+			ok:   true,
+			want: Measurement{Name: "BenchmarkPipelineEventsPerSec", NsPerOp: 891634, AllocsPerOp: 4, HasAllocs: true},
+		},
+		{
+			name: "custom metric between ns/op and allocs",
+			line: "BenchmarkX-4 10 250.5 ns/op 42.0 widgets/s 1 allocs/op",
+			ok:   true,
+			want: Measurement{Name: "BenchmarkX", NsPerOp: 250.5, AllocsPerOp: 1, HasAllocs: true},
+		},
+		{
+			name: "no allocs reported",
+			line: "BenchmarkY 5 99 ns/op",
+			ok:   true,
+			want: Measurement{Name: "BenchmarkY", NsPerOp: 99},
+		},
+		{
+			name: "hyphenated name keeps non-numeric suffix",
+			line: "BenchmarkZ-fast 5 99 ns/op",
+			ok:   true,
+			want: Measurement{Name: "BenchmarkZ-fast", NsPerOp: 99},
+		},
+		{name: "header", line: "goos: linux", ok: false},
+		{name: "pass", line: "PASS", ok: false},
+		{name: "ok line", line: "ok  \tcbws\t0.005s", ok: false},
+		{name: "empty", line: "", ok: false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			got, ok := parseLine(tc.line)
+			if ok != tc.ok {
+				t.Fatalf("ok = %v, want %v", ok, tc.ok)
+			}
+			if ok && got != tc.want {
+				t.Fatalf("got %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseBenchFoldsRepeats(t *testing.T) {
+	t.Parallel()
+	in := strings.NewReader(`
+BenchmarkA 100 200 ns/op 0 B/op 3 allocs/op
+BenchmarkA 100 150 ns/op 0 B/op 3 allocs/op
+BenchmarkA 100 180 ns/op 0 B/op 3 allocs/op
+`)
+	got, err := parseBench(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got["BenchmarkA"]
+	if m.NsPerOp != 150 {
+		t.Fatalf("min ns/op = %v, want 150", m.NsPerOp)
+	}
+	if !m.HasAllocs || m.AllocsPerOp != 3 {
+		t.Fatalf("allocs = %+v, want 3", m)
+	}
+}
+
+func TestParseBenchRejectsAllocDrift(t *testing.T) {
+	t.Parallel()
+	in := strings.NewReader(`
+BenchmarkA 100 200 ns/op 0 B/op 3 allocs/op
+BenchmarkA 100 150 ns/op 0 B/op 4 allocs/op
+`)
+	if _, err := parseBench(in); err == nil {
+		t.Fatal("expected error on allocs/op drift across repeats")
+	}
+}
+
+func TestGate(t *testing.T) {
+	t.Parallel()
+	base := Baseline{Benchmarks: map[string]BaselineEntry{
+		"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 2},
+		"BenchmarkB": {NsPerOp: 1000, AllocsPerOp: 0},
+	}}
+	ok := map[string]Measurement{
+		"BenchmarkA": {Name: "BenchmarkA", NsPerOp: 150, AllocsPerOp: 2, HasAllocs: true},
+		"BenchmarkB": {Name: "BenchmarkB", NsPerOp: 1999, AllocsPerOp: 0, HasAllocs: true},
+		"BenchmarkC": {Name: "BenchmarkC", NsPerOp: 5, AllocsPerOp: 9, HasAllocs: true}, // ungated extra
+	}
+	if bad := gate(base, ok, 2.0); len(bad) != 0 {
+		t.Fatalf("unexpected violations: %v", bad)
+	}
+
+	slow := map[string]Measurement{
+		"BenchmarkA": {Name: "BenchmarkA", NsPerOp: 201, AllocsPerOp: 2, HasAllocs: true},
+		"BenchmarkB": {Name: "BenchmarkB", NsPerOp: 1000, AllocsPerOp: 1, HasAllocs: true},
+	}
+	bad := gate(base, slow, 2.0)
+	if len(bad) != 2 {
+		t.Fatalf("want 2 violations (time + allocs), got %v", bad)
+	}
+
+	missing := map[string]Measurement{
+		"BenchmarkA": {Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 2, HasAllocs: true},
+	}
+	bad = gate(base, missing, 2.0)
+	if len(bad) != 1 || !strings.Contains(bad[0], "missing") {
+		t.Fatalf("want a missing-benchmark violation, got %v", bad)
+	}
+
+	noAllocs := map[string]Measurement{
+		"BenchmarkA": {Name: "BenchmarkA", NsPerOp: 100},
+		"BenchmarkB": {Name: "BenchmarkB", NsPerOp: 1000, AllocsPerOp: 0, HasAllocs: true},
+	}
+	bad = gate(base, noAllocs, 2.0)
+	if len(bad) != 1 || !strings.Contains(bad[0], "allocs/op") {
+		t.Fatalf("want an allocs-missing violation, got %v", bad)
+	}
+}
+
+func TestGateBaselineRatioOverride(t *testing.T) {
+	t.Parallel()
+	base := Baseline{
+		MaxTimeRatio: 3.0,
+		Benchmarks:   map[string]BaselineEntry{"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 0}},
+	}
+	got := map[string]Measurement{
+		"BenchmarkA": {Name: "BenchmarkA", NsPerOp: 250, AllocsPerOp: 0, HasAllocs: true},
+	}
+	if bad := gate(base, got, 2.0); len(bad) != 0 {
+		t.Fatalf("baseline ratio 3.0 should win over default 2.0: %v", bad)
+	}
+}

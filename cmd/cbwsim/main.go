@@ -45,6 +45,17 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve pprof/expvar diagnostics on this address (e.g. :6060)")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "cbwsim: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *warm >= *n {
+		fmt.Fprintf(os.Stderr, "cbwsim: -warmup %d must be smaller than -n %d\n", *warm, *n)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	if *validate != "" {
 		rec, err := harness.ReadRunRecord(*validate)
 		if err != nil {

@@ -31,6 +31,17 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve pprof/expvar diagnostics on this address (e.g. :6060)")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "compare: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *warm >= *n {
+		fmt.Fprintf(os.Stderr, "compare: -warmup %d must be smaller than -n %d\n", *warm, *n)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	if *debugAddr != "" {
 		addr, err := debugsrv.Serve(*debugAddr)
 		if err != nil {

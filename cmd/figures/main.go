@@ -22,7 +22,24 @@ import (
 	"cbws/internal/debugsrv"
 	"cbws/internal/harness"
 	"cbws/internal/report"
+	"cbws/internal/workload"
 )
+
+// validFigs is the accepted -fig vocabulary; anything else is a usage
+// error (exit 2), not a silent no-op run.
+var validFigs = map[string]bool{
+	"all": true, "1": true, "t1": true, "3": true, "4": true, "5": true,
+	"t2": true, "t3": true, "12": true, "13": true, "14": true, "15": true,
+	"ext": true,
+}
+
+// usageErr reports a command-line usage error and exits 2, matching
+// flag's own behaviour on unknown flags.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "figures: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
 
 func main() {
 	n := flag.Uint64("n", 4_000_000, "instructions per simulation run")
@@ -30,10 +47,21 @@ func main() {
 	par := flag.Int("par", 0, "parallel simulations (<= 0: one per CPU)")
 	fig := flag.String("fig", "all", "figure to regenerate (all, 1, t1, 3, 5, t2, t3, 12, 13, 14, 15, ext)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	golden := flag.String("golden", "", "write a golden determinism manifest for the full matrix to this path and render nothing")
 	obsDir := flag.String("obs-dir", "", "write per-cell run records (JSON) and time series (CSV) into this directory")
 	interval := flag.Uint64("sample-interval", 0, "probe sampling period in instructions (0: default; used with -obs-dir)")
 	debugAddr := flag.String("debug-addr", "", "serve pprof/expvar diagnostics on this address (e.g. :6060)")
 	flag.Parse()
+
+	if flag.NArg() > 0 {
+		usageErr("unexpected argument %q", flag.Arg(0))
+	}
+	if !validFigs[*fig] {
+		usageErr("unknown -fig %q", *fig)
+	}
+	if *warm >= *n {
+		usageErr("-warmup %d must be smaller than -n %d", *warm, *n)
+	}
 
 	if *debugAddr != "" {
 		addr, err := debugsrv.Serve(*debugAddr)
@@ -52,10 +80,34 @@ func main() {
 	opts.SampleInterval = *interval
 	m := harness.NewMatrix(opts)
 
+	if *golden != "" {
+		if err := writeGolden(m, *golden); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if err := run(m, opts, *fig, *n, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
+}
+
+// writeGolden simulates the full evaluation matrix (every registered
+// workload × every evaluated scheme) and writes its determinism
+// manifest to path.
+func writeGolden(m *harness.Matrix, path string) error {
+	g, err := harness.BuildGolden(m, workload.All(), harness.Prefetchers())
+	if err != nil {
+		return err
+	}
+	if err := harness.WriteGolden(path, g); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "figures: golden manifest for %d cells written to %s (matrix %0.12s…)\n",
+		len(g.Cells), path, g.MatrixHash)
+	return nil
 }
 
 func run(m *harness.Matrix, opts harness.Options, fig string, n uint64, csv bool) error {

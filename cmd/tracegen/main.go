@@ -25,6 +25,17 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve pprof/expvar diagnostics on this address (e.g. :6060)")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "tracegen: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *n == 0 {
+		fmt.Fprintln(os.Stderr, "tracegen: -n must be positive")
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	if *debugAddr != "" {
 		addr, err := debugsrv.Serve(*debugAddr)
 		if err != nil {

@@ -16,6 +16,7 @@ package cache
 import (
 	"fmt"
 
+	"cbws/internal/check"
 	"cbws/internal/mem"
 )
 
@@ -268,6 +269,66 @@ func (c *Cache) touch(w *line) {
 	w.lru = c.lruTick
 }
 
+// checkSet verifies the SoA coherence invariant for the set holding
+// flat way index base: tags[i] mirrors lines[i].tag exactly when the
+// way is valid and holds invalidTag otherwise. Called only under
+// check.Enabled.
+func (c *Cache) checkSet(base int) {
+	for i := base; i < base+c.ways; i++ {
+		w := &c.lines[i]
+		if w.valid {
+			check.Assertf(c.tags[i] == uint64(w.tag),
+				"cache %s way %d: tag array %#x != line tag %#x",
+				c.cfg.Name, i, c.tags[i], uint64(w.tag))
+		} else {
+			check.Assertf(c.tags[i] == invalidTag,
+				"cache %s way %d: invalid way holds tag %#x", c.cfg.Name, i, c.tags[i])
+		}
+	}
+}
+
+// checkMSHR verifies the MSHR occupancy bound. Called only under
+// check.Enabled.
+func (c *Cache) checkMSHR() {
+	check.Assertf(len(c.mshr) <= c.cfg.MSHRs,
+		"cache %s: %d outstanding fills exceed %d MSHRs",
+		c.cfg.Name, len(c.mshr), c.cfg.MSHRs)
+}
+
+// Check runs every structural invariant over the whole cache: SoA
+// coherence of every set, the MSHR bound, and no duplicate resident
+// tags within a set. Tests and fuzz targets call it at sequence
+// boundaries; unlike the embedded checkpoints it does not require
+// check.Enabled.
+func (c *Cache) Check() error {
+	if len(c.mshr) > c.cfg.MSHRs {
+		return fmt.Errorf("cache %s: %d outstanding fills exceed %d MSHRs",
+			c.cfg.Name, len(c.mshr), c.cfg.MSHRs)
+	}
+	for s := 0; s < c.cfg.Sets(); s++ {
+		base := s * c.ways
+		seen := make(map[uint64]bool, c.ways)
+		for i := base; i < base+c.ways; i++ {
+			w := &c.lines[i]
+			if w.valid {
+				if c.tags[i] != uint64(w.tag) {
+					return fmt.Errorf("cache %s way %d: tag array %#x != line tag %#x",
+						c.cfg.Name, i, c.tags[i], uint64(w.tag))
+				}
+				if seen[c.tags[i]] {
+					return fmt.Errorf("cache %s set %d: duplicate resident tag %#x",
+						c.cfg.Name, s, c.tags[i])
+				}
+				seen[c.tags[i]] = true
+			} else if c.tags[i] != invalidTag {
+				return fmt.Errorf("cache %s way %d: invalid way holds tag %#x",
+					c.cfg.Name, i, c.tags[i])
+			}
+		}
+	}
+	return nil
+}
+
 // AccessResult describes the outcome of one demand access at a level.
 type AccessResult struct {
 	Hit       bool   // resident and filled
@@ -288,6 +349,10 @@ func (c *Cache) Access(l mem.LineAddr, now uint64) AccessResult {
 		now = c.lastTime // enforce monotonic time for MSHR accounting
 	}
 	c.lastTime = now
+	if check.Enabled {
+		c.checkSet(int(uint64(l)&c.setMask) * c.ways)
+		c.checkMSHR()
+	}
 	if i := c.findWay(l); i >= 0 {
 		w := &c.lines[i]
 		c.touch(w)
@@ -336,6 +401,10 @@ func (c *Cache) Fill(l mem.LineAddr, now uint64, latency uint64, isPrefetch bool
 	c.touch(w)
 	if isPrefetch {
 		c.Stats.PrefetchIssued++
+	}
+	if check.Enabled {
+		c.checkSet(int(uint64(l)&c.setMask) * c.ways)
+		c.checkMSHR()
 	}
 	return fillAt
 }

@@ -3,6 +3,7 @@ package cache
 import (
 	"fmt"
 
+	"cbws/internal/check"
 	"cbws/internal/mem"
 )
 
@@ -232,6 +233,12 @@ func (h *Hierarchy) AccessInto(info *AccessInfo, pc uint64, addr mem.Addr, write
 	}
 	c1.lastTime = n1
 	base := int(uint64(l)&c1.setMask) * c1.ways
+	if check.Enabled {
+		// The inlined L1 scan bypasses Cache.Access, so it carries its
+		// own checkpoint for the SoA coherence and MSHR invariants.
+		c1.checkSet(base)
+		c1.checkMSHR()
+	}
 	tags := c1.tags[base : base+c1.ways]
 	for i := range tags {
 		if tags[i] != uint64(l) {

@@ -1,0 +1,143 @@
+package check_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cbws/internal/check"
+	"cbws/internal/core"
+	"cbws/internal/mem"
+	"cbws/internal/prefetch"
+)
+
+// cbwsConfigs returns matched production/reference parameter sets. The
+// non-default variants shrink the structures so table replacement,
+// overflow and history churn all trigger under short streams.
+func cbwsConfigs() []struct {
+	name string
+	real core.Config
+	ref  check.RefCBWSConfig
+} {
+	mk := func(name string, maxVec, steps, depth, entries, hashBits, strideBits, addrBits int) struct {
+		name string
+		real core.Config
+		ref  check.RefCBWSConfig
+	} {
+		return struct {
+			name string
+			real core.Config
+			ref  check.RefCBWSConfig
+		}{
+			name: name,
+			real: core.Config{MaxVector: maxVec, Steps: steps, HistoryDepth: depth,
+				TableEntries: entries, HashBits: hashBits, StrideBits: strideBits, AddrBits: addrBits},
+			ref: check.RefCBWSConfig{MaxVector: maxVec, Steps: steps, HistoryDepth: depth,
+				TableEntries: entries, HashBits: hashBits, StrideBits: strideBits, AddrBits: addrBits},
+		}
+	}
+	return []struct {
+		name string
+		real core.Config
+		ref  check.RefCBWSConfig
+	}{
+		mk("paper", 16, 4, 3, 16, 12, 16, 32),
+		mk("tiny", 4, 2, 1, 2, 6, 8, 24), // tiny table: constant random replacement
+		mk("deep", 8, 6, 4, 8, 10, 12, 32),
+	}
+}
+
+// driveCBWSPair feeds one pseudo-random block/access stream to the
+// production prefetcher and the naive reference, comparing the issued
+// prefetch stream after every BLOCK_END plus confidence and statistics.
+// The stream mixes loop-like strided phases (so the history table
+// actually hits) with random noise, block-ID changes, stray accesses
+// outside blocks, and unbalanced BLOCK_END markers.
+func driveCBWSPair(t testingT, p *core.Prefetcher, ref *check.RefCBWS, rng *rand.Rand, events int) {
+	var gotIssued, wantIssued []mem.LineAddr
+	issueGot := func(l mem.LineAddr) { gotIssued = append(gotIssued, l) }
+	issueWant := func(l mem.LineAddr) { wantIssued = append(wantIssued, l) }
+
+	block := 0
+	base := mem.LineAddr(rng.Intn(1 << 20))
+	stride := int64(rng.Intn(9) - 4)
+	iter := int64(0)
+	for i := 0; i < events; i++ {
+		switch r := rng.Intn(100); {
+		case r < 4: // begin (possibly re-begin, abandoning the open block)
+			if rng.Intn(8) == 0 {
+				block = rng.Intn(3)
+			}
+			p.OnBlockBegin(block)
+			ref.OnBlockBegin(block)
+		case r < 8: // end — sometimes with a mismatched ID
+			id := block
+			if rng.Intn(16) == 0 {
+				id = block + 1
+			}
+			p.OnBlockEnd(id, issueGot)
+			ref.OnBlockEnd(id, issueWant)
+			if len(gotIssued) != len(wantIssued) {
+				t.Fatalf("event %d: issued %d prefetches, ref issued %d",
+					i, len(gotIssued), len(wantIssued))
+			}
+			for j := range gotIssued {
+				if gotIssued[j] != wantIssued[j] {
+					t.Fatalf("event %d: prefetch %d diverged: real %v, ref %v",
+						i, j, gotIssued[j], wantIssued[j])
+				}
+			}
+			if p.Confident() != ref.Confident() {
+				t.Fatalf("event %d: confidence diverged: real %v, ref %v",
+					i, p.Confident(), ref.Confident())
+			}
+			gotIssued, wantIssued = gotIssued[:0], wantIssued[:0]
+			iter++
+		default: // access: mostly strided loop pattern, some noise
+			var line mem.LineAddr
+			if rng.Intn(5) != 0 {
+				line = base.Add(iter*stride + int64(rng.Intn(6)))
+			} else {
+				line = mem.LineAddr(rng.Intn(1 << 22))
+			}
+			a := prefetch.Access{Line: line, Addr: mem.Addr(uint64(line) * mem.LineSize)}
+			p.OnAccess(a, issueGot)
+			ref.OnAccess(a, issueWant)
+			if len(gotIssued) != 0 || len(wantIssued) != 0 {
+				t.Fatalf("event %d: CBWS issued on access (real %d, ref %d)",
+					i, len(gotIssued), len(wantIssued))
+			}
+		}
+	}
+	got := check.RefCBWSStats{
+		Blocks:         p.Stats.Blocks,
+		Overflows:      p.Stats.Overflows,
+		TableHits:      p.Stats.TableHits,
+		TableMisses:    p.Stats.TableMisses,
+		LinesPredicted: p.Stats.LinesPredicted,
+	}
+	if got != ref.Stats {
+		t.Fatalf("stats diverged:\n real %+v\n  ref %+v", got, ref.Stats)
+	}
+}
+
+// TestCBWSVsReference drives over a million events through the
+// production CBWS prefetcher (incremental differentials, preallocated
+// buffers) and the naive from-scratch reference, across three hardware
+// configurations, requiring identical prefetch streams, confidence
+// bits and statistics — including the random-replacement sequence.
+func TestCBWSVsReference(t *testing.T) {
+	prev := check.Enabled
+	check.Enabled = true
+	defer func() { check.Enabled = prev }()
+
+	const seeds, eventsPerSeed = 3, 120_000 // 3 cfgs × 3 seeds × 120k ≈ 1.1M
+	for _, cfg := range cbwsConfigs() {
+		t.Run(cfg.name, func(t *testing.T) {
+			for seed := int64(0); seed < seeds; seed++ {
+				p := core.New(cfg.real)
+				ref := check.NewRefCBWS(cfg.ref)
+				driveCBWSPair(t, p, ref, rand.New(rand.NewSource(seed)), eventsPerSeed)
+			}
+		})
+	}
+}

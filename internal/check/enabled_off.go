@@ -1,0 +1,7 @@
+//go:build !cbwscheck
+
+package check
+
+// enabledDefault is false in normal builds: invariant checkers cost one
+// predictable untaken branch per checkpoint.
+const enabledDefault = false

@@ -1,0 +1,7 @@
+//go:build cbwscheck
+
+package check
+
+// enabledDefault is true under the cbwscheck build tag, turning every
+// embedded invariant checker on for the whole binary.
+const enabledDefault = true

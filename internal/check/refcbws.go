@@ -1,0 +1,288 @@
+package check
+
+import (
+	"cbws/internal/mem"
+	"cbws/internal/prefetch"
+)
+
+// RefCBWSConfig mirrors core.Config (the CBWS prefetcher hardware
+// parameters). Zero values are NOT defaulted here: the differential
+// tests construct both sides from one explicit parameter set.
+type RefCBWSConfig struct {
+	MaxVector    int
+	Steps        int
+	HistoryDepth int
+	TableEntries int
+	HashBits     int
+	StrideBits   int
+	AddrBits     int
+}
+
+// RefCBWSStats mirrors core.Stats field for field.
+type RefCBWSStats struct {
+	Blocks         uint64
+	Overflows      uint64
+	TableHits      uint64
+	TableMisses    uint64
+	LinesPredicted uint64
+}
+
+// refTableEntry is one differential history table slot.
+type refTableEntry struct {
+	valid bool
+	tag   uint16
+	diff  []int32
+}
+
+// RefCBWS is the naive reference CBWS predictor: plain slices, fresh
+// allocations per block, differentials recomputed from scratch at every
+// BLOCK_END instead of extended incrementally on each access, no
+// preallocated Reset and no *Into variants. The hash, tag fold, stride
+// clamp and random-replacement sequence re-implement the paper's
+// hardware spec (Section V / Figure 8) directly, so the issued prefetch
+// stream and statistics must be bit-identical to core.Prefetcher
+// configured with the same parameters.
+type RefCBWS struct {
+	cfg RefCBWSConfig
+
+	inBlock  bool
+	curBlock int
+
+	cur  []mem.LineAddr
+	last [][]mem.LineAddr // last[i] = CBWS of the (i+1)-th previous block
+
+	hist      [][]uint16 // hist[i] = shift register, newest last
+	histCount []int      // total enqueued per register, to gate until warm
+
+	table []refTableEntry
+	rng   uint32
+
+	confident bool
+
+	Stats RefCBWSStats
+}
+
+// refCBWSSeed is the deterministic xorshift seed shared with the
+// production prefetcher (the MICRO 2014 date, see core.Prefetcher.Reset).
+const refCBWSSeed = 0x20140612
+
+// NewRefCBWS builds the reference predictor.
+func NewRefCBWS(cfg RefCBWSConfig) *RefCBWS {
+	p := &RefCBWS{cfg: cfg}
+	p.Reset()
+	return p
+}
+
+// Reset returns the predictor to power-on state, allocating everything
+// fresh (deliberately: the reference has no preallocation discipline).
+func (p *RefCBWS) Reset() {
+	p.inBlock = false
+	p.curBlock = -1
+	p.cur = nil
+	p.last = make([][]mem.LineAddr, p.cfg.Steps)
+	p.hist = make([][]uint16, p.cfg.Steps)
+	p.histCount = make([]int, p.cfg.Steps)
+	for i := range p.hist {
+		p.hist[i] = make([]uint16, p.cfg.HistoryDepth)
+	}
+	p.table = make([]refTableEntry, p.cfg.TableEntries)
+	p.rng = refCBWSSeed
+	p.confident = false
+	p.Stats = RefCBWSStats{}
+}
+
+// Confident mirrors core.Prefetcher.Confident.
+func (p *RefCBWS) Confident() bool { return p.confident }
+
+// refInvalidStride marks a saturated stride, as in the production
+// prefetcher: elements whose delta overflows StrideBits never predict.
+const refInvalidStride int32 = 1<<31 - 1
+
+func (p *RefCBWS) clamp(d int64) int32 {
+	max := int64(1)<<(uint(p.cfg.StrideBits)-1) - 1
+	min := -(int64(1) << (uint(p.cfg.StrideBits) - 1))
+	if d > max || d < min {
+		return refInvalidStride
+	}
+	return int32(d)
+}
+
+func (p *RefCBWS) storedLine(l mem.LineAddr) mem.LineAddr {
+	if p.cfg.AddrBits >= 64 {
+		return l
+	}
+	return l & mem.LineAddr(1<<uint(p.cfg.AddrBits)-1)
+}
+
+// hashDiff bit-selects a differential vector into HashBits bits
+// (position-dependent rotation, length mixed in), per the production
+// hash it cross-checks.
+func (p *RefCBWS) hashDiff(d []int32) uint16 {
+	hb := uint(p.cfg.HashBits)
+	mask := uint32(1)<<hb - 1
+	h := uint32(len(d)) * 0x9E5
+	for i, s := range d {
+		v := uint32(s) & mask
+		rot := uint(i*5) % hb
+		v = (v<<rot | v>>(hb-rot)) & mask
+		h ^= v
+	}
+	return uint16(h & mask)
+}
+
+// foldTag xor-folds a history register into a 16-bit table tag.
+func (p *RefCBWS) foldTag(reg []uint16) uint16 {
+	var x uint64
+	for _, v := range reg {
+		x = x<<uint(p.cfg.HashBits) | uint64(v)
+	}
+	return uint16(x) ^ uint16(x>>16) ^ uint16(x>>32) ^ uint16(x>>48)
+}
+
+func (p *RefCBWS) xorshift() uint32 {
+	x := p.rng
+	x ^= x << 13
+	x ^= x >> 17
+	x ^= x << 5
+	p.rng = x
+	return x
+}
+
+func (p *RefCBWS) tableLookup(tag uint16) *refTableEntry {
+	for i := range p.table {
+		if p.table[i].valid && p.table[i].tag == tag {
+			return &p.table[i]
+		}
+	}
+	return nil
+}
+
+func (p *RefCBWS) tableStore(tag uint16, diff []int32) {
+	e := p.tableLookup(tag)
+	if e == nil {
+		for i := range p.table {
+			if !p.table[i].valid {
+				e = &p.table[i]
+				break
+			}
+		}
+	}
+	if e == nil {
+		e = &p.table[p.xorshift()%uint32(len(p.table))]
+	}
+	e.valid = true
+	e.tag = tag
+	e.diff = append([]int32(nil), diff...)
+}
+
+// OnBlockBegin mirrors the BLOCK_BEGIN flow: clear the current CBWS; a
+// static block change clears the predecessors and histories too.
+func (p *RefCBWS) OnBlockBegin(id int) {
+	if id != p.curBlock {
+		p.curBlock = id
+		p.last = make([][]mem.LineAddr, p.cfg.Steps)
+		for i := range p.hist {
+			p.hist[i] = make([]uint16, p.cfg.HistoryDepth)
+			p.histCount[i] = 0
+		}
+		p.confident = false
+	}
+	p.inBlock = true
+	p.cur = nil
+}
+
+// OnAccess mirrors the memory-access flow: push the line into the
+// current CBWS if new. Unlike the production predictor it maintains no
+// incremental differentials — those are recomputed at BLOCK_END.
+func (p *RefCBWS) OnAccess(a prefetch.Access, issue prefetch.IssueFunc) {
+	if !p.inBlock {
+		return
+	}
+	line := p.storedLine(a.Line)
+	if len(p.cur) >= p.cfg.MaxVector {
+		p.Stats.Overflows++
+		return
+	}
+	for _, x := range p.cur {
+		if x == line {
+			return
+		}
+	}
+	p.cur = append(p.cur, line)
+}
+
+// differential recomputes the clamped element-wise differential of the
+// current CBWS against predecessor CBWS v (Eq. 2), truncated to the
+// shorter vector — the from-scratch equivalent of the production
+// predictor's incremental per-access construction.
+func (p *RefCBWS) differential(v []mem.LineAddr) []int32 {
+	if v == nil {
+		return nil
+	}
+	n := len(p.cur)
+	if len(v) < n {
+		n = len(v)
+	}
+	var out []int32
+	for i := 0; i < n; i++ {
+		out = append(out, p.clamp(p.cur[i].Delta(v[i])))
+	}
+	return out
+}
+
+// OnBlockEnd mirrors the BLOCK_END flow: store differentials keyed by
+// the pre-update histories, enqueue them, rotate predecessors, then
+// predict from the post-update histories.
+func (p *RefCBWS) OnBlockEnd(id int, issue prefetch.IssueFunc) {
+	if !p.inBlock || id != p.curBlock {
+		p.inBlock = false
+		return
+	}
+	p.inBlock = false
+	p.Stats.Blocks++
+
+	// 1. Learn: history prefix → current differential, per step.
+	for i := 0; i < p.cfg.Steps; i++ {
+		diff := p.differential(p.last[i])
+		if len(diff) > 0 {
+			if p.histCount[i] >= p.cfg.HistoryDepth {
+				p.tableStore(p.foldTag(p.hist[i]), diff)
+			}
+			reg := p.hist[i]
+			copy(reg, reg[1:])
+			reg[len(reg)-1] = p.hashDiff(diff)
+			p.histCount[i]++
+		}
+	}
+
+	// 2. Rotate predecessors: last[0] becomes the block that finished.
+	p.last = append([][]mem.LineAddr{append([]mem.LineAddr(nil), p.cur...)},
+		p.last[:p.cfg.Steps-1]...)
+
+	// 3. Predict from the post-update histories.
+	p.confident = false
+	cur := p.last[0]
+	for i := 0; i < p.cfg.Steps; i++ {
+		if p.histCount[i] < p.cfg.HistoryDepth {
+			continue
+		}
+		e := p.tableLookup(p.foldTag(p.hist[i]))
+		if e == nil {
+			p.Stats.TableMisses++
+			continue
+		}
+		p.Stats.TableHits++
+		p.confident = true
+		n := len(e.diff)
+		if len(cur) < n {
+			n = len(cur)
+		}
+		for j := 0; j < n; j++ {
+			if e.diff[j] == 0 || e.diff[j] == refInvalidStride {
+				continue
+			}
+			issue(cur[j].Add(int64(e.diff[j])))
+			p.Stats.LinesPredicted++
+		}
+	}
+}

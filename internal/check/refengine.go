@@ -1,0 +1,218 @@
+package check
+
+import (
+	"fmt"
+
+	"cbws/internal/mem"
+	"cbws/internal/trace"
+)
+
+// RefEngineConfig mirrors engine.Config.
+type RefEngineConfig struct {
+	Width             int
+	ROBEntries        int
+	LDQEntries        int
+	STQEntries        int
+	MispredictPenalty uint64
+}
+
+// RefEngineStats mirrors engine.Stats field for field.
+type RefEngineStats struct {
+	Instructions uint64
+	Cycles       uint64
+	Loads        uint64
+	Stores       uint64
+	Branches     uint64
+	Mispredicts  uint64
+	Blocks       uint64
+	BlockSlots   uint64
+	TotalSlots   uint64
+}
+
+// RefMemPort is the reference engine's view of the memory system,
+// structurally identical to engine.MemPort.
+type RefMemPort interface {
+	Load(pc uint64, addr mem.Addr, now uint64) (readyAt uint64)
+	Store(pc uint64, addr mem.Addr, now uint64) (readyAt uint64)
+}
+
+// RefBranchPredictor is the reference engine's view of the branch
+// predictor, structurally identical to engine.BranchPredictor.
+type RefBranchPredictor interface {
+	Update(pc uint64, outcome bool) (correct bool)
+}
+
+// RefEngine is the unbounded-window reference for the timing engine's
+// ROB occupancy and commit arithmetic. Where engine.Engine keeps its
+// clocks decomposed into carry-propagated (cycle, sub-slot) pairs and
+// its structures as fixed rings, the reference works in raw slot units
+// with explicit division and remembers the commit cycle of *every*
+// instruction and the completion cycle of *every* load and store in
+// unbounded slices; the ROB/LDQ/STQ constraints become plain lookups at
+// index i-Entries. Final statistics and ROB occupancy must be
+// bit-identical to the production engine on any trace.
+type RefEngine struct {
+	cfg    RefEngineConfig
+	memsys RefMemPort
+	bp     RefBranchPredictor
+
+	fetchQ  uint64 // fetch clock in slot units (1 slot = 1/Width cycle)
+	commitQ uint64 // commit clock in slot units
+
+	commits []uint64 // commit cycle of instruction i, for every i
+	loads   []uint64 // completion cycle of the j-th load
+	stores  []uint64 // completion cycle of the j-th store
+
+	inBlock     bool
+	blockStartQ uint64
+
+	Stats RefEngineStats
+}
+
+// NewRefEngine builds the reference engine over the given memory port;
+// bp may be nil for an ideal front end.
+func NewRefEngine(cfg RefEngineConfig, memsys RefMemPort, bp RefBranchPredictor) (*RefEngine, error) {
+	if cfg.Width <= 0 || cfg.ROBEntries <= 0 || cfg.LDQEntries <= 0 || cfg.STQEntries <= 0 {
+		return nil, fmt.Errorf("refengine: all structure sizes must be positive, got %+v", cfg)
+	}
+	return &RefEngine{cfg: cfg, memsys: memsys, bp: bp}, nil
+}
+
+// dispatch advances the fetch clock by one slot and stalls it on ROB
+// back-pressure: instruction i may not dispatch before instruction
+// i-ROBEntries has committed. It returns the dispatch cycle.
+func (e *RefEngine) dispatch() uint64 {
+	width := uint64(e.cfg.Width)
+	e.fetchQ++
+	enter := e.fetchQ / width
+	if i := len(e.commits) - e.cfg.ROBEntries; i >= 0 {
+		if free := e.commits[i]; free > enter {
+			enter = free
+			e.fetchQ = enter * width
+		}
+	}
+	return enter
+}
+
+// commit retires the instruction in order at the commit width: the
+// commit clock advances by one slot, then jumps to the completion
+// cycle when that is later. It records and returns the commit cycle.
+func (e *RefEngine) commit(completeAt uint64) uint64 {
+	width := uint64(e.cfg.Width)
+	e.commitQ++
+	if completeAt*width > e.commitQ {
+		e.commitQ = completeAt * width
+	}
+	ccyc := e.commitQ / width
+	e.commits = append(e.commits, ccyc)
+	e.Stats.Instructions++
+	return ccyc
+}
+
+// Consume processes one trace event.
+func (e *RefEngine) Consume(ev trace.Event) {
+	width := uint64(e.cfg.Width)
+	switch ev.Kind {
+	case trace.Instr:
+		n := ev.N
+		if n <= 0 {
+			n = 1
+		}
+		for ; n > 0; n-- {
+			enter := e.dispatch()
+			e.commit(enter + 1)
+		}
+	case trace.Load:
+		enter := e.dispatch()
+		if i := len(e.loads) - e.cfg.LDQEntries; i >= 0 {
+			if free := e.loads[i]; free > enter {
+				enter = free
+			}
+		}
+		ready := e.memsys.Load(ev.PC, ev.Addr, enter)
+		e.loads = append(e.loads, ready)
+		e.commit(ready)
+		e.Stats.Loads++
+	case trace.Store:
+		enter := e.dispatch()
+		if i := len(e.stores) - e.cfg.STQEntries; i >= 0 {
+			if free := e.stores[i]; free > enter {
+				enter = free
+			}
+		}
+		ready := e.memsys.Store(ev.PC, ev.Addr, enter)
+		e.stores = append(e.stores, ready)
+		// Stores retire through the store buffer without blocking commit
+		// on the fill.
+		e.commit(enter + 1)
+		e.Stats.Stores++
+	case trace.Branch:
+		enter := e.dispatch()
+		e.commit(enter + 1)
+		e.Stats.Branches++
+		if e.bp != nil && !e.bp.Update(ev.PC, ev.Taken) {
+			e.Stats.Mispredicts++
+			// Squash: fetch resumes after the branch resolves plus the
+			// refill penalty, in plain slot units.
+			if squash := e.commitQ + e.cfg.MispredictPenalty*width; squash > e.fetchQ {
+				e.fetchQ = squash
+			}
+		}
+	case trace.BlockBegin:
+		enter := e.dispatch()
+		e.commit(enter + 1)
+		if !e.inBlock {
+			e.inBlock = true
+			e.blockStartQ = e.commitQ
+		}
+	case trace.BlockEnd:
+		enter := e.dispatch()
+		e.commit(enter + 1)
+		if e.inBlock {
+			e.inBlock = false
+			e.Stats.BlockSlots += e.commitQ - e.blockStartQ
+			e.Stats.Blocks++
+		}
+	}
+}
+
+// ConsumeBatch implements trace.BatchSink by per-event replay.
+func (e *RefEngine) ConsumeBatch(batch []trace.Event) bool {
+	for i := range batch {
+		e.Consume(batch[i])
+	}
+	return true
+}
+
+// ROBOccupancy counts dispatched-but-uncommitted instructions at the
+// current fetch point over the unbounded commit history: of the last
+// ROBEntries instructions, those whose commit cycle lies after the
+// fetch cycle. Mirrors engine.Engine.ROBOccupancy.
+func (e *RefEngine) ROBOccupancy() int {
+	fcyc := e.fetchQ / uint64(e.cfg.Width)
+	lo := len(e.commits) - e.cfg.ROBEntries
+	if lo < 0 {
+		lo = 0
+	}
+	n := 0
+	for _, c := range e.commits[lo:] {
+		if c > fcyc {
+			n++
+		}
+	}
+	return n
+}
+
+// Finish settles the clocks and returns the final statistics, mirroring
+// engine.Engine.Finish.
+func (e *RefEngine) Finish() RefEngineStats {
+	width := uint64(e.cfg.Width)
+	if e.inBlock {
+		e.inBlock = false
+		e.Stats.BlockSlots += e.commitQ - e.blockStartQ
+		e.Stats.Blocks++
+	}
+	e.Stats.Cycles = (e.commitQ + width - 1) / width
+	e.Stats.TotalSlots = e.commitQ
+	return e.Stats
+}

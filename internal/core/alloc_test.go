@@ -3,10 +3,22 @@ package core
 import (
 	"testing"
 
+	"cbws/internal/check"
 	"cbws/internal/mem"
 	"cbws/internal/prefetch"
 	"cbws/internal/trace"
 )
+
+// skipIfChecksEnabled guards the zero-allocation pins: they assert a
+// property of the production build, which the cbwscheck diagnostic
+// build deliberately trades for invariant checking (whose assertion
+// arguments allocate).
+func skipIfChecksEnabled(t *testing.T) {
+	t.Helper()
+	if check.Enabled {
+		t.Skip("invariant checks enabled; zero-alloc pins apply to the production build")
+	}
+}
 
 // Allocation regression tests for the hot paths. Reset preallocates
 // every buffer the prefetcher mutates while running, so a full block
@@ -16,6 +28,7 @@ import (
 // simulator GC time on every one of the millions of simulated blocks.
 
 func TestPrefetcherBlockCycleAllocationFree(t *testing.T) {
+	skipIfChecksEnabled(t)
 	p := New(Config{})
 	drop := func(mem.LineAddr) {}
 	iter := func(k int) {
@@ -36,6 +49,7 @@ func TestPrefetcherBlockCycleAllocationFree(t *testing.T) {
 }
 
 func TestPrefetcherBlockSwitchAllocationFree(t *testing.T) {
+	skipIfChecksEnabled(t)
 	// Switching static blocks clears the tracking context; the clear
 	// must recycle the predecessor and history buffers, not reallocate
 	// them.
@@ -58,6 +72,7 @@ func TestPrefetcherBlockSwitchAllocationFree(t *testing.T) {
 }
 
 func TestCensusSteadyStateAllocationFree(t *testing.T) {
+	skipIfChecksEnabled(t)
 	c := NewCensus(16)
 	k := 0
 	iter := func() {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"cbws/internal/check"
 	"cbws/internal/mem"
 	"cbws/internal/prefetch"
 )
@@ -337,6 +338,9 @@ func (p *Prefetcher) OnBlockEnd(id int, issue prefetch.IssueFunc) {
 	}
 	p.inBlock = false
 	p.Stats.Blocks++
+	if check.Enabled {
+		p.checkWorkingSet()
+	}
 
 	// 1. Update the tracing + prediction DB. The table learns that the
 	// history prefix (pre-enqueue) was followed by the current
@@ -388,6 +392,32 @@ func (p *Prefetcher) OnBlockEnd(id int, issue prefetch.IssueFunc) {
 			issue(cur[j].Add(int64(e.diff[j])))
 			p.Stats.LinesPredicted++
 		}
+	}
+}
+
+// checkWorkingSet verifies the CBWS structural invariants at a block
+// boundary: the current working set is duplicate-free and within the
+// MaxVector hardware bound, every step differential is no longer than
+// the working set (it is truncated to the shorter of the two vectors it
+// correlates), and no history-table entry exceeds MaxVector strides.
+// Called once per block under check.Enabled.
+func (p *Prefetcher) checkWorkingSet() {
+	check.Assertf(len(p.cur) <= p.cfg.MaxVector,
+		"cbws: working set length %d exceeds MaxVector %d", len(p.cur), p.cfg.MaxVector)
+	for i, a := range p.cur {
+		for _, b := range p.cur[i+1:] {
+			check.Assertf(a != b, "cbws: duplicate line %v in working set", a)
+		}
+	}
+	for i := range p.curDiff {
+		check.Assertf(len(p.curDiff[i]) <= len(p.cur),
+			"cbws: step-%d differential length %d exceeds working set length %d",
+			i, len(p.curDiff[i]), len(p.cur))
+	}
+	for i := range p.table {
+		check.Assertf(len(p.table[i].diff) <= p.cfg.MaxVector,
+			"cbws: table entry %d holds %d strides, MaxVector is %d",
+			i, len(p.table[i].diff), p.cfg.MaxVector)
 	}
 }
 

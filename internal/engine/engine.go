@@ -17,6 +17,7 @@ package engine
 import (
 	"fmt"
 
+	"cbws/internal/check"
 	"cbws/internal/mem"
 	"cbws/internal/trace"
 )
@@ -431,13 +432,36 @@ func (e *Engine) ConsumeBatch(batch []trace.Event) bool {
 			e.blocks.BlockEnd(ev.Block)
 		}
 	}
+	if check.Enabled {
+		check.Assertf(fcyc*width+fsub >= e.fetchQ,
+			"engine: fetch clock moved backwards: %d -> %d", e.fetchQ, fcyc*width+fsub)
+		check.Assertf(ccyc*width+csub >= e.commitQ,
+			"engine: commit clock moved backwards: %d -> %d", e.commitQ, ccyc*width+csub)
+	}
 	e.fetchQ = fcyc*width + fsub
 	e.commitQ = ccyc*width + csub
 	e.robPos = robPos
 	e.ldqPos = ldqPos
 	e.stqPos = stqPos
 	e.Stats = st
+	if check.Enabled {
+		e.checkROBOrder()
+	}
 	return true
+}
+
+// checkROBOrder verifies the ROB's FIFO property: walking the ring in
+// dispatch order (oldest slot first, starting at robPos), the recorded
+// commit cycles must be non-decreasing, because the engine commits in
+// program order. Called once per batch under check.Enabled.
+func (e *Engine) checkROBOrder() {
+	prev := uint64(0)
+	for i := 0; i < len(e.rob); i++ {
+		c := e.rob[(e.robPos+i)%len(e.rob)]
+		check.Assertf(c >= prev,
+			"engine: ROB FIFO order violated at ring offset %d: commit %d after %d", i, c, prev)
+		prev = c
+	}
 }
 
 // ROBOccupancy returns the number of reorder-buffer entries whose

@@ -1,0 +1,170 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"cbws/internal/sim"
+	"cbws/internal/stats"
+	"cbws/internal/workload"
+)
+
+// GoldenSchema versions the manifest layout; bump it when the cell
+// hash input or the manifest structure changes.
+const GoldenSchema = "cbws-golden/1"
+
+// GoldenCell pins one matrix cell: the workload × prefetcher pair and
+// a SHA-256 over the canonical JSON encoding of its final metrics.
+type GoldenCell struct {
+	Workload   string `json:"workload"`
+	Prefetcher string `json:"prefetcher"`
+	Hash       string `json:"hash"`
+}
+
+// GoldenManifest is the determinism manifest for one full simulation
+// matrix: every cell's metrics hash plus a matrix hash over all of
+// them. Two runs of the same binary on the same configuration must
+// produce byte-identical manifests regardless of Fill parallelism.
+type GoldenManifest struct {
+	Schema       string       `json:"schema"`
+	Instructions uint64       `json:"instructions"`
+	Warmup       uint64       `json:"warmup"`
+	MatrixHash   string       `json:"matrix_hash"`
+	Cells        []GoldenCell `json:"cells"`
+}
+
+// goldenCellHash computes the canonical hash of one simulation result:
+// SHA-256 over the fixed-field-order JSON of the names and every final
+// metric. Struct field order makes encoding/json deterministic here.
+func goldenCellHash(res sim.Result) string {
+	canonical := struct {
+		Workload   string        `json:"workload"`
+		Prefetcher string        `json:"prefetcher"`
+		Metrics    stats.Metrics `json:"metrics"`
+	}{res.Workload, res.Prefetcher, res.Metrics}
+	b, err := json.Marshal(canonical)
+	if err != nil {
+		// Metrics is a plain struct of numbers; this cannot fail.
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// BuildGolden fills the matrix over specs × factories and assembles
+// the manifest. Cells are ordered by workload name then prefetcher
+// name, and the matrix hash covers the ordered cell hashes, so the
+// output is independent of simulation scheduling.
+func BuildGolden(m *Matrix, specs []workload.Spec, factories []Factory) (*GoldenManifest, error) {
+	if err := m.Fill(specs, factories); err != nil {
+		return nil, err
+	}
+	g := &GoldenManifest{
+		Schema:       GoldenSchema,
+		Instructions: m.opts.Sim.MaxInstructions,
+		Warmup:       m.opts.Sim.WarmupInstructions,
+	}
+	for _, s := range specs {
+		for _, f := range factories {
+			res, err := m.Get(s, f)
+			if err != nil {
+				return nil, err
+			}
+			g.Cells = append(g.Cells, GoldenCell{
+				Workload:   s.Name,
+				Prefetcher: f.Name,
+				Hash:       goldenCellHash(res),
+			})
+		}
+	}
+	sort.Slice(g.Cells, func(i, j int) bool {
+		if g.Cells[i].Workload != g.Cells[j].Workload {
+			return g.Cells[i].Workload < g.Cells[j].Workload
+		}
+		return g.Cells[i].Prefetcher < g.Cells[j].Prefetcher
+	})
+	h := sha256.New()
+	for _, c := range g.Cells {
+		fmt.Fprintf(h, "%s/%s:%s\n", c.Workload, c.Prefetcher, c.Hash)
+	}
+	g.MatrixHash = hex.EncodeToString(h.Sum(nil))
+	return g, nil
+}
+
+// Encode renders the manifest in its canonical byte form: indented
+// JSON with a trailing newline. Golden files are compared byte for
+// byte, so this is the only encoder.
+func (g *GoldenManifest) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteGolden writes the manifest to path in canonical form.
+func WriteGolden(path string, g *GoldenManifest) error {
+	b, err := g.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// ReadGolden loads a manifest written by WriteGolden.
+func ReadGolden(path string) (*GoldenManifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	g := &GoldenManifest{}
+	if err := json.Unmarshal(b, g); err != nil {
+		return nil, fmt.Errorf("golden %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// DiffGolden compares two manifests and returns human-readable
+// mismatch lines, empty when they pin identical behaviour. It reports
+// schema/config divergence, cells present on only one side, and cells
+// whose hashes differ.
+func DiffGolden(want, got *GoldenManifest) []string {
+	var out []string
+	if want.Schema != got.Schema {
+		out = append(out, fmt.Sprintf("schema: want %s, got %s", want.Schema, got.Schema))
+	}
+	if want.Instructions != got.Instructions || want.Warmup != got.Warmup {
+		out = append(out, fmt.Sprintf("window: want %d/%d instructions/warmup, got %d/%d",
+			want.Instructions, want.Warmup, got.Instructions, got.Warmup))
+	}
+	key := func(c GoldenCell) string { return c.Workload + "/" + c.Prefetcher }
+	wantCells := make(map[string]string, len(want.Cells))
+	for _, c := range want.Cells {
+		wantCells[key(c)] = c.Hash
+	}
+	seen := make(map[string]bool, len(got.Cells))
+	for _, c := range got.Cells {
+		k := key(c)
+		seen[k] = true
+		switch h, ok := wantCells[k]; {
+		case !ok:
+			out = append(out, fmt.Sprintf("%s: not in golden manifest", k))
+		case h != c.Hash:
+			out = append(out, fmt.Sprintf("%s: hash diverged (want %.12s…, got %.12s…)", k, h, c.Hash))
+		}
+	}
+	for _, c := range want.Cells {
+		if !seen[key(c)] {
+			out = append(out, fmt.Sprintf("%s: missing from this run", key(c)))
+		}
+	}
+	if len(out) == 0 && want.MatrixHash != got.MatrixHash {
+		out = append(out, fmt.Sprintf("matrix hash diverged (want %s, got %s)",
+			want.MatrixHash, got.MatrixHash))
+	}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 )
 
 func TestLineOf(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		addr Addr
 		want LineAddr
@@ -29,6 +30,7 @@ func TestLineOf(t *testing.T) {
 }
 
 func TestLineByteRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := func(l uint32) bool {
 		line := LineAddr(l)
 		return LineOf(line.Byte()) == line
@@ -39,6 +41,7 @@ func TestLineByteRoundTrip(t *testing.T) {
 }
 
 func TestLineOfIsMonotoneAndBlocky(t *testing.T) {
+	t.Parallel()
 	// Property: all addresses within one line map to the same line, and
 	// the next line starts exactly LineSize bytes later.
 	f := func(a uint32) bool {
@@ -57,6 +60,7 @@ func TestLineOfIsMonotoneAndBlocky(t *testing.T) {
 }
 
 func TestAddDelta(t *testing.T) {
+	t.Parallel()
 	l := LineAddr(100)
 	if got := l.Add(5); got != 105 {
 		t.Errorf("Add(5) = %d", got)
@@ -73,6 +77,7 @@ func TestAddDelta(t *testing.T) {
 }
 
 func TestAddDeltaInverse(t *testing.T) {
+	t.Parallel()
 	f := func(a uint32, d int32) bool {
 		l := LineAddr(a)
 		return l.Add(int64(d)).Delta(l) == int64(d)
@@ -83,6 +88,7 @@ func TestAddDeltaInverse(t *testing.T) {
 }
 
 func TestRegionConfig(t *testing.T) {
+	t.Parallel()
 	rc := RegionConfig{SizeBytes: 2 << 10}
 	if got := rc.LinesPerRegion(); got != 32 {
 		t.Fatalf("LinesPerRegion = %d, want 32", got)
@@ -108,6 +114,7 @@ func TestRegionConfig(t *testing.T) {
 }
 
 func TestRegionOffsetConsistency(t *testing.T) {
+	t.Parallel()
 	rc := RegionConfig{SizeBytes: 2 << 10}
 	f := func(a uint32) bool {
 		addr := Addr(a)
@@ -123,6 +130,7 @@ func TestRegionOffsetConsistency(t *testing.T) {
 }
 
 func TestIsPow2(t *testing.T) {
+	t.Parallel()
 	for _, v := range []uint64{1, 2, 4, 64, 1 << 20} {
 		if !IsPow2(v) {
 			t.Errorf("IsPow2(%d) = false", v)
@@ -136,6 +144,7 @@ func TestIsPow2(t *testing.T) {
 }
 
 func TestLog2(t *testing.T) {
+	t.Parallel()
 	cases := map[uint64]uint{1: 0, 2: 1, 3: 1, 4: 2, 64: 6, 1 << 20: 20}
 	for v, want := range cases {
 		if got := Log2(v); got != want {
@@ -145,6 +154,7 @@ func TestLog2(t *testing.T) {
 }
 
 func TestLineString(t *testing.T) {
+	t.Parallel()
 	if s := LineAddr(0x3F9).String(); s != "L0x3f9" {
 		t.Errorf("String = %q", s)
 	}

@@ -84,12 +84,22 @@ func New(name string) (prefetch.Prefetcher, error) {
 	if f, ok := ByName(name); ok {
 		return f.New(), nil
 	}
-	names := Names()
-	sort.Slice(names, func(i, j int) bool {
-		return editDistance(name, names[i]) < editDistance(name, names[j])
-	})
 	return nil, fmt.Errorf("registry: unknown prefetcher %q (did you mean %q? valid: %s)",
-		name, names[0], strings.Join(Names(), ", "))
+		name, Suggest(name), strings.Join(Names(), ", "))
+}
+
+// Suggest returns the registered name nearest to name. The distance is
+// case-insensitive (so "CBWS" suggests "cbws" rather than an arbitrary
+// same-length neighbour) and ties resolve to registration order, making
+// the suggestion deterministic.
+func Suggest(name string) string {
+	names := Names()
+	lower := strings.ToLower(name)
+	sort.SliceStable(names, func(i, j int) bool {
+		return editDistance(lower, strings.ToLower(names[i])) <
+			editDistance(lower, strings.ToLower(names[j]))
+	})
+	return names[0]
 }
 
 // editDistance is the Levenshtein distance between a and b, used only to

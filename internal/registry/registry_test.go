@@ -8,6 +8,7 @@ import (
 // TestRoundTrip checks that every listed name constructs a prefetcher
 // that reports the same name, via both ByName and New.
 func TestRoundTrip(t *testing.T) {
+	t.Parallel()
 	for _, name := range Names() {
 		f, ok := ByName(name)
 		if !ok {
@@ -32,6 +33,7 @@ func TestRoundTrip(t *testing.T) {
 // TestEvaluatedRoster pins the paper's evaluated schemes and their
 // plotting order; extensions stay out of the evaluated set.
 func TestEvaluatedRoster(t *testing.T) {
+	t.Parallel()
 	want := []string{"none", "stride", "ghb-pc/dc", "ghb-g/dc", "sms", "cbws", "cbws+sms"}
 	got := Evaluated()
 	if len(got) != len(want) {
@@ -50,9 +52,47 @@ func TestEvaluatedRoster(t *testing.T) {
 	}
 }
 
+// TestSuggest pins the nearest-name suggestion on its edge cases: the
+// empty name, case-only mismatches, near-misses, and distance ties
+// (which must resolve to registration order, deterministically).
+func TestSuggest(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{name: "empty name picks shortest", in: "", want: "sms"},
+		{name: "exact but wrong case", in: "CBWS", want: "cbws"},
+		{name: "mixed case near miss", in: "Cbw", want: "cbws"},
+		{name: "single deletion", in: "strid", want: "stride"},
+		{name: "ghb slash variant", in: "ghb-pc-dc", want: "ghb-pc/dc"},
+		{name: "composite", in: "cbws-sms", want: "cbws+sms"},
+		// "nonf" is distance 1 from "none" only; "xms" ties "sms" at 1
+		// with nothing closer, so registration order keeps "sms" ahead
+		// of later same-distance names.
+		{name: "substitution", in: "nonf", want: "none"},
+		{name: "tie resolves to registration order", in: "xms", want: "sms"},
+		// Distance 4 from everything four letters long: "none" (first
+		// registered among the tied) must win every run.
+		{name: "far from all ties to first registered", in: "zzzz", want: "none"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			for i := 0; i < 8; i++ { // determinism: same answer every call
+				if got := Suggest(tc.in); got != tc.want {
+					t.Fatalf("Suggest(%q) = %q, want %q (call %d)", tc.in, got, tc.want, i)
+				}
+			}
+		})
+	}
+}
+
 // TestUnknownName checks the error path: unknown names fail with a
 // nearest-name suggestion and the full roster.
 func TestUnknownName(t *testing.T) {
+	t.Parallel()
 	if _, ok := ByName("cbw"); ok {
 		t.Error(`ByName("cbw") should miss`)
 	}

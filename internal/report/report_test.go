@@ -6,6 +6,7 @@ import (
 )
 
 func TestTableRender(t *testing.T) {
+	t.Parallel()
 	tab := &Table{
 		Title:   "Demo",
 		Columns: []string{"name", "value"},
@@ -29,6 +30,7 @@ func TestTableRender(t *testing.T) {
 }
 
 func TestTableNoColumns(t *testing.T) {
+	t.Parallel()
 	tab := &Table{Title: "Bare"}
 	tab.AddRow("x", "y")
 	s := tab.String()
@@ -41,6 +43,7 @@ func TestTableNoColumns(t *testing.T) {
 }
 
 func TestRaggedRows(t *testing.T) {
+	t.Parallel()
 	tab := &Table{Columns: []string{"a"}}
 	tab.AddRow("1", "2", "3")
 	s := tab.String()
@@ -50,6 +53,7 @@ func TestRaggedRows(t *testing.T) {
 }
 
 func TestLooksNumeric(t *testing.T) {
+	t.Parallel()
 	for _, s := range []string{"1.00", "-3.5", "85.1%", "1.16x", "2.25KB", "42"} {
 		if !looksNumeric(s) {
 			t.Errorf("%q should look numeric", s)
@@ -63,6 +67,7 @@ func TestLooksNumeric(t *testing.T) {
 }
 
 func TestFormatters(t *testing.T) {
+	t.Parallel()
 	if F(1.23456, 2) != "1.23" {
 		t.Error("F")
 	}
@@ -75,6 +80,7 @@ func TestFormatters(t *testing.T) {
 }
 
 func TestRenderCSV(t *testing.T) {
+	t.Parallel()
 	tab := &Table{Title: "T", Columns: []string{"a", "b"}}
 	tab.AddRow("x,y", `q"r`)
 	var b strings.Builder

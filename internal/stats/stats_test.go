@@ -6,6 +6,7 @@ import (
 )
 
 func TestIPC(t *testing.T) {
+	t.Parallel()
 	m := Metrics{Instructions: 1000, Cycles: 250}
 	if got := m.IPC(); got != 4.0 {
 		t.Errorf("IPC = %v", got)
@@ -16,6 +17,7 @@ func TestIPC(t *testing.T) {
 }
 
 func TestMPKI(t *testing.T) {
+	t.Parallel()
 	m := Metrics{Instructions: 1_000_000, DemandL2Misses: 25_000}
 	if got := m.MPKI(); got != 25.0 {
 		t.Errorf("MPKI = %v", got)
@@ -26,6 +28,7 @@ func TestMPKI(t *testing.T) {
 }
 
 func TestTimelinessFractions(t *testing.T) {
+	t.Parallel()
 	m := Metrics{
 		DemandL2:  1000,
 		Timely:    280,
@@ -56,6 +59,7 @@ func TestTimelinessFractions(t *testing.T) {
 }
 
 func TestPerfPerByte(t *testing.T) {
+	t.Parallel()
 	m := Metrics{Instructions: 4000, Cycles: 1000, BytesFromMem: 2}
 	if got := m.PerfPerByte(); got != 2.0 {
 		t.Errorf("perf/byte = %v", got)
@@ -66,6 +70,7 @@ func TestPerfPerByte(t *testing.T) {
 }
 
 func TestAccuracyCoverage(t *testing.T) {
+	t.Parallel()
 	m := Metrics{
 		PrefetchIssued: 100,
 		PrefetchUseful: 60,
@@ -86,6 +91,7 @@ func TestAccuracyCoverage(t *testing.T) {
 }
 
 func TestMean(t *testing.T) {
+	t.Parallel()
 	if Mean(nil) != 0 {
 		t.Error("empty mean")
 	}
@@ -95,6 +101,7 @@ func TestMean(t *testing.T) {
 }
 
 func TestGeoMean(t *testing.T) {
+	t.Parallel()
 	if GeoMean(nil) != 0 {
 		t.Error("empty geomean")
 	}
@@ -110,6 +117,7 @@ func TestGeoMean(t *testing.T) {
 }
 
 func TestNormalize(t *testing.T) {
+	t.Parallel()
 	got := Normalize([]float64{2, 6, 5}, []float64{1, 3, 0})
 	want := []float64{2, 2, 0}
 	for i := range want {
@@ -120,6 +128,7 @@ func TestNormalize(t *testing.T) {
 }
 
 func TestString(t *testing.T) {
+	t.Parallel()
 	m := Metrics{Instructions: 100, Cycles: 100, DemandL2: 10, Timely: 5}
 	if m.String() == "" {
 		t.Error("empty string")
