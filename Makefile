@@ -1,7 +1,13 @@
 GO ?= go
 
+# Pinned third-party tool versions. Install reproducibly with
+# `make tools`; never ad-hoc @latest. The custom cbwslint suite needs
+# no install: it lives in this module (cmd/cbwslint) and is stdlib-only.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
 .PHONY: all build test vet fmt-check race bench obs-smoke check \
-	fuzz-smoke golden bench-gate
+	fuzz-smoke golden bench-gate lint lint-custom staticcheck govulncheck tools
 
 all: check
 
@@ -54,6 +60,35 @@ golden:
 	/tmp/cbws-figures -n 400000 -warmup 100000 -par 0 -golden /tmp/cbws-golden-parallel.json
 	cmp /tmp/cbws-golden-serial.json golden/seed.json
 	cmp /tmp/cbws-golden-parallel.json golden/seed.json
+
+# Install the pinned third-party analysis tools into GOBIN (network
+# required once; the versions above keep it reproducible).
+tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+
+staticcheck:
+	staticcheck ./...
+
+govulncheck:
+	govulncheck ./...
+
+# Custom analyzer suite (internal/lint), run on both build-tag variants
+# so the cbwscheck-only files are covered too. Exit status: 0 clean,
+# 1 findings, 2 usage error.
+lint-custom:
+	$(GO) run ./cmd/cbwslint ./...
+	$(GO) run ./cmd/cbwslint -tags cbwscheck ./...
+
+# Aggregate lint pass: formatting, vet, staticcheck (skipped with a
+# notice when the pinned binary is not installed; run `make tools`),
+# and the custom suite.
+lint: fmt-check vet lint-custom
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; run 'make tools' (skipping)"; \
+	fi
 
 # Benchmark regression gate: the pipeline and CBWS hot-path benchmarks
 # must stay within the baseline's time ratio with exact allocs/op.

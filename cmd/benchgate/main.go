@@ -27,6 +27,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"cbws/internal/cli"
 )
 
 // BaselineEntry pins one benchmark.
@@ -162,64 +164,82 @@ func writeBaseline(path string, got map[string]Measurement, ratio float64) error
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "", "baseline JSON file to gate against")
-	write := flag.String("write", "", "write a new baseline JSON file from the input instead of gating")
-	ratio := flag.Float64("ratio", 2.0, "maximum measured/baseline ns/op ratio (overridden by the baseline's max_time_ratio)")
-	input := flag.String("input", "-", "bench output file (default stdin)")
-	flag.Parse()
+	cli.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	fail := func(code int, format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
-		os.Exit(code)
+// run is main with the process edges (args, streams, exit) abstracted
+// so tests can drive every exit path. Exit status follows the repo
+// convention: 2 is reserved for usage errors (bad flags or arguments);
+// everything that can only fail at runtime — unreadable input or
+// baseline files, malformed bench output, gate violations — exits 1.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "", "baseline JSON file to gate against")
+	write := fs.String("write", "", "write a new baseline JSON file from the input instead of gating")
+	ratio := fs.Float64("ratio", 2.0, "maximum measured/baseline ns/op ratio (overridden by the baseline's max_time_ratio)")
+	input := fs.String("input", "-", "bench output file (default stdin)")
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
 	}
-	if flag.NArg() > 0 {
-		fail(2, "unexpected argument %q", flag.Arg(0))
+
+	usage := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "benchgate: "+format+"\n", args...)
+		return cli.ExitUsage
+	}
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "benchgate: "+format+"\n", args...)
+		return cli.ExitFail
+	}
+	if fs.NArg() > 0 {
+		return usage("unexpected argument %q", fs.Arg(0))
 	}
 	if (*baselinePath == "") == (*write == "") {
-		fail(2, "exactly one of -baseline or -write is required")
+		return usage("exactly one of -baseline or -write is required")
 	}
 
-	in := os.Stdin
+	in := stdin
 	if *input != "-" {
 		f, err := os.Open(*input)
 		if err != nil {
-			fail(2, "%v", err)
+			return fail("%v", err)
 		}
 		defer f.Close()
 		in = f
 	}
 	got, err := parseBench(in)
 	if err != nil {
-		fail(1, "%v", err)
+		return fail("%v", err)
 	}
 	if len(got) == 0 {
-		fail(1, "no benchmark results in input")
+		return fail("no benchmark results in input")
 	}
 
 	if *write != "" {
 		if err := writeBaseline(*write, got, *ratio); err != nil {
-			fail(1, "%v", err)
+			return fail("%v", err)
 		}
-		fmt.Fprintf(os.Stderr, "benchgate: wrote %s (%d benchmarks)\n", *write, len(got))
-		return
+		fmt.Fprintf(stderr, "benchgate: wrote %s (%d benchmarks)\n", *write, len(got))
+		return cli.ExitOK
 	}
 
 	raw, err := os.ReadFile(*baselinePath)
 	if err != nil {
-		fail(2, "%v", err)
+		return fail("%v", err)
 	}
 	var base Baseline
 	if err := json.Unmarshal(raw, &base); err != nil {
-		fail(2, "%s: %v", *baselinePath, err)
+		return fail("%s: %v", *baselinePath, err)
 	}
 	if len(base.Benchmarks) == 0 {
-		fail(2, "%s: baseline gates no benchmarks", *baselinePath)
+		return fail("%s: baseline gates no benchmarks", *baselinePath)
 	}
 	if bad := gate(base, got, *ratio); len(bad) > 0 {
 		for _, line := range bad {
-			fmt.Fprintln(os.Stderr, "benchgate:", line)
+			fmt.Fprintln(stderr, "benchgate:", line)
 		}
-		os.Exit(1)
+		return cli.ExitFail
 	}
-	fmt.Printf("benchgate: %d benchmarks within limits\n", len(base.Benchmarks))
+	fmt.Fprintf(stdout, "benchgate: %d benchmarks within limits\n", len(base.Benchmarks))
+	return cli.ExitOK
 }

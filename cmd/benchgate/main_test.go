@@ -1,9 +1,65 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// TestRunExitCodes pins the exit-status convention shared with the
+// other cbws commands: 2 only for usage errors (bad flags/arguments),
+// 1 for runtime failures (unreadable files, bad input, gate
+// violations), 0 on success.
+func TestRunExitCodes(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(baseline, []byte(`{"benchmarks":{"BenchmarkA":{"ns_per_op":100,"allocs_per_op":2}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	malformed := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(malformed, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"benchmarks":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	okBench := "BenchmarkA 100 120 ns/op 0 B/op 2 allocs/op\n"
+	slowBench := "BenchmarkA 100 900 ns/op 0 B/op 2 allocs/op\n"
+
+	tests := []struct {
+		name  string
+		args  []string
+		stdin string
+		want  int
+	}{
+		{"bad flag", []string{"-nonsense"}, "", 2},
+		{"unexpected argument", []string{"-baseline", baseline, "extra"}, "", 2},
+		{"neither baseline nor write", []string{}, "", 2},
+		{"both baseline and write", []string{"-baseline", baseline, "-write", baseline}, "", 2},
+		{"missing input file is a runtime failure", []string{"-baseline", baseline, "-input", filepath.Join(dir, "nope")}, "", 1},
+		{"missing baseline file is a runtime failure", []string{"-baseline", filepath.Join(dir, "nope.json")}, okBench, 1},
+		{"malformed baseline is a runtime failure", []string{"-baseline", malformed}, okBench, 1},
+		{"empty baseline is a runtime failure", []string{"-baseline", empty}, okBench, 1},
+		{"no bench results is a runtime failure", []string{"-baseline", baseline}, "PASS\n", 1},
+		{"gate violation exits 1", []string{"-baseline", baseline}, slowBench, 1},
+		{"clean gate exits 0", []string{"-baseline", baseline}, okBench, 0},
+		{"write exits 0", []string{"-write", filepath.Join(dir, "out.json")}, okBench, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			var stdout, stderr bytes.Buffer
+			got := run(tc.args, strings.NewReader(tc.stdin), &stdout, &stderr)
+			if got != tc.want {
+				t.Errorf("exit code = %d, want %d\nstderr: %s", got, tc.want, stderr.String())
+			}
+		})
+	}
+}
 
 func TestParseLine(t *testing.T) {
 	t.Parallel()

@@ -25,6 +25,7 @@ import (
 	"os/signal"
 	"time"
 
+	"cbws/internal/cli"
 	"cbws/internal/debugsrv"
 	"cbws/internal/harness"
 	"cbws/internal/sim"
@@ -46,21 +47,18 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "cbwsim: unexpected argument %q\n", flag.Arg(0))
 		flag.Usage()
-		os.Exit(2)
+		cli.Usagef("cbwsim", "unexpected argument %q", flag.Arg(0))
 	}
 	if *warm >= *n {
-		fmt.Fprintf(os.Stderr, "cbwsim: -warmup %d must be smaller than -n %d\n", *warm, *n)
 		flag.Usage()
-		os.Exit(2)
+		cli.Usagef("cbwsim", "-warmup %d must be smaller than -n %d", *warm, *n)
 	}
 
 	if *validate != "" {
 		rec, err := harness.ReadRunRecord(*validate)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cbwsim:", err)
-			os.Exit(1)
+			cli.Errorf("cbwsim", "%v", err)
 		}
 		fmt.Printf("%s: valid run record (schema %d, %s/%s, %d samples)\n",
 			*validate, rec.Schema, rec.Workload, rec.Prefetcher, len(rec.Samples))
@@ -70,8 +68,7 @@ func main() {
 	if *debugAddr != "" {
 		addr, err := debugsrv.Serve(*debugAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cbwsim:", err)
-			os.Exit(1)
+			cli.Errorf("cbwsim", "%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "cbwsim: diagnostics on http://%s/debug/pprof/ and /debug/vars\n", addr)
 	}
@@ -90,13 +87,11 @@ func main() {
 
 	spec, ok := workload.ByName(*wl)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "cbwsim: unknown workload %q (try -list)\n", *wl)
-		os.Exit(1)
+		cli.Errorf("cbwsim", "unknown workload %q (try -list)", *wl)
 	}
 	f, ok := harness.FactoryByName(*pf)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "cbwsim: unknown prefetcher %q\n", *pf)
-		os.Exit(1)
+		cli.Errorf("cbwsim", "unknown prefetcher %q", *pf)
 	}
 
 	cfg := sim.DefaultConfig()
@@ -104,16 +99,14 @@ func main() {
 		var err error
 		cfg, err = sim.LoadConfig(*configPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cbwsim:", err)
-			os.Exit(1)
+			cli.Errorf("cbwsim", "%v", err)
 		}
 	}
 	cfg.MaxInstructions = *n
 	cfg.WarmupInstructions = *warm
 	if *dumpConfig {
 		if err := sim.WriteConfig(os.Stdout, cfg); err != nil {
-			fmt.Fprintln(os.Stderr, "cbwsim:", err)
-			os.Exit(1)
+			cli.Errorf("cbwsim", "%v", err)
 		}
 		return
 	}
@@ -135,14 +128,12 @@ func main() {
 	start := time.Now()
 	res, err := sim.RunContext(ctx, cfg, spec.Make(), f.New(), opts...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cbwsim:", err)
-		os.Exit(1)
+		cli.Errorf("cbwsim", "%v", err)
 	}
 	if ts != nil {
 		rec := harness.NewRunRecord(cfg, res, sampleEvery, ts.Points(), time.Since(start))
 		if err := rec.WriteJSON(*obs); err != nil {
-			fmt.Fprintln(os.Stderr, "cbwsim:", err)
-			os.Exit(1)
+			cli.Errorf("cbwsim", "%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "cbwsim: wrote run record %s (%d samples)\n", *obs, len(rec.Samples))
 	}

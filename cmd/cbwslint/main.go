@@ -1,0 +1,90 @@
+// Command cbwslint runs the repo's custom analyzer suite
+// (cbws/hotpathalloc, cbws/determinism, cbws/checkguard,
+// cbws/batchalias — see internal/lint) over the named packages.
+//
+// Usage:
+//
+//	cbwslint [-tags taglist] [-list] packages...
+//
+// Run it on both build variants, because the cbwscheck-tagged files
+// only load under -tags cbwscheck:
+//
+//	cbwslint ./...
+//	cbwslint -tags cbwscheck ./...
+//
+// Exit status follows the repo convention: 0 clean, 1 findings or a
+// load/analysis failure, 2 usage error. Findings are printed to stdout
+// as "file:line:col: message (cbws/analyzer)"; a finding is silenced in
+// place with
+//
+//	//lint:ignore cbws/<analyzer> <reason>
+//
+// on (or immediately above) the flagged line — the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cbws/internal/cli"
+	"cbws/internal/lint"
+	"cbws/internal/lint/analysis"
+)
+
+func main() {
+	cli.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process edges (args, streams, exit) abstracted
+// so tests can drive every exit path.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cbwslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tags := fs.String("tags", "", "build tags to load packages with (e.g. cbwscheck)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: cbwslint [-tags taglist] [-list] packages...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "cbws/%s: %s\n", a.Name, a.Doc)
+		}
+		return cli.ExitOK
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return cli.ExitUsage
+	}
+
+	pkgs, err := analysis.Load(".", *tags, fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "cbwslint: %v\n", err)
+		return cli.ExitFail
+	}
+	module := ""
+	for _, p := range pkgs {
+		if p.Module != "" {
+			module = p.Module
+			break
+		}
+	}
+	diags, err := analysis.Run(lint.Analyzers(), pkgs, module)
+	if err != nil {
+		fmt.Fprintf(stderr, "cbwslint: %v\n", err)
+		return cli.ExitFail
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "cbwslint: %d findings\n", len(diags))
+		return cli.ExitFail
+	}
+	return cli.ExitOK
+}

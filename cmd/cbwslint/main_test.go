@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunExitCodes pins the driver's exit-status convention end to end:
+// 2 for usage errors, 1 for findings and load failures, 0 when clean.
+func TestRunExitCodes(t *testing.T) {
+	tests := []struct {
+		name       string
+		args       []string
+		wantCode   int
+		wantStdout string // substring, "" to skip
+		wantStderr string // substring, "" to skip
+	}{
+		{
+			name:     "bad flag is a usage error",
+			args:     []string{"-nonsense"},
+			wantCode: 2,
+		},
+		{
+			name:       "no packages is a usage error",
+			args:       []string{},
+			wantCode:   2,
+			wantStderr: "usage: cbwslint",
+		},
+		{
+			name:       "list exits clean",
+			args:       []string{"-list"},
+			wantCode:   0,
+			wantStdout: "cbws/hotpathalloc",
+		},
+		{
+			name:     "unresolvable pattern is a runtime failure",
+			args:     []string{"./does-not-exist"},
+			wantCode: 1,
+		},
+		{
+			name:       "findings exit 1",
+			args:       []string{"../../internal/lint/testdata/src/batchalias"},
+			wantCode:   1,
+			wantStdout: "(cbws/batchalias)",
+			wantStderr: "findings",
+		},
+		{
+			name:     "clean package exits 0",
+			args:     []string{"."},
+			wantCode: 0,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Errorf("exit code = %d, want %d\nstdout: %s\nstderr: %s",
+					code, tc.wantCode, stdout.String(), stderr.String())
+			}
+			if tc.wantStdout != "" && !strings.Contains(stdout.String(), tc.wantStdout) {
+				t.Errorf("stdout %q does not contain %q", stdout.String(), tc.wantStdout)
+			}
+			if tc.wantStderr != "" && !strings.Contains(stderr.String(), tc.wantStderr) {
+				t.Errorf("stderr %q does not contain %q", stderr.String(), tc.wantStderr)
+			}
+		})
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"os"
 	"os/signal"
 
+	"cbws/internal/cli"
 	"cbws/internal/debugsrv"
 	"cbws/internal/harness"
 	"cbws/internal/report"
@@ -32,21 +33,18 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "compare: unexpected argument %q\n", flag.Arg(0))
 		flag.Usage()
-		os.Exit(2)
+		cli.Usagef("compare", "unexpected argument %q", flag.Arg(0))
 	}
 	if *warm >= *n {
-		fmt.Fprintf(os.Stderr, "compare: -warmup %d must be smaller than -n %d\n", *warm, *n)
 		flag.Usage()
-		os.Exit(2)
+		cli.Usagef("compare", "-warmup %d must be smaller than -n %d", *warm, *n)
 	}
 
 	if *debugAddr != "" {
 		addr, err := debugsrv.Serve(*debugAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "compare:", err)
-			os.Exit(1)
+			cli.Errorf("compare", "%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "compare: diagnostics on http://%s/debug/pprof/ and /debug/vars\n", addr)
 	}
@@ -56,22 +54,19 @@ func main() {
 
 	spec, ok := workload.ByName(*wl)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "compare: unknown workload %q\n", *wl)
-		os.Exit(1)
+		cli.Errorf("compare", "unknown workload %q", *wl)
 	}
 	run := func(name string) stats.Metrics {
 		f, ok := harness.FactoryByName(name)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "compare: unknown prefetcher %q\n", name)
-			os.Exit(1)
+			cli.Errorf("compare", "unknown prefetcher %q", name)
 		}
 		cfg := sim.DefaultConfig()
 		cfg.MaxInstructions = *n
 		cfg.WarmupInstructions = *warm
 		res, err := sim.RunContext(ctx, cfg, spec.Make(), f.New())
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "compare:", err)
-			os.Exit(1)
+			cli.Errorf("compare", "%v", err)
 		}
 		return res.Metrics
 	}

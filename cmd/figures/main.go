@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"cbws/internal/cli"
 	"cbws/internal/debugsrv"
 	"cbws/internal/harness"
 	"cbws/internal/report"
@@ -33,12 +34,11 @@ var validFigs = map[string]bool{
 	"ext": true,
 }
 
-// usageErr reports a command-line usage error and exits 2, matching
-// flag's own behaviour on unknown flags.
+// usageErr reports a command-line usage error and exits 2 via the
+// shared convention, matching flag's own behaviour on unknown flags.
 func usageErr(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "figures: "+format+"\n", args...)
 	flag.Usage()
-	os.Exit(2)
+	cli.Usagef("figures", format, args...)
 }
 
 func main() {
@@ -66,8 +66,7 @@ func main() {
 	if *debugAddr != "" {
 		addr, err := debugsrv.Serve(*debugAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+			cli.Errorf("figures", "%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "figures: diagnostics on http://%s/debug/pprof/ and /debug/vars\n", addr)
 	}
@@ -82,15 +81,13 @@ func main() {
 
 	if *golden != "" {
 		if err := writeGolden(m, *golden); err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+			cli.Errorf("figures", "%v", err)
 		}
 		return
 	}
 
 	if err := run(m, opts, *fig, *n, *csv); err != nil {
-		fmt.Fprintln(os.Stderr, "figures:", err)
-		os.Exit(1)
+		cli.Errorf("figures", "%v", err)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"cbws/internal/cli"
 	"cbws/internal/debugsrv"
 	"cbws/internal/trace"
 	"cbws/internal/workload"
@@ -26,14 +27,12 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "tracegen: unexpected argument %q\n", flag.Arg(0))
 		flag.Usage()
-		os.Exit(2)
+		cli.Usagef("tracegen", "unexpected argument %q", flag.Arg(0))
 	}
 	if *n == 0 {
-		fmt.Fprintln(os.Stderr, "tracegen: -n must be positive")
 		flag.Usage()
-		os.Exit(2)
+		cli.Usagef("tracegen", "-n must be positive")
 	}
 
 	if *debugAddr != "" {
@@ -47,8 +46,7 @@ func main() {
 
 	spec, ok := workload.ByName(*wl)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q\n", *wl)
-		os.Exit(1)
+		cli.Errorf("tracegen", "unknown workload %q", *wl)
 	}
 	if *statsOnly {
 		trace.Analyze(spec.Make(), *n).Render(os.Stdout)
@@ -60,22 +58,18 @@ func main() {
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		cli.Errorf("tracegen", "%v", err)
 	}
 	w, err := trace.NewWriter(f, spec.Name)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		cli.Errorf("tracegen", "%v", err)
 	}
 	trace.Limit{Gen: spec.Make(), Max: *n}.Generate(w)
 	if err := w.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		cli.Errorf("tracegen", "%v", err)
 	}
 	if err := f.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		cli.Errorf("tracegen", "%v", err)
 	}
 	st, _ := os.Stat(path)
 	fmt.Printf("wrote %s (%d bytes)\n", path, st.Size())

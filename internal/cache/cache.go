@@ -138,6 +138,8 @@ func (c *Cache) MarkDirty(l mem.LineAddr) {
 
 // findWay returns the flat way index holding l, or -1. A tag match
 // implies validity: empty ways hold invalidTag.
+//
+//cbws:hotpath
 func (c *Cache) findWay(l mem.LineAddr) int {
 	base := int(uint64(l)&c.setMask) * c.ways
 	tags := c.tags[base : base+c.ways]
@@ -151,6 +153,8 @@ func (c *Cache) findWay(l mem.LineAddr) int {
 
 // Probe reports whether l is resident (possibly still in flight) without
 // updating replacement state.
+//
+//cbws:hotpath
 func (c *Cache) Probe(l mem.LineAddr) (resident bool, fillAt uint64, isPrefetchUnused bool) {
 	if i := c.findWay(l); i >= 0 {
 		w := &c.lines[i]
@@ -175,6 +179,8 @@ func (c *Cache) Contains(l mem.LineAddr, now uint64) bool {
 // so an entry discarded at a later timestamp may still be "live" at an
 // earlier one, and deferring the reap would change availability
 // decisions.
+//
+//cbws:hotpath
 func (c *Cache) mshrFree(now uint64) (bool, uint64) {
 	out := c.mshr[:0]
 	earliest := ^uint64(0)
@@ -209,6 +215,8 @@ func (c *Cache) MSHROccupancy(now uint64) int {
 // victim selects the replacement way in l's set: an invalid way if any,
 // otherwise the LRU way. Ways with outstanding fills are skipped when
 // possible (they are pinned by their MSHR). Returns a flat way index.
+//
+//cbws:hotpath
 func (c *Cache) victim(l mem.LineAddr, now uint64) int {
 	base := int(uint64(l)&c.setMask) * c.ways
 	lru := -1
@@ -237,6 +245,8 @@ func (c *Cache) victim(l mem.LineAddr, now uint64) int {
 }
 
 // evict notifies about, and accounts for, the eviction of way i.
+//
+//cbws:hotpath
 func (c *Cache) evict(i int) {
 	w := &c.lines[i]
 	if !w.valid {
@@ -264,6 +274,8 @@ func (c *Cache) Invalidate(l mem.LineAddr) {
 }
 
 // touch updates LRU state.
+//
+//cbws:hotpath
 func (c *Cache) touch(w *line) {
 	c.lruTick++
 	w.lru = c.lruTick
@@ -343,6 +355,8 @@ type AccessResult struct {
 // misses and does not merge, the caller must complete the fill by calling
 // Fill with the backing-store completion time; Access returns with
 // FilledNew=true and ReadyAt=0 in that case.
+//
+//cbws:hotpath
 func (c *Cache) Access(l mem.LineAddr, now uint64) AccessResult {
 	c.Stats.Accesses++
 	if now < c.lastTime {
@@ -385,6 +399,8 @@ func (c *Cache) Access(l mem.LineAddr, now uint64) AccessResult {
 // cycle now (MSHR occupancy spans [now, fillAt)). If no MSHR is free the
 // allocation is delayed and the returned actual fill time reflects the
 // stall; callers use the return value as the completion time.
+//
+//cbws:hotpath
 func (c *Cache) Fill(l mem.LineAddr, now uint64, latency uint64, isPrefetch bool) (fillAt uint64) {
 	free, at := c.mshrFree(now)
 	if !free {
@@ -412,6 +428,8 @@ func (c *Cache) Fill(l mem.LineAddr, now uint64, latency uint64, isPrefetch bool
 // TryPrefetch attempts to allocate a prefetch fill for l at cycle now with
 // the given backing latency. It returns (issued, reason) where reason
 // explains a refusal.
+//
+//cbws:hotpath
 func (c *Cache) TryPrefetch(l mem.LineAddr, now uint64, latency uint64) (bool, PrefetchRefusal) {
 	if resident, _, _ := c.Probe(l); resident {
 		c.Stats.PrefetchRedundant++

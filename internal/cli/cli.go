@@ -1,0 +1,45 @@
+// Package cli pins the exit-status convention every cbws command
+// shares:
+//
+//	0  success
+//	1  runtime failure (I/O errors, failed gates, lint findings)
+//	2  usage errors (bad flags or arguments)
+//
+// Commands route terminal failures through Usagef and Errorf so the
+// convention cannot drift per command. Exit and Stderr are variables so
+// tests can observe the code and message instead of dying.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// The exit codes of the convention.
+const (
+	ExitOK    = 0
+	ExitFail  = 1
+	ExitUsage = 2
+)
+
+var (
+	// Exit terminates the process; tests swap it to capture the code.
+	Exit = os.Exit
+	// Stderr receives the failure message; tests swap it to a buffer.
+	Stderr io.Writer = os.Stderr
+)
+
+// Usagef reports a command-line usage error (bad flag or argument) as
+// "cmd: message" and exits with ExitUsage.
+func Usagef(cmd, format string, args ...any) {
+	fmt.Fprintf(Stderr, cmd+": "+format+"\n", args...)
+	Exit(ExitUsage)
+}
+
+// Errorf reports a runtime failure as "cmd: message" and exits with
+// ExitFail.
+func Errorf(cmd, format string, args ...any) {
+	fmt.Fprintf(Stderr, cmd+": "+format+"\n", args...)
+	Exit(ExitFail)
+}

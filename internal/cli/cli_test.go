@@ -1,0 +1,50 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestExitCodeConvention pins the shared convention: Usagef is always
+// exit 2, Errorf is always exit 1, and both prefix the command name.
+func TestExitCodeConvention(t *testing.T) {
+	tests := []struct {
+		name     string
+		call     func()
+		wantCode int
+		wantMsg  string
+	}{
+		{
+			name:     "usage error exits 2",
+			call:     func() { Usagef("demo", "unexpected argument %q", "x") },
+			wantCode: ExitUsage,
+			wantMsg:  "demo: unexpected argument \"x\"\n",
+		},
+		{
+			name:     "runtime failure exits 1",
+			call:     func() { Errorf("demo", "open %s: no such file", "a.json") },
+			wantCode: ExitFail,
+			wantMsg:  "demo: open a.json: no such file\n",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			code := -1
+			Exit = func(c int) { code = c }
+			Stderr = &buf
+			defer func() {
+				Exit = os.Exit
+				Stderr = os.Stderr
+			}()
+			tc.call()
+			if code != tc.wantCode {
+				t.Errorf("exit code = %d, want %d", code, tc.wantCode)
+			}
+			if buf.String() != tc.wantMsg {
+				t.Errorf("stderr = %q, want %q", buf.String(), tc.wantMsg)
+			}
+		})
+	}
+}

@@ -84,12 +84,14 @@ type shiftReg struct {
 	count int // total enqueued, to gate predictions until warm
 }
 
+//cbws:hotpath
 func (r *shiftReg) push(h uint16) {
 	copy(r.vals, r.vals[1:])
 	r.vals[len(r.vals)-1] = h
 	r.count++
 }
 
+//cbws:hotpath
 func (r *shiftReg) warm() bool { return r.count >= len(r.vals) }
 
 // Stats counts prefetcher-internal events.
@@ -191,6 +193,7 @@ func (p *Prefetcher) Confident() bool { return p.confident }
 // working set.
 const invalidStride int32 = 1<<31 - 1
 
+//cbws:hotpath
 func (p *Prefetcher) clamp(d int64) int32 {
 	if d > p.strideMax || d < p.strideMin {
 		return invalidStride
@@ -200,6 +203,8 @@ func (p *Prefetcher) clamp(d int64) int32 {
 
 // storedLine narrows a line address to AddrBits, as the hardware stores
 // only the lower bits (Figure 8).
+//
+//cbws:hotpath
 func (p *Prefetcher) storedLine(l mem.LineAddr) mem.LineAddr {
 	if p.cfg.AddrBits >= 64 {
 		return l
@@ -210,6 +215,8 @@ func (p *Prefetcher) storedLine(l mem.LineAddr) mem.LineAddr {
 // hashDiff bit-selects a differential vector into HashBits bits: each
 // stride contributes its low bits at a position-dependent rotation, and
 // the vector length is mixed in so that divergent iterations hash apart.
+//
+//cbws:hotpath
 func (p *Prefetcher) hashDiff(d []int32) uint16 {
 	hb := uint(p.cfg.HashBits)
 	h := uint32(len(d)) * 0x9E5
@@ -224,6 +231,8 @@ func (p *Prefetcher) hashDiff(d []int32) uint16 {
 
 // foldTag xor-folds a history register's concatenated hashes into a
 // 16-bit table tag (the paper xor-folds 48 bits to 16).
+//
+//cbws:hotpath
 func (p *Prefetcher) foldTag(r *shiftReg) uint16 {
 	var x uint64
 	for _, v := range r.vals {
@@ -232,6 +241,7 @@ func (p *Prefetcher) foldTag(r *shiftReg) uint16 {
 	return uint16(x) ^ uint16(x>>16) ^ uint16(x>>32) ^ uint16(x>>48)
 }
 
+//cbws:hotpath
 func (p *Prefetcher) xorshift() uint32 {
 	x := p.rng
 	x ^= x << 13
@@ -242,6 +252,8 @@ func (p *Prefetcher) xorshift() uint32 {
 }
 
 // tableLookup returns the entry matching tag, if any.
+//
+//cbws:hotpath
 func (p *Prefetcher) tableLookup(tag uint16) *tableEntry {
 	for i := range p.table {
 		if p.table[i].valid && p.table[i].tag == tag {
@@ -253,6 +265,8 @@ func (p *Prefetcher) tableLookup(tag uint16) *tableEntry {
 
 // tableStore writes diff under tag, using random replacement on a full
 // table (Table II: "History Table Repl. Random").
+//
+//cbws:hotpath
 func (p *Prefetcher) tableStore(tag uint16, diff []int32) {
 	e := p.tableLookup(tag)
 	if e == nil {
@@ -275,6 +289,8 @@ func (p *Prefetcher) tableStore(tag uint16, diff []int32) {
 // current CBWS and differential tracing. A change of static block ID
 // also clears the predecessor CBWSs and histories, since the single
 // tracking context now belongs to a different loop.
+//
+//cbws:hotpath
 func (p *Prefetcher) OnBlockBegin(id int) {
 	if id != p.curBlock {
 		p.curBlock = id
@@ -302,6 +318,8 @@ func (p *Prefetcher) OnBlockBegin(id int) {
 // differential against the correlated entry of the predecessor CBWS.
 // The CBWS prefetcher tracks all L1 accesses inside annotated blocks
 // (hits and misses) — the aggressive policy the compiler hint licenses.
+//
+//cbws:hotpath
 func (p *Prefetcher) OnAccess(a prefetch.Access, issue prefetch.IssueFunc) {
 	if !p.inBlock {
 		return
@@ -331,6 +349,8 @@ func (p *Prefetcher) OnAccess(a prefetch.Access, issue prefetch.IssueFunc) {
 // pre-update history registers, enqueue them, rotate the predecessor
 // CBWSs, then look up the post-update histories and prefetch the
 // predicted future working sets.
+//
+//cbws:hotpath
 func (p *Prefetcher) OnBlockEnd(id int, issue prefetch.IssueFunc) {
 	if !p.inBlock || id != p.curBlock {
 		p.inBlock = false

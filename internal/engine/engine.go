@@ -159,6 +159,8 @@ func (e *Engine) AttachBranchPredictor(bp BranchPredictor) { e.bp = bp }
 // Consume processes one trace event. It is the per-event compatibility
 // entry point; the timing logic lives in ConsumeBatch so the two paths
 // cannot diverge.
+//
+//cbws:hotpath
 func (e *Engine) Consume(ev trace.Event) {
 	batch := [1]trace.Event{ev}
 	e.ConsumeBatch(batch[:])
@@ -180,6 +182,8 @@ func (e *Engine) Consume(ev trace.Event) {
 // commitQ+1), which in decomposed form is a slot increment plus a
 // cycle comparison) and frees the ROB slot. ConsumeBatch never
 // requests a stop.
+//
+//cbws:hotpath
 func (e *Engine) ConsumeBatch(batch []trace.Event) bool {
 	var (
 		width  = e.width

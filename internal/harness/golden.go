@@ -81,7 +81,7 @@ func BuildGolden(m *Matrix, specs []workload.Spec, factories []Factory) (*Golden
 			})
 		}
 	}
-	sort.Slice(g.Cells, func(i, j int) bool {
+	sort.SliceStable(g.Cells, func(i, j int) bool {
 		if g.Cells[i].Workload != g.Cells[j].Workload {
 			return g.Cells[i].Workload < g.Cells[j].Workload
 		}

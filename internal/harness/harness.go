@@ -183,6 +183,7 @@ func (m *Matrix) run(ctx context.Context, spec workload.Spec, f Factory) (sim.Re
 		interval = sim.DefaultSampleInterval
 	}
 	ts := sim.NewTimeSeries(seriesCapacity(m.opts.Sim, interval))
+	//lint:ignore cbws/determinism wall-clock duration is telemetry only, excluded from golden hashes
 	start := time.Now()
 	res, err := sim.RunContext(ctx, m.opts.Sim, spec.Make(), f.New(),
 		sim.WithProbe(ts), sim.WithSampleInterval(interval))

@@ -1,0 +1,137 @@
+// Package analysis is a small, dependency-free analogue of
+// golang.org/x/tools/go/analysis: just enough driver surface to write
+// the repo's custom analyzers (Analyzer, Pass, Diagnostic, object
+// facts) without pulling x/tools into a module that is deliberately
+// stdlib-only. Analyzers are written against the same conceptual API —
+// an Analyzer holds a Run function that receives a Pass with parsed
+// syntax and full type information and reports Diagnostics — so they
+// could be ported to the x/tools framework by changing imports.
+//
+// Packages are loaded through the go command (`go list -export`),
+// which compiles dependencies into the build cache and hands back
+// export-data files; type-checking therefore works offline and needs
+// no network or vendored tooling. See Load in load.go.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer; diagnostics print as
+	// "cbws/<name>" and suppression comments reference the same
+	// string (see //lint:ignore handling in suppress.go).
+	Name string
+	// Doc is the one-paragraph description shown by `cbwslint -list`.
+	Doc string
+	// Scope restricts which packages the multichecker driver applies
+	// the analyzer to: a package is in scope when its import path
+	// equals an entry or is a child of one ("cbws/internal/sim"
+	// covers "cbws/internal/sim" and "cbws/internal/sim/...").
+	// An empty Scope means every loaded package. Fixture tests bypass
+	// Scope and always run the analyzer.
+	Scope []string
+	// Run executes the check on one package and reports findings
+	// through pass.Report/Reportf.
+	Run func(pass *Pass) error
+}
+
+// InScope reports whether the analyzer applies to pkgPath under the
+// driver's scoping rule.
+func (a *Analyzer) InScope(pkgPath string) bool {
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, s := range a.Scope {
+		if pkgPath == s || (len(pkgPath) > len(s) && pkgPath[:len(s)] == s && pkgPath[len(s)] == '/') {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string // analyzer name, without the "cbws/" prefix
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (cbws/%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// ModulePath is the module being analyzed; analyzers use it to
+	// distinguish module-internal callees (whose source they may
+	// demand facts about) from stdlib ones.
+	ModulePath string
+
+	facts  *FactStore
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ExportObjectFact associates the analyzer's fact value with obj.
+// Facts survive across packages within one driver run: packages are
+// analyzed in dependency order, so a pass can import facts about any
+// object its package imports. Objects are keyed by their stable full
+// name (types.Func.FullName or package-qualified name), which is
+// identical whether the object was type-checked from source or loaded
+// from export data.
+func (p *Pass) ExportObjectFact(obj types.Object, value any) {
+	p.facts.set(p.Analyzer.Name, objectKey(obj), value)
+}
+
+// ImportObjectFact retrieves a fact previously exported for obj by the
+// same analyzer, in this or any already-analyzed package.
+func (p *Pass) ImportObjectFact(obj types.Object) (any, bool) {
+	return p.facts.get(p.Analyzer.Name, objectKey(obj))
+}
+
+// objectKey returns a name for obj that is stable across loads from
+// source and from export data.
+func objectKey(obj types.Object) string {
+	if f, ok := obj.(*types.Func); ok {
+		return f.FullName()
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Path() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// FactStore holds analyzer facts for one driver run.
+type FactStore struct {
+	m map[[2]string]any
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore { return &FactStore{m: make(map[[2]string]any)} }
+
+func (s *FactStore) set(analyzer, key string, value any) {
+	s.m[[2]string{analyzer, key}] = value
+}
+
+func (s *FactStore) get(analyzer, key string) (any, bool) {
+	v, ok := s.m[[2]string{analyzer, key}]
+	return v, ok
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestFileHasBuildTag(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"//go:build cbwscheck\n\npackage x\n", true},
+		{"//go:build cbwscheck && linux\n\npackage x\n", true},
+		{"//go:build !cbwscheck\n\npackage x\n", false},
+		{"//go:build linux\n\npackage x\n", false},
+		{"package x\n\n//go:build cbwscheck\n", false}, // after package clause: not a constraint
+	}
+	for _, tc := range cases {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, "x.go", tc.src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := FileHasBuildTag(f, "cbwscheck"); got != tc.want {
+			t.Errorf("FileHasBuildTag(%q) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestSuppressionsRequireReason(t *testing.T) {
+	fset := token.NewFileSet()
+	src := `package x
+
+func a() {
+	//lint:ignore cbws/demo documented reason
+	_ = 1
+	//lint:ignore cbws/demo
+	_ = 2
+	//lint:ignore demo missing the cbws/ prefix
+	_ = 3
+}
+`
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{PkgPath: "x", Fset: fset}
+	pkg.Files = append(pkg.Files, f)
+	sup := collectSuppressions(pkg)
+
+	diag := func(line int) Diagnostic {
+		return Diagnostic{Analyzer: "demo", Pos: token.Position{Filename: "x.go", Line: line}}
+	}
+	if !sup.suppressed(diag(5)) {
+		t.Error("suppression with reason on the line above should suppress")
+	}
+	if sup.suppressed(diag(7)) {
+		t.Error("bare suppression (no reason) must not suppress")
+	}
+	if sup.suppressed(diag(9)) {
+		t.Error("suppression without the cbws/ prefix must not suppress")
+	}
+}

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cbws/internal/lint/analysis"
+)
+
+// BatchAlias enforces the BatchSink contract: the batch slice handed
+// to ConsumeBatch is only valid for the duration of the call — the
+// producer reuses the backing array — so implementations must not
+// retain it (store it in a field, global, map, channel, closure, or
+// goroutine) nor mutate it (write elements, or append to the batch
+// itself, which can scribble past len into the producer's buffer).
+// Passing the batch or a subslice onward to another synchronous call
+// is fine; copying out with append(dst, batch...) is fine.
+//
+// The analyzer recognizes implementations structurally: any method
+// named ConsumeBatch taking one slice parameter and returning bool.
+var BatchAlias = &analysis.Analyzer{
+	Name: "batchalias",
+	Doc: "forbid retaining or mutating the borrowed batch slice in " +
+		"BatchSink.ConsumeBatch implementations",
+	Run: runBatchAlias,
+}
+
+func runBatchAlias(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Name.Name != "ConsumeBatch" {
+				continue
+			}
+			if !isBatchSinkSig(pass.TypesInfo, fd) {
+				continue
+			}
+			checkBatchBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isBatchSinkSig matches func(batch []T) bool.
+func isBatchSinkSig(info *types.Info, fd *ast.FuncDecl) bool {
+	fn, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	if _, ok := sig.Params().At(0).Type().Underlying().(*types.Slice); !ok {
+		return false
+	}
+	b, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+// batchChecker tracks which locals alias the borrowed slice (aliases)
+// or point into it (elemPtrs) while walking one ConsumeBatch body.
+type batchChecker struct {
+	pass     *analysis.Pass
+	aliases  map[types.Object]bool // slice views of the batch
+	elemPtrs map[types.Object]bool // pointers to batch elements
+}
+
+func checkBatchBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	c := &batchChecker{
+		pass:     pass,
+		aliases:  make(map[types.Object]bool),
+		elemPtrs: make(map[types.Object]bool),
+	}
+	if len(fd.Type.Params.List) == 1 && len(fd.Type.Params.List[0].Names) == 1 {
+		if obj := pass.TypesInfo.Defs[fd.Type.Params.List[0].Names[0]]; obj != nil {
+			c.aliases[obj] = true
+		}
+	}
+	if len(c.aliases) == 0 {
+		return // unnamed parameter cannot be misused
+	}
+	// Alias pre-pass: locals bound to the batch or to element pointers.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := c.pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = c.pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if c.isBatchSlice(as.Rhs[i]) {
+				c.aliases[obj] = true
+			}
+			if c.isElemPtr(as.Rhs[i]) {
+				c.elemPtrs[obj] = true
+			}
+		}
+		return true
+	})
+	c.walk(fd.Body)
+}
+
+// isBatchSlice reports whether expr evaluates to a slice sharing the
+// batch's backing array: the batch itself, a reslice of it, or a named
+// alias. Indexing (an element copy) is not included.
+func (c *batchChecker) isBatchSlice(expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[e]
+		return obj != nil && c.aliases[obj]
+	case *ast.SliceExpr:
+		return c.isBatchSlice(e.X)
+	}
+	return false
+}
+
+// isElemPtr reports whether expr is &batch[i] (or &alias[i]).
+func (c *batchChecker) isElemPtr(expr ast.Expr) bool {
+	ue, ok := ast.Unparen(expr).(*ast.UnaryExpr)
+	if !ok || ue.Op != token.AND {
+		return false
+	}
+	ie, ok := ast.Unparen(ue.X).(*ast.IndexExpr)
+	return ok && c.isBatchSlice(ie.X)
+}
+
+// throughBatch reports whether lvalue expr writes into the batch's
+// backing array: batch[i], batch[i].Field, *p / p.Field for a tracked
+// element pointer.
+func (c *batchChecker) throughBatch(expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.IndexExpr:
+		return c.isBatchSlice(e.X)
+	case *ast.SelectorExpr:
+		return c.throughBatch(e.X) || c.viaElemPtr(e.X)
+	case *ast.StarExpr:
+		return c.viaElemPtr(e.X)
+	}
+	return false
+}
+
+func (c *batchChecker) viaElemPtr(expr ast.Expr) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := c.pass.TypesInfo.Uses[id]
+	return obj != nil && c.elemPtrs[obj]
+}
+
+// escapingLHS reports whether an assignment target outlives the call:
+// a field, an element of some container, a dereference, or a
+// package-level variable.
+func (c *batchChecker) escapingLHS(expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[e]
+		if obj == nil {
+			return false // new local via :=
+		}
+		v, ok := obj.(*types.Var)
+		return ok && v.Parent() == c.pass.Pkg.Scope()
+	}
+	return false
+}
+
+func (c *batchChecker) walk(body ast.Node) {
+	info := c.pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range e.Lhs {
+				if c.throughBatch(lhs) {
+					c.pass.Reportf(lhs.Pos(), "ConsumeBatch mutates the borrowed batch (the producer reuses its backing array)")
+				}
+				if i < len(e.Rhs) && (c.isBatchSlice(e.Rhs[i]) || c.isElemPtr(e.Rhs[i])) && c.escapingLHS(lhs) {
+					c.pass.Reportf(e.Pos(), "ConsumeBatch retains the borrowed batch beyond the call")
+				}
+			}
+		case *ast.IncDecStmt:
+			if c.throughBatch(e.X) {
+				c.pass.Reportf(e.Pos(), "ConsumeBatch mutates the borrowed batch (the producer reuses its backing array)")
+			}
+		case *ast.SendStmt:
+			if c.isBatchSlice(e.Value) || c.isElemPtr(e.Value) {
+				c.pass.Reportf(e.Pos(), "ConsumeBatch sends the borrowed batch on a channel (retains it beyond the call)")
+			}
+		case *ast.GoStmt:
+			for _, arg := range e.Call.Args {
+				if c.isBatchSlice(arg) || c.isElemPtr(arg) {
+					c.pass.Reportf(arg.Pos(), "ConsumeBatch passes the borrowed batch to a goroutine (outlives the call)")
+				}
+			}
+		case *ast.FuncLit:
+			c.checkCapture(e)
+			return false
+		case *ast.CompositeLit:
+			for _, elt := range e.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if c.isBatchSlice(v) || c.isElemPtr(v) {
+					c.pass.Reportf(v.Pos(), "ConsumeBatch stores the borrowed batch in a composite literal (may retain it)")
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(e.Args) > 0 {
+					if c.isBatchSlice(e.Args[0]) {
+						c.pass.Reportf(e.Pos(), "ConsumeBatch appends to the borrowed batch (can write past len into the producer's buffer)")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCapture flags closures that capture the batch or an element
+// pointer: the closure can outlive the call, so the capture is a
+// retention hazard regardless of how it is used.
+func (c *batchChecker) checkCapture(fl *ast.FuncLit) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := c.pass.TypesInfo.Uses[id]
+		if obj != nil && (c.aliases[obj] || c.elemPtrs[obj]) {
+			c.pass.Reportf(id.Pos(), "closure inside ConsumeBatch captures the borrowed batch (retention hazard)")
+			return false
+		}
+		return true
+	})
+}

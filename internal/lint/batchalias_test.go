@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"cbws/internal/lint"
+	"cbws/internal/lint/linttest"
+)
+
+func TestBatchAlias(t *testing.T) {
+	linttest.Run(t, lint.BatchAlias, "testdata/src/batchalias")
+}

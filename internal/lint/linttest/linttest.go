@@ -1,0 +1,171 @@
+// Package linttest is the fixture harness for the cbwslint analyzers,
+// in the spirit of golang.org/x/tools/go/analysis/analysistest: a
+// testdata directory holds one package of deliberately good, bad, and
+// suppressed code, and every expected finding is declared in place
+// with a trailing comment of the form
+//
+//	// want "regexp"
+//
+// (several per line allowed). The harness type-checks the fixture,
+// runs one analyzer over it, applies the production //lint:ignore
+// suppression pass, and fails the test on any missed, unexpected, or
+// mismatched diagnostic — so the fixtures double as an executable
+// specification of each analyzer.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"cbws/internal/lint/analysis"
+)
+
+// wantRe extracts the regexps of a want comment; like analysistest,
+// both "double-quoted" and `backquoted` forms are accepted.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// Run type-checks the fixture package in dir and asserts that the
+// analyzer's post-suppression diagnostics match the fixture's want
+// comments exactly.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	diags, fset, files, err := analyze(a, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wants []*expectation
+	for _, f := range files {
+		filename := fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				ms := wantRe.FindAllStringSubmatch(rest, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", filename, line, c.Text)
+				}
+				for _, m := range ms {
+					pat := m[1]
+					if m[2] != "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", filename, line, pat, err)
+					}
+					wants = append(wants, &expectation{file: filename, line: line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// analyze loads and type-checks the fixture package rooted at dir and
+// returns the analyzer's diagnostics after suppression filtering.
+func analyze(a *analysis.Analyzer, dir string) ([]analysis.Diagnostic, *token.FileSet, []*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("linttest: no .go files in %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := make(map[string]bool)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			importSet[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	var importPaths []string
+	for p := range importSet {
+		importPaths = append(importPaths, p)
+	}
+	sort.Strings(importPaths)
+
+	// Resolve the fixture's imports (stdlib and cbws packages alike)
+	// from build-cache export data; the go command runs from the test
+	// directory, which is inside the module.
+	exports, err := analysis.ExportsFor(".", importPaths)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pkgPath := filepath.Base(dir)
+	typesPkg, info, err := analysis.TypeCheck(fset, pkgPath, files, analysis.ExportImporter(fset, exports))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	pkg := &analysis.Package{
+		PkgPath:   pkgPath,
+		Dir:       dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     typesPkg,
+		TypesInfo: info,
+	}
+	// ModulePath == the fixture path itself: in-package calls count as
+	// module-internal, which is what the hotpathalloc fixtures rely on.
+	diags, err := analysis.Run([]*analysis.Analyzer{{
+		Name:  a.Name,
+		Doc:   a.Doc,
+		Run:   a.Run,
+		Scope: nil, // fixtures always run the analyzer
+	}}, []*analysis.Package{pkg}, pkgPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return diags, fset, files, nil
+}

@@ -1,0 +1,65 @@
+// Package batchalias is the fixture for the cbws/batchalias analyzer.
+// Every type below implements the structural BatchSink shape
+// (ConsumeBatch([]Ev) bool) and violates the borrow contract one way.
+package batchalias
+
+type Ev struct{ Addr uint64 }
+
+func process([]Ev) {}
+
+type keeper struct{ saved []Ev }
+
+func (k *keeper) ConsumeBatch(batch []Ev) bool {
+	k.saved = batch // want `retains the borrowed batch`
+	return true
+}
+
+type mutator struct{}
+
+func (mutator) ConsumeBatch(batch []Ev) bool {
+	batch[0] = Ev{} // want `mutates the borrowed batch`
+	return true
+}
+
+type appender struct{}
+
+func (appender) ConsumeBatch(batch []Ev) bool {
+	batch = append(batch, Ev{}) // want `appends to the borrowed batch`
+	return len(batch) > 0
+}
+
+type slicer struct{ window []Ev }
+
+func (s *slicer) ConsumeBatch(batch []Ev) bool {
+	s.window = batch[:1] // want `retains the borrowed batch`
+	return true
+}
+
+type pointer struct{}
+
+func (pointer) ConsumeBatch(batch []Ev) bool {
+	p := &batch[0]
+	p.Addr = 1 // want `mutates the borrowed batch`
+	return true
+}
+
+type sender struct{ ch chan []Ev }
+
+func (s *sender) ConsumeBatch(batch []Ev) bool {
+	s.ch <- batch // want `sends the borrowed batch on a channel`
+	return true
+}
+
+type asyncer struct{}
+
+func (asyncer) ConsumeBatch(batch []Ev) bool {
+	go process(batch) // want `passes the borrowed batch to a goroutine`
+	return true
+}
+
+type closer struct{ fn func() int }
+
+func (c *closer) ConsumeBatch(batch []Ev) bool {
+	c.fn = func() int { return len(batch) } // want `closure inside ConsumeBatch captures the borrowed batch`
+	return true
+}

@@ -1,0 +1,31 @@
+package batchalias
+
+// copier takes ownership the sanctioned way: append copies the
+// elements out of the borrowed backing array.
+type copier struct{ buf []Ev }
+
+func (c *copier) ConsumeBatch(batch []Ev) bool {
+	c.buf = append(c.buf, batch...)
+	return true
+}
+
+// forwarder passes the batch onward synchronously — the borrow rules
+// transfer to the callee for the duration of the same call.
+type forwarder struct{ next *copier }
+
+func (f *forwarder) ConsumeBatch(batch []Ev) bool {
+	process(batch[1:])
+	return f.next.ConsumeBatch(batch)
+}
+
+// reader only reads element copies; locals derived by indexing do not
+// alias the backing array.
+type reader struct{ sum uint64 }
+
+func (r *reader) ConsumeBatch(batch []Ev) bool {
+	for i := range batch {
+		ev := batch[i]
+		r.sum += ev.Addr
+	}
+	return true
+}

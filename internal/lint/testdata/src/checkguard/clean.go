@@ -1,0 +1,24 @@
+package checkguard
+
+import "cbws/internal/check"
+
+func (t *table) grow(n int) {
+	if check.Enabled {
+		check.Assertf(n > 0, "grow by %d", n)
+	}
+	t.n += n
+}
+
+func (t *table) shrink(n int) {
+	// check.Enabled as the leading conjunct also counts as a guard.
+	if check.Enabled && n > t.n {
+		check.Failf("shrink %d exceeds size %d", n, t.n)
+	}
+	t.n -= n
+}
+
+func (t *table) audit() {
+	if check.Enabled {
+		checkTable(t)
+	}
+}

@@ -1,0 +1,9 @@
+package checkguard
+
+import "cbws/internal/check"
+
+func (t *table) flush() {
+	//lint:ignore cbws/checkguard flush is cold-path and the assert documents an external contract
+	check.Assertf(t.n >= 0, "flush with size %d", t.n)
+	t.n = 0
+}

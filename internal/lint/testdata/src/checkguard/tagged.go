@@ -1,0 +1,15 @@
+//go:build cbwscheck
+
+package checkguard
+
+import "cbws/internal/check"
+
+// deepVerify lives in a cbwscheck-tagged file, which only compiles
+// into checked builds: hook and helper calls need no guard here.
+func (t *table) deepVerify() {
+	check.Assertf(t.n >= 0, "size underflow: %d", t.n)
+	checkTable(t)
+	if t.n > 1<<20 {
+		check.Failf("implausible table size %d", t.n)
+	}
+}

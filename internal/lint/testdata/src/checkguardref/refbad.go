@@ -1,0 +1,8 @@
+// Package check mirrors the repo's check package name so the
+// reference-model import rule applies to the ref*.go files here.
+package check
+
+import (
+	_ "cbws/internal/cache"  // want `reference model imports optimized package`
+	_ "cbws/internal/engine" // want `reference model imports optimized package`
+)

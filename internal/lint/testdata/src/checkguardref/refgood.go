@@ -1,0 +1,8 @@
+package check
+
+// Reference models may depend on the shared leaf packages — the
+// declared interfaces — just not on the optimized implementations.
+import (
+	_ "cbws/internal/mem"
+	_ "cbws/internal/trace"
+)

@@ -1,0 +1,44 @@
+// Package determinism is the fixture for the cbws/determinism
+// analyzer.
+package determinism
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+func timestamps() int64 {
+	return time.Now().UnixNano() // want `time.Now`
+}
+
+func roll() int {
+	return rand.Intn(6) // want `unseeded global source`
+}
+
+func unstable(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `sort.Slice is not stable`
+}
+
+func leakOrder(m map[string]int) {
+	for k := range m {
+		fmt.Fprintln(os.Stdout, k) // want `map iteration order`
+	}
+}
+
+func hashOrder(m map[string]int, w io.Writer) {
+	for k := range m {
+		w.Write([]byte(k)) // want `map iteration order`
+	}
+}
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `leaks iteration order`
+	}
+	return keys
+}

@@ -1,0 +1,35 @@
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+)
+
+func seeded() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(6)
+}
+
+func stable(xs []int) {
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// appendThenSort is the sanctioned extract-sort-iterate pattern: map
+// order leaks into the slice but the sort restores a canonical order.
+func appendThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// commutative effects (counting, summing) are order-insensitive.
+func totals(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,10 @@
+package determinism
+
+import "time"
+
+// telemetry is the documented waiver shape: wall-clock durations that
+// feed human-facing telemetry, never golden output.
+func telemetry() int64 {
+	//lint:ignore cbws/determinism wall-clock telemetry never reaches golden output
+	return time.Now().UnixNano()
+}

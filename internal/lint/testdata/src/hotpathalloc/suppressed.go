@@ -1,0 +1,19 @@
+package hotpathalloc
+
+// suppressed demonstrates the waiver syntax: the reason is mandatory,
+// and the comment silences exactly one analyzer on the next line.
+//
+//cbws:hotpath
+func suppressed() []int {
+	//lint:ignore cbws/hotpathalloc one-time warm-up allocation, measured free at steady state
+	return make([]int, 8)
+}
+
+// bare demonstrates that the reason is not optional: a suppression
+// without one is inert and the finding still fires.
+//
+//cbws:hotpath
+func bare() []int {
+	//lint:ignore cbws/hotpathalloc
+	return make([]int, 8) // want `calls make`
+}

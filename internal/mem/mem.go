@@ -35,9 +35,13 @@ func (l LineAddr) Byte() Addr { return Addr(l) << LineShift }
 // Add returns the line address offset by delta lines. Negative deltas are
 // permitted; the result wraps like two's-complement arithmetic, matching
 // hardware adders.
+//
+//cbws:hotpath
 func (l LineAddr) Add(delta int64) LineAddr { return LineAddr(int64(l) + delta) }
 
 // Delta returns the signed line-stride from a to l (l - a).
+//
+//cbws:hotpath
 func (l LineAddr) Delta(a LineAddr) int64 { return int64(l) - int64(a) }
 
 func (l LineAddr) String() string { return fmt.Sprintf("L%#x", uint64(l)) }

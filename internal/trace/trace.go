@@ -66,6 +66,8 @@ type Event struct {
 }
 
 // Count returns the number of dynamic instructions the event represents.
+//
+//cbws:hotpath
 func (e Event) Count() int {
 	if e.Kind == Instr {
 		if e.N <= 0 {
@@ -188,6 +190,7 @@ func (b *Batcher) Event(e Event) bool {
 // observed one event later; that event is discarded, never delivered,
 // so consumers see an identical stream.
 //
+//cbws:hotpath
 //go:noinline
 func (b *Batcher) eventSlow(e Event) bool {
 	if b.stopped {
@@ -203,6 +206,8 @@ func (b *Batcher) eventSlow(e Event) bool {
 
 // Flush delivers any buffered events. It returns false once the
 // consumer has stopped.
+//
+//cbws:hotpath
 func (b *Batcher) Flush() bool {
 	if b.stopped {
 		return false
@@ -368,6 +373,7 @@ type limiter struct {
 	done     bool
 }
 
+//cbws:hotpath
 func (lm *limiter) ConsumeBatch(batch []Event) bool {
 	if lm.done {
 		return false
