@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test vet fmt-check race bench obs-smoke check \
+.PHONY: all build test vet fmt-check race bench obs-smoke service-smoke check \
 	fuzz-smoke golden bench-gate lint lint-custom staticcheck govulncheck tools
 
 all: check
@@ -26,10 +26,11 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # The harness has real concurrency (parallel matrix fill, single-flight
-# memoization) and the sim probes run under it, so both get a
+# memoization), the sim probes run under it, and the service stacks a
+# worker pool and HTTP handlers on top, so all three get a
 # race-detector pass.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/harness/...
+	$(GO) test -race ./internal/sim/... ./internal/harness/... ./internal/service/...
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
@@ -41,6 +42,12 @@ obs-smoke:
 	/tmp/cbwsim-smoke -workload stencil-default -prefetcher cbws+sms \
 		-n 200000 -warmup 50000 -obs /tmp/cbwsim-smoke-run.json -sample-interval 20000
 	/tmp/cbwsim-smoke -validate-record /tmp/cbwsim-smoke-run.json
+
+# End-to-end service smoke: start cbwsd on an ephemeral port, sweep a
+# small matrix with cbwsctl against golden/seed.json, replay it as 100%
+# cache hits, and SIGTERM-drain cleanly.
+service-smoke:
+	./scripts/service_smoke.sh
 
 # Each differential fuzz target gets a short coverage-guided run on top
 # of its seed corpus (CI uses 30s per target; override with FUZZTIME).

@@ -1,0 +1,502 @@
+// Command cbwsctl is the client for the cbwsd simulation daemon.
+//
+// Usage:
+//
+//	cbwsctl [-server URL] submit -workload W -prefetcher P [-n N] [-warmup N] [-wait]
+//	cbwsctl [-server URL] status KEY
+//	cbwsctl [-server URL] result KEY [-o FILE]
+//	cbwsctl [-server URL] sweep -workloads A,B -prefetchers X,Y [-n N] [-warmup N]
+//	        [-golden FILE] [-require-cached] [-out DIR]
+//
+// submit posts one job and prints its content address (with -wait it
+// polls until the job finishes). status and result read a job back by
+// that address. sweep drives a full workload × prefetcher matrix:
+// every cell is submitted (429 backpressure is honored by sleeping the
+// server's Retry-After and retrying), polled to completion, fetched,
+// and validated as a run record. With -golden each served result's
+// canonical cell hash is compared against the manifest's — the same
+// hashes golden/seed.json pins — so a sweep can prove a remote daemon
+// bit-identical to the local seed without rerunning anything. With
+// -require-cached the sweep fails unless every cell was answered from
+// the daemon's content-addressed cache, which is how CI asserts a
+// repeated sweep is 100% cache hits.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"cbws/internal/cli"
+	"cbws/internal/harness"
+	"cbws/internal/service"
+	"cbws/internal/sim"
+)
+
+func main() {
+	cli.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func usage(stderr io.Writer) int {
+	fmt.Fprintln(stderr, "usage: cbwsctl [-server URL] {submit|status|result|sweep} ...")
+	return cli.ExitUsage
+}
+
+// run is main with its environment abstracted for tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cbwsctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	server := fs.String("server", "http://127.0.0.1:8344", "cbwsd base URL")
+	timeout := fs.Duration("timeout", 10*time.Minute, "overall budget for waiting on jobs")
+	poll := fs.Duration("poll", 100*time.Millisecond, "status polling period")
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
+	}
+	if fs.NArg() == 0 {
+		return usage(stderr)
+	}
+	c := &client{
+		base:   strings.TrimRight(*server, "/"),
+		hc:     &http.Client{Timeout: 30 * time.Second},
+		budget: *timeout,
+		poll:   *poll,
+		stderr: stderr,
+	}
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	switch cmd {
+	case "submit":
+		return c.cmdSubmit(rest, stdout, stderr)
+	case "status":
+		return c.cmdStatus(rest, stdout, stderr)
+	case "result":
+		return c.cmdResult(rest, stdout, stderr)
+	case "sweep":
+		return c.cmdSweep(rest, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "cbwsctl: unknown command %q\n", cmd)
+		return usage(stderr)
+	}
+}
+
+// client wraps the daemon's HTTP API with 429-aware retry.
+type client struct {
+	base   string
+	hc     *http.Client
+	budget time.Duration
+	poll   time.Duration
+	stderr io.Writer
+}
+
+// apiError is a non-2xx response decoded from the daemon's error
+// envelope.
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return fmt.Sprintf("server: %s (HTTP %d)", e.msg, e.code) }
+
+func decodeError(resp *http.Response, body []byte) error {
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+		eb.Error = strings.TrimSpace(string(body))
+	}
+	return &apiError{code: resp.StatusCode, msg: eb.Error}
+}
+
+// submit posts one job, sleeping out 429 backpressure: on queue-full
+// the server's Retry-After is honored (with a floor) and the request
+// retried until the overall budget is spent.
+func (c *client) submit(body []byte) (service.JobView, error) {
+	deadline := time.Now().Add(c.budget)
+	for {
+		resp, err := c.hc.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return service.JobView{}, err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return service.JobView{}, err
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted:
+			var view service.JobView
+			if err := json.Unmarshal(raw, &view); err != nil {
+				return service.JobView{}, fmt.Errorf("decoding submit response: %w", err)
+			}
+			return view, nil
+		case resp.StatusCode == http.StatusTooManyRequests:
+			wait := retryAfter(resp)
+			if time.Now().Add(wait).After(deadline) {
+				return service.JobView{}, fmt.Errorf("queue stayed full for %s: %w", c.budget, decodeError(resp, raw))
+			}
+			fmt.Fprintf(c.stderr, "cbwsctl: queue full, retrying in %s\n", wait)
+			time.Sleep(wait)
+		default:
+			return service.JobView{}, decodeError(resp, raw)
+		}
+	}
+}
+
+// retryAfter reads the 429 Retry-After header, flooring unparseable or
+// zero values at 100ms so the retry loop never spins.
+func retryAfter(resp *http.Response) time.Duration {
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 100 * time.Millisecond
+}
+
+func (c *client) getJSON(path string, v any) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp, raw)
+	}
+	return json.Unmarshal(raw, v)
+}
+
+func (c *client) status(key string) (service.JobView, error) {
+	var view service.JobView
+	err := c.getJSON("/v1/jobs/"+key, &view)
+	return view, err
+}
+
+func (c *client) result(key string) ([]byte, error) {
+	resp, err := c.hc.Get(c.base + "/v1/results/" + key)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp, raw)
+	}
+	return raw, nil
+}
+
+// waitDone polls a job's status until it reaches a terminal state.
+func (c *client) waitDone(key string) (service.JobView, error) {
+	deadline := time.Now().Add(c.budget)
+	for {
+		view, err := c.status(key)
+		if err != nil {
+			return view, err
+		}
+		switch view.Status {
+		case service.StatusDone:
+			return view, nil
+		case service.StatusFailed, service.StatusCanceled:
+			return view, fmt.Errorf("job %s %s: %s", key[:12], view.Status, view.Error)
+		}
+		if time.Now().After(deadline) {
+			return view, fmt.Errorf("job %s still %s after %s", key[:12], view.Status, c.budget)
+		}
+		time.Sleep(c.poll)
+	}
+}
+
+// requestBody builds one submit body. n/warm of 0 mean "daemon
+// default": no config override is sent at all.
+func requestBody(wl, pf string, n, warm uint64, warmSet bool) ([]byte, error) {
+	req := service.SubmitRequest{Workload: wl, Prefetcher: pf}
+	cfg := map[string]uint64{}
+	if n > 0 {
+		cfg["MaxInstructions"] = n
+	}
+	if warmSet {
+		cfg["WarmupInstructions"] = warm
+	}
+	if len(cfg) > 0 {
+		b, err := json.Marshal(cfg)
+		if err != nil {
+			return nil, err
+		}
+		req.Config = b
+	}
+	return json.Marshal(req)
+}
+
+func (c *client) cmdSubmit(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cbwsctl submit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	wl := fs.String("workload", "", "workload name")
+	pf := fs.String("prefetcher", "", "prefetcher name")
+	n := fs.Uint64("n", 0, "instruction budget (0: daemon default)")
+	warm := fs.Uint64("warmup", 0, "warmup instructions")
+	wait := fs.Bool("wait", false, "poll until the job finishes")
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
+	}
+	if *wl == "" || *pf == "" {
+		fmt.Fprintln(stderr, "cbwsctl submit: -workload and -prefetcher are required")
+		return cli.ExitUsage
+	}
+	body, err := requestBody(*wl, *pf, *n, *warm, flagSet(fs, "warmup"))
+	if err != nil {
+		fmt.Fprintf(stderr, "cbwsctl: %v\n", err)
+		return cli.ExitFail
+	}
+	view, err := c.submit(body)
+	if err != nil {
+		fmt.Fprintf(stderr, "cbwsctl: %v\n", err)
+		return cli.ExitFail
+	}
+	if *wait && view.Status != service.StatusDone {
+		if view, err = c.waitDone(view.Key); err != nil {
+			fmt.Fprintf(stderr, "cbwsctl: %v\n", err)
+			return cli.ExitFail
+		}
+	}
+	printView(stdout, view)
+	return cli.ExitOK
+}
+
+func flagSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+func printView(w io.Writer, view service.JobView) {
+	cached := ""
+	if view.Cached {
+		cached = " (cached)"
+	}
+	fmt.Fprintf(w, "%s  %s/%s  %s%s", view.Key, view.Workload, view.Prefetcher, view.Status, cached)
+	if view.Status == service.StatusRunning && view.Progress.MaxInstructions > 0 {
+		fmt.Fprintf(w, "  %d/%d instructions", view.Progress.Instructions, view.Progress.MaxInstructions)
+	}
+	if view.Error != "" {
+		fmt.Fprintf(w, "  error: %s", view.Error)
+	}
+	fmt.Fprintln(w)
+}
+
+func (c *client) cmdStatus(args []string, stdout, stderr io.Writer) int {
+	if len(args) != 1 {
+		fmt.Fprintln(stderr, "usage: cbwsctl status KEY")
+		return cli.ExitUsage
+	}
+	view, err := c.status(args[0])
+	if err != nil {
+		fmt.Fprintf(stderr, "cbwsctl: %v\n", err)
+		return cli.ExitFail
+	}
+	printView(stdout, view)
+	return cli.ExitOK
+}
+
+func (c *client) cmdResult(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cbwsctl result", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "write the run record here instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: cbwsctl result [-o FILE] KEY")
+		return cli.ExitUsage
+	}
+	data, err := c.result(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "cbwsctl: %v\n", err)
+		return cli.ExitFail
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(stderr, "cbwsctl: %v\n", err)
+			return cli.ExitFail
+		}
+		return cli.ExitOK
+	}
+	_, _ = stdout.Write(data)
+	return cli.ExitOK
+}
+
+// sweepCell is one matrix cell's outcome.
+type sweepCell struct {
+	Workload   string
+	Prefetcher string
+	Key        string
+	Cached     bool
+	Record     *harness.RunRecord
+}
+
+func (c *client) cmdSweep(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cbwsctl sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	wls := fs.String("workloads", "", "comma-separated workload names")
+	pfs := fs.String("prefetchers", "", "comma-separated prefetcher names")
+	n := fs.Uint64("n", 0, "instruction budget per cell (0: daemon default)")
+	warm := fs.Uint64("warmup", 0, "warmup instructions per cell")
+	golden := fs.String("golden", "", "compare served cell hashes against this golden manifest")
+	requireCached := fs.Bool("require-cached", false, "fail unless every cell is served from the cache")
+	outDir := fs.String("out", "", "write each cell's run record into this directory")
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
+	}
+	workloads := splitList(*wls)
+	prefetchers := splitList(*pfs)
+	if len(workloads) == 0 || len(prefetchers) == 0 {
+		fmt.Fprintln(stderr, "cbwsctl sweep: -workloads and -prefetchers are required")
+		return cli.ExitUsage
+	}
+	var manifest *harness.GoldenManifest
+	if *golden != "" {
+		var err error
+		manifest, err = harness.ReadGolden(*golden)
+		if err != nil {
+			fmt.Fprintf(stderr, "cbwsctl: %v\n", err)
+			return cli.ExitFail
+		}
+	}
+
+	// Submit every cell first (the daemon dedups and queues), then
+	// collect: the daemon's worker pool provides the parallelism.
+	cells := make([]*sweepCell, 0, len(workloads)*len(prefetchers))
+	for _, wl := range workloads {
+		for _, pf := range prefetchers {
+			body, err := requestBody(wl, pf, *n, *warm, flagSet(fs, "warmup"))
+			if err != nil {
+				fmt.Fprintf(stderr, "cbwsctl: %v\n", err)
+				return cli.ExitFail
+			}
+			view, err := c.submit(body)
+			if err != nil {
+				fmt.Fprintf(stderr, "cbwsctl: %s/%s: %v\n", wl, pf, err)
+				return cli.ExitFail
+			}
+			cells = append(cells, &sweepCell{
+				Workload: wl, Prefetcher: pf, Key: view.Key,
+				Cached: view.Cached && view.Status == service.StatusDone,
+			})
+		}
+	}
+
+	cachedCount := 0
+	var mismatches []string
+	for _, cell := range cells {
+		if _, err := c.waitDone(cell.Key); err != nil {
+			fmt.Fprintf(stderr, "cbwsctl: %s/%s: %v\n", cell.Workload, cell.Prefetcher, err)
+			return cli.ExitFail
+		}
+		data, err := c.result(cell.Key)
+		if err != nil {
+			fmt.Fprintf(stderr, "cbwsctl: %s/%s: %v\n", cell.Workload, cell.Prefetcher, err)
+			return cli.ExitFail
+		}
+		rec := &harness.RunRecord{}
+		if err := json.Unmarshal(data, rec); err != nil {
+			fmt.Fprintf(stderr, "cbwsctl: %s/%s: decoding result: %v\n", cell.Workload, cell.Prefetcher, err)
+			return cli.ExitFail
+		}
+		if err := rec.Validate(); err != nil {
+			fmt.Fprintf(stderr, "cbwsctl: %s/%s: invalid run record: %v\n", cell.Workload, cell.Prefetcher, err)
+			return cli.ExitFail
+		}
+		cell.Record = rec
+		if cell.Cached {
+			cachedCount++
+		}
+		if *outDir != "" {
+			name := sanitize(cell.Workload) + "__" + sanitize(cell.Prefetcher) + ".json"
+			if err := os.WriteFile(filepath.Join(*outDir, name), data, 0o644); err != nil {
+				fmt.Fprintf(stderr, "cbwsctl: %v\n", err)
+				return cli.ExitFail
+			}
+		}
+		if manifest != nil {
+			got := harness.CellHash(sim.Result{
+				Workload:   rec.Workload,
+				Prefetcher: rec.Prefetcher,
+				Metrics:    rec.Metrics,
+			})
+			want, ok := goldenHash(manifest, rec.Workload, rec.Prefetcher)
+			switch {
+			case !ok:
+				mismatches = append(mismatches,
+					fmt.Sprintf("%s/%s: not in golden manifest", rec.Workload, rec.Prefetcher))
+			case want != got:
+				mismatches = append(mismatches,
+					fmt.Sprintf("%s/%s: hash diverged (want %.12s…, got %.12s…)", rec.Workload, rec.Prefetcher, want, got))
+			}
+		}
+	}
+
+	fmt.Fprintf(stdout, "sweep: %d cells, %d served from cache\n", len(cells), cachedCount)
+	for _, cell := range cells {
+		m := cell.Record.Metrics
+		tag := ""
+		if cell.Cached {
+			tag = "  [cached]"
+		}
+		fmt.Fprintf(stdout, "  %-26s %-10s IPC %.4f  MPKI %.2f%s\n",
+			cell.Workload, cell.Prefetcher, m.IPC(), m.MPKI(), tag)
+	}
+	for _, mm := range mismatches {
+		fmt.Fprintf(stderr, "cbwsctl: golden mismatch: %s\n", mm)
+	}
+	if len(mismatches) > 0 {
+		return cli.ExitFail
+	}
+	if manifest != nil {
+		fmt.Fprintf(stdout, "golden: all %d cells match %s\n", len(cells), *golden)
+	}
+	if *requireCached && cachedCount != len(cells) {
+		fmt.Fprintf(stderr, "cbwsctl: -require-cached: only %d/%d cells were cache hits\n", cachedCount, len(cells))
+		return cli.ExitFail
+	}
+	return cli.ExitOK
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// sanitize maps roster names to safe file names ("ghb-pc/dc" →
+// "ghb-pc_dc").
+func sanitize(name string) string {
+	return strings.NewReplacer("/", "_", " ", "_").Replace(name)
+}
+
+// goldenHash looks up one cell's pinned hash in a manifest.
+func goldenHash(g *harness.GoldenManifest, wl, pf string) (string, bool) {
+	for _, c := range g.Cells {
+		if c.Workload == wl && c.Prefetcher == pf {
+			return c.Hash, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,146 @@
+// Command cbwsd is the cbws simulation daemon: a long-running HTTP/JSON
+// service that accepts simulation jobs (workload × prefetcher ×
+// sim.Config), runs them on a bounded worker pool, and serves results
+// from a content-addressed cache so repeated sweeps cost nothing.
+//
+// Usage:
+//
+//	cbwsd [-addr 127.0.0.1:8344] [-cache-dir DIR] [-workers N] [-queue N]
+//	      [-n instructions] [-warmup instructions] [-config system.json]
+//	      [-job-timeout D] [-drain-timeout D] [-addr-file PATH]
+//
+// -addr :0 binds an ephemeral port; combined with -addr-file the bound
+// address is written to a file once listening, so scripts can start the
+// daemon on a random port and discover it race-free. On SIGINT/SIGTERM
+// the daemon drains gracefully: the listener closes, running jobs
+// finish (bounded by -drain-timeout), queued jobs are canceled, and the
+// cache index is persisted before exit 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cbws/internal/cli"
+	"cbws/internal/service"
+	"cbws/internal/sim"
+)
+
+func main() {
+	cli.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment abstracted for tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cbwsd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8344", "listen address (:0 for an ephemeral port)")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening")
+	workers := fs.Int("workers", 0, "concurrent simulations (0: one per CPU)")
+	queue := fs.Int("queue", 64, "queued-job bound; submissions beyond it get 429")
+	cacheDir := fs.String("cache-dir", "", "persist results and the cache index here (default: memory only)")
+	n := fs.Uint64("n", 4_000_000, "base instruction budget per job")
+	warm := fs.Uint64("warmup", 1_000_000, "base warmup instructions excluded from metrics")
+	configPath := fs.String("config", "", "JSON system-config file (overrides Table II defaults)")
+	jobTimeout := fs.Duration("job-timeout", 0, "abort a single job after this long (0: no timeout)")
+	drainTimeout := fs.Duration("drain-timeout", time.Minute, "bound on finishing running jobs at shutdown")
+	interval := fs.Uint64("sample-interval", 0, "probe/progress period in instructions (0: default)")
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "cbwsd: unexpected argument %q\n", fs.Arg(0))
+		return cli.ExitUsage
+	}
+	if *warm >= *n {
+		fmt.Fprintf(stderr, "cbwsd: -warmup %d must be smaller than -n %d\n", *warm, *n)
+		return cli.ExitUsage
+	}
+
+	base := sim.DefaultConfig()
+	if *configPath != "" {
+		var err error
+		base, err = sim.LoadConfig(*configPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "cbwsd: %v\n", err)
+			return cli.ExitFail
+		}
+	}
+	base.MaxInstructions = *n
+	base.WarmupInstructions = *warm
+
+	svc, err := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		JobTimeout:     *jobTimeout,
+		CacheDir:       *cacheDir,
+		BaseSim:        base,
+		SampleInterval: *interval,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "cbwsd: %v\n", err)
+		return cli.ExitFail
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "cbwsd: %v\n", err)
+		return cli.ExitFail
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := writeAddrFile(*addrFile, bound); err != nil {
+			fmt.Fprintf(stderr, "cbwsd: %v\n", err)
+			return cli.ExitFail
+		}
+		defer os.Remove(*addrFile)
+	}
+	fmt.Fprintf(stderr, "cbwsd: listening on http://%s (version %s, cache %d entries)\n",
+		bound, svc.CodeVersion(), svc.Cache().Len())
+
+	srv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "cbwsd: serve: %v\n", err)
+		return cli.ExitFail
+	}
+	stop() // a second signal kills immediately
+
+	fmt.Fprintln(stderr, "cbwsd: draining (running jobs finish, queued jobs cancel)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "cbwsd: shutdown: %v\n", err)
+	}
+	if err := svc.Drain(shutdownCtx); err != nil {
+		fmt.Fprintf(stderr, "cbwsd: drain: %v\n", err)
+		return cli.ExitFail
+	}
+	fmt.Fprintf(stderr, "cbwsd: drained cleanly (cache %d entries)\n", svc.Cache().Len())
+	return cli.ExitOK
+}
+
+// writeAddrFile publishes the bound address atomically (write to a temp
+// file, then rename), so a polling reader never sees a partial address.
+func writeAddrFile(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,30 +1,93 @@
 // Package debugsrv serves the standard Go diagnostics endpoints —
 // /debug/pprof/* (CPU, heap, goroutine profiles) and /debug/vars
-// (expvar, including memstats) — for the CLIs' opt-in -debug-addr flag.
-// Serving is best-effort and fully detached from the simulation: the
-// listener runs on its own goroutine and is torn down with the process.
+// (expvar, including memstats) — for the CLIs' opt-in -debug-addr flag
+// and as a mountable handler for long-running servers (cbwsd).
+//
+// The handlers are registered on a private mux, never on
+// http.DefaultServeMux, so embedding them in another server cannot
+// collide with (or leak through) the global mux. Start returns a
+// handle whose Shutdown tears the listener down; the legacy Serve
+// keeps the CLIs' fire-and-forget behaviour.
 package debugsrv
 
 import (
-	_ "expvar" // registers /debug/vars on the default mux
+	"context"
+	"expvar"
 	"fmt"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"net/http/pprof"
 )
 
-// Serve starts the diagnostics HTTP server on addr (e.g. ":6060" or
-// "127.0.0.1:0") and returns the bound address. The server uses the
-// default mux, where the pprof and expvar handlers self-register.
-func Serve(addr string) (string, error) {
+// Handler returns the diagnostics mux: /debug/pprof/* and /debug/vars.
+// It is a fresh mux per call, safe to mount under another server's
+// routing table.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// Server is a running diagnostics listener.
+type Server struct {
+	addr string
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Start begins serving the diagnostics mux on addr (e.g. ":6060" or
+// "127.0.0.1:0") and returns a handle exposing the bound address and a
+// Shutdown method. Unlike the old package-global listener, the
+// goroutine exits when Shutdown completes.
+func Start(addr string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("debugsrv: %w", err)
+		return nil, fmt.Errorf("debugsrv: %w", err)
+	}
+	s := &Server{
+		addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: Handler()},
+		done: make(chan struct{}),
 	}
 	go func() {
-		// The listener lives for the process; Serve only returns on
-		// close, and its error has nowhere useful to go.
-		_ = http.Serve(ln, nil)
+		defer close(s.done)
+		// Serve returns ErrServerClosed after Shutdown; any other error
+		// has nowhere useful to go for a best-effort diagnostics server.
+		_ = s.srv.Serve(ln)
 	}()
-	return ln.Addr().String(), nil
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.addr }
+
+// Shutdown gracefully stops the server: it stops accepting connections,
+// waits for in-flight requests up to the context deadline, and waits
+// for the serve goroutine to exit.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}
+
+// Serve starts the diagnostics server on addr and returns the bound
+// address. The server lives until the process exits — the historical
+// contract of the CLIs' -debug-addr flag, which needs no teardown.
+func Serve(addr string) (string, error) {
+	s, err := Start(addr)
+	if err != nil {
+		return "", err
+	}
+	return s.Addr(), nil
 }

@@ -1,0 +1,87 @@
+package debugsrv
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// get fetches a URL and returns the status code and body.
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestHandlerServesDiagnostics(t *testing.T) {
+	ts := httptest.NewServer(Handler())
+	defer ts.Close()
+
+	if code, body := get(t, ts.URL+"/debug/vars"); code != http.StatusOK {
+		t.Fatalf("/debug/vars: status %d, body %q", code, body)
+	} else if !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars does not expose memstats: %q", body[:min(len(body), 200)])
+	}
+	if code, _ := get(t, ts.URL+"/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/: status %d", code)
+	}
+}
+
+func TestHandlerMountsUnderOwnMux(t *testing.T) {
+	// The diagnostics must be mountable inside another server's routing
+	// table (cbwsd does this), not only reachable through the global
+	// mux. A sibling route on the same mux must keep working.
+	mux := http.NewServeMux()
+	mux.Handle("/debug/", Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	if code, _ := get(t, ts.URL+"/debug/vars"); code != http.StatusOK {
+		t.Fatalf("/debug/vars under embedded mux: status %d", code)
+	}
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("sibling route broken by embedded diagnostics: status %d", code)
+	}
+}
+
+func TestStartShutdown(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if code, _ := get(t, "http://"+s.Addr()+"/debug/vars"); code != http.StatusOK {
+		t.Fatalf("/debug/vars before shutdown: status %d", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/debug/vars"); err == nil {
+		t.Fatal("server still accepting connections after Shutdown")
+	}
+}
+
+func TestServeKeepsLegacyContract(t *testing.T) {
+	addr, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if code, _ := get(t, "http://"+addr+"/debug/vars"); code != http.StatusOK {
+		t.Fatalf("/debug/vars via Serve: status %d", code)
+	}
+}

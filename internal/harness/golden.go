@@ -37,6 +37,12 @@ type GoldenManifest struct {
 	Cells        []GoldenCell `json:"cells"`
 }
 
+// CellHash computes the canonical hash of one simulation result — the
+// same hash that golden manifests pin per cell — so remote consumers
+// (cbwsctl) can verify a served result against golden/seed.json without
+// rerunning the simulation.
+func CellHash(res sim.Result) string { return goldenCellHash(res) }
+
 // goldenCellHash computes the canonical hash of one simulation result:
 // SHA-256 over the fixed-field-order JSON of the names and every final
 // metric. Struct field order makes encoding/json deterministic here.

@@ -21,8 +21,11 @@ import (
 //     observation order, so only a total-order comparator is safe and
 //     sort.SliceStable (or a total-order key) is required.
 //
-// The driver scopes it to internal/{sim,harness,report,stats} and
-// cmd/figures; fixture tests run it everywhere.
+// The driver scopes it to internal/{sim,harness,report,stats,service}
+// and cmd/figures; fixture tests run it everywhere. internal/service is
+// in scope because its cached run records are compared byte-for-byte
+// across daemons — the one legitimate wall-clock read (job duration
+// telemetry) carries an explicit waiver.
 var Determinism = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "flag map-iteration-order leaks, wall-clock reads, unseeded " +
@@ -32,6 +35,7 @@ var Determinism = &analysis.Analyzer{
 		"cbws/internal/harness",
 		"cbws/internal/report",
 		"cbws/internal/stats",
+		"cbws/internal/service",
 		"cbws/cmd/figures",
 	},
 	Run: runDeterminism,

@@ -81,10 +81,22 @@ func ByName(name string) (Factory, bool) {
 // New constructs the named scheme, or an error listing the valid names
 // (nearest first) when the name is unknown.
 func New(name string) (prefetch.Prefetcher, error) {
-	if f, ok := ByName(name); ok {
-		return f.New(), nil
+	f, err := Resolve(name)
+	if err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
 	}
-	return nil, fmt.Errorf("registry: unknown prefetcher %q (did you mean %q? valid: %s)",
+	return f.New(), nil
+}
+
+// Resolve looks up the named scheme's factory, or returns the
+// "did you mean" error when the name is unknown. The message is part of
+// the service API (it travels in HTTP 400 bodies), so its shape is
+// pinned by tests.
+func Resolve(name string) (Factory, error) {
+	if f, ok := ByName(name); ok {
+		return f, nil
+	}
+	return Factory{}, fmt.Errorf("unknown prefetcher %q (did you mean %q? valid: %s)",
 		name, Suggest(name), strings.Join(Names(), ", "))
 }
 

@@ -1,0 +1,208 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// CacheIndexSchema versions the on-disk index layout.
+const CacheIndexSchema = "cbws-result-cache/1"
+
+// CacheMeta is the human-readable identity stored in the index next to
+// each content address.
+type CacheMeta struct {
+	Key        string `json:"key"`
+	Workload   string `json:"workload"`
+	Prefetcher string `json:"prefetcher"`
+	Bytes      int    `json:"bytes"`
+}
+
+// cacheIndex is the persisted catalogue of cached results.
+type cacheIndex struct {
+	Schema  string      `json:"schema"`
+	Entries []CacheMeta `json:"entries"`
+}
+
+// Cache is the content-addressed result store: encoded run records
+// keyed by JobSpec.Key. All entries live in memory — a hit serves
+// pre-encoded bytes with no I/O or allocation — and, when a directory
+// is configured, each entry is written through to <key>.json so a
+// restarted daemon starts warm. The index (index.json) is persisted on
+// drain.
+type Cache struct {
+	dir string
+
+	mu   sync.RWMutex
+	mem  map[string][]byte
+	meta map[string]CacheMeta
+}
+
+// keyFileRE matches content-address file names: 64 hex chars + .json.
+var keyFileRE = regexp.MustCompile(`^[0-9a-f]{64}\.json$`)
+
+// NewCache opens (and, for a non-empty dir, loads) a result cache.
+// Entries are recovered from index.json when present, else by scanning
+// the directory for key-shaped files, so a crash before the index was
+// persisted loses nothing.
+func NewCache(dir string) (*Cache, error) {
+	c := &Cache{dir: dir, mem: make(map[string][]byte), meta: make(map[string]CacheMeta)}
+	if dir == "" {
+		return c, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	keys, err := c.diskKeys()
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range keys {
+		data, err := os.ReadFile(filepath.Join(dir, m.Key+".json"))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // indexed but never written: skip, don't fail startup
+			}
+			return nil, fmt.Errorf("cache: %w", err)
+		}
+		m.Bytes = len(data)
+		c.mem[m.Key] = data
+		c.meta[m.Key] = m
+	}
+	return c, nil
+}
+
+// diskKeys returns the entries to load: the persisted index union any
+// key-shaped files the index does not mention.
+func (c *Cache) diskKeys() ([]CacheMeta, error) {
+	var out []CacheMeta
+	seen := make(map[string]bool)
+	if data, err := os.ReadFile(filepath.Join(c.dir, "index.json")); err == nil {
+		var idx cacheIndex
+		if err := json.Unmarshal(data, &idx); err != nil {
+			return nil, fmt.Errorf("cache: parsing index.json: %w", err)
+		}
+		if idx.Schema != CacheIndexSchema {
+			return nil, fmt.Errorf("cache: index schema %q, want %q", idx.Schema, CacheIndexSchema)
+		}
+		for _, m := range idx.Entries {
+			if !seen[m.Key] {
+				seen[m.Key] = true
+				out = append(out, m)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	names, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	for _, de := range names {
+		name := de.Name()
+		if !keyFileRE.MatchString(name) {
+			continue
+		}
+		key := strings.TrimSuffix(name, ".json")
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, CacheMeta{Key: key})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Get returns the pre-encoded result bytes for key. This is the
+// cache-hit serving path — a repeated sweep is answered entirely from
+// here — and it allocates nothing: the stored bytes are returned as-is
+// and must not be mutated by the caller.
+//
+//cbws:hotpath
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.RLock()
+	data, ok := c.mem[key]
+	c.mu.RUnlock()
+	return data, ok
+}
+
+// Meta returns the index entry for key.
+func (c *Cache) Meta(key string) (CacheMeta, bool) {
+	c.mu.RLock()
+	m, ok := c.meta[key]
+	c.mu.RUnlock()
+	return m, ok
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.mem)
+}
+
+// Put stores the encoded result under its content address, writing
+// through to disk when a directory is configured. The write is atomic
+// (temp file + rename), so a concurrent reader or a crash never
+// observes a torn entry.
+func (c *Cache) Put(key string, meta CacheMeta, data []byte) error {
+	meta.Key = key
+	meta.Bytes = len(data)
+	c.mu.Lock()
+	c.mem[key] = data
+	c.meta[key] = meta
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	return writeFileAtomic(filepath.Join(c.dir, key+".json"), data)
+}
+
+// PersistIndex writes the index.json catalogue: every entry sorted by
+// key, so the file is byte-stable for a given cache population. Called
+// on graceful drain.
+func (c *Cache) PersistIndex() error {
+	if c.dir == "" {
+		return nil
+	}
+	c.mu.RLock()
+	idx := cacheIndex{Schema: CacheIndexSchema}
+	for _, m := range c.meta {
+		idx.Entries = append(idx.Entries, m)
+	}
+	c.mu.RUnlock()
+	sort.SliceStable(idx.Entries, func(i, j int) bool { return idx.Entries[i].Key < idx.Entries[j].Key })
+	data, err := json.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(c.dir, "index.json"), append(data, '\n'))
+}
+
+// writeFileAtomic writes data to path via a temp file and rename.
+func writeFileAtomic(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}

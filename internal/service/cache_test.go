@@ -1,0 +1,136 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testKey(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestCacheMemoryOnly(t *testing.T) {
+	c, err := NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("a")
+	if _, ok := c.Get(k); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	if err := c.Put(k, CacheMeta{Workload: "w", Prefetcher: "p"}, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(k)
+	if !ok || string(got) != "data" {
+		t.Fatalf("Get after Put: %q, %v", got, ok)
+	}
+	m, ok := c.Meta(k)
+	if !ok || m.Workload != "w" || m.Prefetcher != "p" || m.Bytes != 4 {
+		t.Fatalf("Meta: %+v, %v", m, ok)
+	}
+	if err := c.PersistIndex(); err != nil {
+		t.Fatalf("PersistIndex on a memory-only cache should be a no-op: %v", err)
+	}
+}
+
+func TestCachePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2 := testKey("one"), testKey("two")
+	if err := c.Put(k1, CacheMeta{Workload: "w1", Prefetcher: "p1"}, []byte("r1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(k2, CacheMeta{Workload: "w2", Prefetcher: "p2"}, []byte("r2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PersistIndex(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := NewCache(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("reopened cache has %d entries, want 2", re.Len())
+	}
+	got, ok := re.Get(k1)
+	if !ok || string(got) != "r1" {
+		t.Fatalf("reopened Get(k1): %q, %v", got, ok)
+	}
+	m, ok := re.Meta(k2)
+	if !ok || m.Workload != "w2" {
+		t.Fatalf("reopened Meta(k2): %+v, %v — index metadata lost", m, ok)
+	}
+}
+
+func TestCacheRecoversWithoutIndex(t *testing.T) {
+	// A crash before PersistIndex leaves entry files but no index; the
+	// data must still be recovered (with empty identity metadata).
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("orphan")
+	if err := c.Put(k, CacheMeta{Workload: "w"}, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "index.json")); !os.IsNotExist(err) {
+		t.Fatal("index.json written before PersistIndex")
+	}
+	re, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := re.Get(k)
+	if !ok || string(got) != "payload" {
+		t.Fatalf("orphan entry not recovered: %q, %v", got, ok)
+	}
+}
+
+func TestCacheIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "short.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("foreign files loaded as cache entries: %d", c.Len())
+	}
+}
+
+// TestCacheHitZeroAlloc pins the //cbws:hotpath contract on the
+// cache-hit serving path: a Get must not allocate.
+func TestCacheHitZeroAlloc(t *testing.T) {
+	c, err := NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("hot")
+	if err := c.Put(k, CacheMeta{}, []byte("hot data")); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok := c.Get(k); !ok {
+			t.Fatal("hit expected")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache hit allocates: %v allocs/op", allocs)
+	}
+}

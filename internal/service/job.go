@@ -1,0 +1,131 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// The job lifecycle: queued → running → done | failed, with canceled
+// for jobs still queued when the daemon drains.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Job is one accepted simulation, identified by its content address.
+// Submissions of the same spec map to the same Job (idempotent
+// submission), so each distinct piece of work runs at most once per
+// daemon lifetime.
+type Job struct {
+	Key  string
+	Spec JobSpec
+
+	// progress is the committed instruction count, stored from the
+	// simulator's WithProgress hook every sample interval.
+	progress atomic.Uint64
+
+	mu     sync.Mutex
+	status Status
+	errMsg string
+	done   chan struct{}
+}
+
+func newJob(key string, spec JobSpec) *Job {
+	return &Job{Key: key, Spec: spec, status: StatusQueued, done: make(chan struct{})}
+}
+
+// setRunning transitions queued → running; it reports false when the
+// job was already canceled (drain raced the worker).
+func (j *Job) setRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusRunning
+	return true
+}
+
+// finish marks the job done and releases status waiters.
+func (j *Job) finish() {
+	j.mu.Lock()
+	j.status = StatusDone
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// fail marks the job failed with the given message.
+func (j *Job) fail(msg string) {
+	j.mu.Lock()
+	j.status = StatusFailed
+	j.errMsg = msg
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// cancel marks a still-queued job canceled (daemon drain). Running jobs
+// are never canceled — drain waits for them.
+func (j *Job) cancel(msg string) bool {
+	j.mu.Lock()
+	if j.status != StatusQueued {
+		j.mu.Unlock()
+		return false
+	}
+	j.status = StatusCanceled
+	j.errMsg = msg
+	j.mu.Unlock()
+	close(j.done)
+	return true
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Progress is the polled completion state of a job, derived from the
+// simulator's progress hook.
+type Progress struct {
+	// Instructions is the committed instruction count at the last
+	// progress report (0 until the first sample interval elapses).
+	Instructions uint64 `json:"instructions"`
+	// MaxInstructions is the job's instruction budget.
+	MaxInstructions uint64 `json:"max_instructions"`
+}
+
+// JobView is the wire form of a job's state, returned by the submit and
+// status endpoints.
+type JobView struct {
+	Key        string   `json:"key"`
+	Workload   string   `json:"workload"`
+	Prefetcher string   `json:"prefetcher"`
+	Status     Status   `json:"status"`
+	Progress   Progress `json:"progress"`
+	// Cached marks a view synthesized from the result cache alone (the
+	// result predates this daemon's job table).
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// View snapshots the job for serialization.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	status, errMsg := j.status, j.errMsg
+	j.mu.Unlock()
+	done := j.progress.Load()
+	if status == StatusDone {
+		done = j.Spec.Config.MaxInstructions
+	}
+	return JobView{
+		Key:        j.Key,
+		Workload:   j.Spec.Workload,
+		Prefetcher: j.Spec.Prefetcher,
+		Status:     status,
+		Progress:   Progress{Instructions: done, MaxInstructions: j.Spec.Config.MaxInstructions},
+		Error:      errMsg,
+	}
+}

@@ -1,0 +1,89 @@
+package service
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+)
+
+// counters are the service's expvar-exported operational counters.
+// Everything is atomic: the submit path and the workers update them
+// concurrently.
+type counters struct {
+	jobsQueued   atomic.Int64 // currently waiting in the queue
+	jobsRunning  atomic.Int64 // currently simulating
+	jobsDone     atomic.Int64 // completed successfully (lifetime)
+	jobsFailed   atomic.Int64 // failed or timed out (lifetime)
+	jobsCanceled atomic.Int64 // canceled while queued, by drain (lifetime)
+	cacheHits    atomic.Int64 // submissions answered from the result cache
+	cacheMisses  atomic.Int64 // submissions that created a new job
+	rejected     atomic.Int64 // submissions rejected with 429 (queue full)
+}
+
+// Vars is the operational-counter snapshot served under the "cbwsd"
+// expvar and returned by Service.Counters. A struct (not a map) keeps
+// the JSON field order fixed.
+type Vars struct {
+	JobsQueued    int64   `json:"jobs_queued"`
+	JobsRunning   int64   `json:"jobs_running"`
+	JobsDone      int64   `json:"jobs_done"`
+	JobsFailed    int64   `json:"jobs_failed"`
+	JobsCanceled  int64   `json:"jobs_canceled"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	CacheEntries  int     `json:"cache_entries"`
+	Rejected      int64   `json:"rejected_429"`
+	QueueDepth    int     `json:"queue_depth"`
+	Workers       int     `json:"workers"`
+	Draining      bool    `json:"draining"`
+}
+
+func (s *Service) vars() Vars {
+	c := &s.counters
+	hits, misses := c.cacheHits.Load(), c.cacheMisses.Load()
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	return Vars{
+		JobsQueued:    c.jobsQueued.Load(),
+		JobsRunning:   c.jobsRunning.Load(),
+		JobsDone:      c.jobsDone.Load(),
+		JobsFailed:    c.jobsFailed.Load(),
+		JobsCanceled:  c.jobsCanceled.Load(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		CacheHitRatio: ratio,
+		CacheEntries:  s.cache.Len(),
+		Rejected:      c.rejected.Load(),
+		QueueDepth:    cap(s.queue),
+		Workers:       s.cfg.Workers,
+		Draining:      s.draining.Load(),
+	}
+}
+
+// Counters snapshots the service's operational counters — the same
+// values the "cbwsd" expvar serves.
+func (s *Service) Counters() Vars { return s.vars() }
+
+// The "cbwsd" expvar reflects the most recently constructed Service.
+// expvar names are process-global and re-publishing panics, so the var
+// is registered once and indirects through an atomic pointer; tests
+// that build several services just move the pointer.
+var (
+	activeService atomic.Pointer[Service]
+	publishOnce   sync.Once
+)
+
+func publishVars(s *Service) {
+	activeService.Store(s)
+	publishOnce.Do(func() {
+		expvar.Publish("cbwsd", expvar.Func(func() any {
+			if svc := activeService.Load(); svc != nil {
+				return svc.vars()
+			}
+			return Vars{}
+		}))
+	})
+}

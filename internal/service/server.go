@@ -1,0 +1,185 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"cbws/internal/debugsrv"
+	"cbws/internal/sim"
+	"cbws/internal/workload"
+)
+
+// SubmitRequest is the POST /v1/jobs body. Config, when present, is a
+// partial sim.Config merged over the daemon's base configuration
+// (unknown fields are rejected); absent, the base is used as-is.
+type SubmitRequest struct {
+	Workload   string          `json:"workload"`
+	Prefetcher string          `json:"prefetcher"`
+	Config     json.RawMessage `json:"config,omitempty"`
+}
+
+// errorBody is the JSON error envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // client went away; nothing useful to do
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// maxBodyBytes bounds submit request bodies; configs are small.
+const maxBodyBytes = 1 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/jobs          submit a job (idempotent by content address)
+//	GET  /v1/jobs/{key}    job status with progress
+//	GET  /v1/results/{key} the run-record JSON for a completed job
+//	GET  /v1/workloads     workload roster
+//	GET  /v1/prefetchers   prefetcher roster
+//	GET  /healthz          liveness + drain state
+//	GET  /debug/...        pprof + expvar diagnostics (debugsrv)
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{key}", s.handleStatus)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /v1/prefetchers", s.handlePrefetchers)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /debug/", debugsrv.Handler())
+	return mux
+}
+
+// ParseSpec decodes one submit request against the base configuration.
+// Shared by the HTTP handler and by clients (cbwsctl) that want the
+// canonical key of a request without a round trip.
+func ParseSpec(body []byte, base sim.Config) (JobSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req SubmitRequest
+	if err := dec.Decode(&req); err != nil {
+		return JobSpec{}, fmt.Errorf("parsing request: %w", err)
+	}
+	spec := JobSpec{Workload: req.Workload, Prefetcher: req.Prefetcher, Config: base}
+	if len(req.Config) > 0 {
+		cfg, err := sim.ReadConfig(bytes.NewReader(req.Config), base)
+		if err != nil {
+			return JobSpec{}, err
+		}
+		spec.Config = cfg
+	}
+	if err := spec.Validate(); err != nil {
+		return JobSpec{}, err
+	}
+	return spec, nil
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	spec, err := ParseSpec(body, s.cfg.BaseSim)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	view, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+		writeError(w, http.StatusTooManyRequests, "%v (retry after %s)", err, s.cfg.RetryAfter)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	code := http.StatusOK
+	if view.Status == StatusQueued {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, view)
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	view, ok := s.Status(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", key)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	data, ok := s.Result(key)
+	if !ok {
+		if view, live := s.Status(key); live {
+			writeError(w, http.StatusNotFound, "job %q is %s, result not available", key, view.Status)
+		} else {
+			writeError(w, http.StatusNotFound, "unknown job %q", key)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// rosterEntry is one name in the workload/prefetcher listings.
+type rosterEntry struct {
+	Name  string `json:"name"`
+	Suite string `json:"suite,omitempty"`
+	MI    bool   `json:"mi,omitempty"`
+}
+
+func (s *Service) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	var out []rosterEntry
+	for _, spec := range workload.All() {
+		out = append(out, rosterEntry{Name: spec.Name, Suite: spec.Suite, MI: spec.MI})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handlePrefetchers(w http.ResponseWriter, r *http.Request) {
+	var out []rosterEntry
+	for _, f := range s.prefetcherRoster() {
+		out = append(out, rosterEntry{Name: f})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// healthz is the liveness body.
+type healthz struct {
+	Status      string `json:"status"`
+	Draining    bool   `json:"draining"`
+	CodeVersion string `json:"code_version"`
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthz{
+		Status:      "ok",
+		Draining:    s.draining.Load(),
+		CodeVersion: s.cfg.CodeVersion,
+	})
+}

@@ -1,0 +1,382 @@
+// Package service is the long-running simulation daemon behind cmd/cbwsd:
+// an HTTP/JSON job queue over the evaluation harness with a
+// content-addressed result cache.
+//
+// Jobs are (workload, prefetcher, sim.Config) triples. Submission is
+// idempotent — the job's identity is a canonical hash of its effective
+// values plus the simulator code version — and completed results are
+// cached in memory and on disk under that hash, so a repeated sweep is
+// served in O(1) without simulating anything. Production concerns are
+// handled end to end: a bounded queue with 429 + Retry-After
+// backpressure, per-job timeouts, progress reporting from the
+// simulator's probe hooks, expvar counters, and graceful drain that
+// finishes running jobs and persists the cache index.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cbws/internal/harness"
+	"cbws/internal/sim"
+	"cbws/internal/workload"
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Workers bounds concurrent simulations (<= 0: one per CPU).
+	Workers int
+	// QueueDepth bounds the number of accepted-but-not-running jobs;
+	// submissions beyond it are rejected with 429 (default 64).
+	QueueDepth int
+	// JobTimeout aborts a single simulation after this long (0: no
+	// timeout). A timed-out job is reported failed.
+	JobTimeout time.Duration
+	// CacheDir persists results and the cache index ("" = memory only).
+	CacheDir string
+	// BaseSim is the configuration submitted partial configs merge over
+	// (zero value: the Table II defaults with the harness's standard
+	// 4M/1M window).
+	BaseSim sim.Config
+	// SampleInterval is the probe/progress period in committed
+	// instructions (0: sim.DefaultSampleInterval).
+	SampleInterval uint64
+	// RetryAfter is advertised in the Retry-After header of 429
+	// responses (0: 1s).
+	RetryAfter time.Duration
+	// CodeVersion overrides the build's VCS revision in cache keys
+	// ("": CodeVersion()).
+	CodeVersion string
+}
+
+// withDefaults fills the zero fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	var zero sim.Config
+	if c.BaseSim == zero {
+		c.BaseSim = harness.DefaultOptions().Sim
+	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = sim.DefaultSampleInterval
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.CodeVersion == "" {
+		c.CodeVersion = CodeVersion()
+	}
+	return c
+}
+
+// Service is a running simulation daemon: worker pool, job table,
+// result cache.
+type Service struct {
+	cfg   Config
+	cache *Cache
+	queue chan *Job
+
+	jobsMu sync.Mutex
+	jobs   map[string]*Job
+
+	matMu    sync.Mutex
+	matrices map[string]*harness.Matrix
+
+	counters counters
+	draining atomic.Bool
+	quit     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New builds a Service, loads the cache, and starts the worker pool.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.BaseSim.Validate(); err != nil {
+		return nil, fmt.Errorf("service: base config: %w", err)
+	}
+	cache, err := NewCache(cfg.CacheDir)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	s := &Service{
+		cfg:      cfg,
+		cache:    cache,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		jobs:     make(map[string]*Job),
+		matrices: make(map[string]*harness.Matrix),
+		quit:     make(chan struct{}),
+	}
+	publishVars(s)
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Cache exposes the result cache (read-only use: stats, tests).
+func (s *Service) Cache() *Cache { return s.cache }
+
+// CodeVersion returns the version string baked into this service's
+// cache keys.
+func (s *Service) CodeVersion() string { return s.cfg.CodeVersion }
+
+// Submit registers the spec as a job, idempotently. The returned view
+// reflects the current state: done+cached when the result is already
+// in the content-addressed cache, the existing job's state when the
+// same spec was submitted before, queued when a fresh job was
+// accepted. ErrQueueFull is returned when the queue is at depth, and
+// ErrDraining once drain has begun.
+func (s *Service) Submit(spec JobSpec) (JobView, error) {
+	key := spec.Key(s.cfg.CodeVersion)
+	if view, ok := s.cachedView(key); ok {
+		s.counters.cacheHits.Add(1)
+		return view, nil
+	}
+	if s.draining.Load() {
+		return JobView{}, ErrDraining
+	}
+	s.jobsMu.Lock()
+	if j, ok := s.jobs[key]; ok {
+		s.jobsMu.Unlock()
+		return j.View(), nil
+	}
+	j := newJob(key, spec)
+	s.jobs[key] = j
+	s.jobsMu.Unlock()
+
+	select {
+	case s.queue <- j:
+		s.counters.cacheMisses.Add(1)
+		s.counters.jobsQueued.Add(1)
+		return j.View(), nil
+	default:
+		// Queue full: forget the job so a later retry can re-create it.
+		s.jobsMu.Lock()
+		delete(s.jobs, key)
+		s.jobsMu.Unlock()
+		s.counters.rejected.Add(1)
+		return JobView{}, ErrQueueFull
+	}
+}
+
+// cachedView synthesizes a done view for a key present in the result
+// cache. The cache is authoritative across restarts: a key may be
+// cached without a live job in this daemon's table.
+func (s *Service) cachedView(key string) (JobView, bool) {
+	meta, ok := s.cache.Meta(key)
+	if !ok {
+		return JobView{}, false
+	}
+	return JobView{
+		Key:        key,
+		Workload:   meta.Workload,
+		Prefetcher: meta.Prefetcher,
+		Status:     StatusDone,
+		Cached:     true,
+	}, true
+}
+
+// Job returns the live job table entry for key.
+func (s *Service) Job(key string) (*Job, bool) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	j, ok := s.jobs[key]
+	return j, ok
+}
+
+// Status reports the state of key: the live job when one exists, else
+// a cache-synthesized done view.
+func (s *Service) Status(key string) (JobView, bool) {
+	if j, ok := s.Job(key); ok {
+		view := j.View()
+		if view.Status == StatusDone {
+			// Mark completions whose bytes are served from the cache, so
+			// clients can distinguish fresh work from replays.
+			if _, cached := s.cache.Get(key); cached {
+				view.Cached = true
+			}
+		}
+		return view, true
+	}
+	return s.cachedView(key)
+}
+
+// Result returns the encoded run record for key.
+func (s *Service) Result(key string) ([]byte, bool) {
+	return s.cache.Get(key)
+}
+
+// worker runs queued jobs until drain.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		// Prefer quit over a ready job so drain stops promptly.
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.queue:
+			s.counters.jobsQueued.Add(-1)
+			s.runJob(j)
+		}
+	}
+}
+
+// matrixFor memoizes one harness.Matrix per distinct sim.Config, so
+// within a daemon lifetime the harness layer adds its single-flight
+// guarantee on top of the job-level dedup.
+func (s *Service) matrixFor(cfg sim.Config) *harness.Matrix {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		panic(err) // plain struct of scalars; cannot fail
+	}
+	sum := sha256.Sum256(b)
+	key := hex.EncodeToString(sum[:])
+	s.matMu.Lock()
+	defer s.matMu.Unlock()
+	m, ok := s.matrices[key]
+	if !ok {
+		m = harness.NewMatrix(harness.Options{Sim: cfg, Parallel: 1})
+		s.matrices[key] = m
+	}
+	return m
+}
+
+// runJob executes one job end to end: simulate with probe + progress
+// attached, assemble the PR-2 run record as the wire result, store it
+// under the job's content address.
+func (s *Service) runJob(j *Job) {
+	if !j.setRunning() {
+		return // canceled while queued
+	}
+	s.counters.jobsRunning.Add(1)
+	defer s.counters.jobsRunning.Add(-1)
+
+	ctx := context.Background()
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+	spec, ok := workload.ByName(j.Spec.Workload)
+	if !ok {
+		// Validated at submit; only a roster change mid-flight gets here.
+		s.failJob(j, fmt.Sprintf("unknown workload %q", j.Spec.Workload))
+		return
+	}
+	f, err := harness.ResolveFactory(j.Spec.Prefetcher)
+	if err != nil {
+		s.failJob(j, err.Error())
+		return
+	}
+
+	interval := s.cfg.SampleInterval
+	capacity := int(j.Spec.Config.MaxInstructions/interval) + 2
+	ts := sim.NewTimeSeries(capacity)
+	//lint:ignore cbws/determinism wall-clock duration is telemetry only, excluded from result hashes
+	start := time.Now()
+	m := s.matrixFor(j.Spec.Config)
+	res, err := m.GetObserved(ctx, spec, f,
+		sim.WithProbe(ts), sim.WithSampleInterval(interval),
+		sim.WithProgress(j.progress.Store))
+	if err != nil {
+		s.failJob(j, err.Error())
+		return
+	}
+	rec := harness.NewRunRecord(j.Spec.Config, res, interval, ts.Points(), time.Since(start))
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		s.failJob(j, fmt.Sprintf("encoding result: %v", err))
+		return
+	}
+	data = append(data, '\n')
+	meta := CacheMeta{Workload: j.Spec.Workload, Prefetcher: j.Spec.Prefetcher}
+	if err := s.cache.Put(j.Key, meta, data); err != nil {
+		s.failJob(j, fmt.Sprintf("caching result: %v", err))
+		return
+	}
+	s.counters.jobsDone.Add(1)
+	j.finish()
+}
+
+func (s *Service) failJob(j *Job, msg string) {
+	s.counters.jobsFailed.Add(1)
+	j.fail(msg)
+}
+
+// Draining reports whether drain has begun.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully stops the service: no new submissions are accepted,
+// running jobs finish, still-queued jobs are canceled, and the cache
+// index is persisted. It returns ctx.Err() if the running jobs did not
+// finish in time (the index is still persisted with whatever
+// completed).
+func (s *Service) Drain(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil // already draining
+	}
+	close(s.quit)
+	// Cancel everything still waiting in the queue; workers are exiting.
+cancelQueued:
+	for {
+		select {
+		case j := <-s.queue:
+			s.counters.jobsQueued.Add(-1)
+			if j.cancel("server draining") {
+				s.counters.jobsCanceled.Add(1)
+			}
+		default:
+			break cancelQueued
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var waitErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		waitErr = ctx.Err()
+	}
+	if err := s.cache.PersistIndex(); err != nil {
+		return err
+	}
+	return waitErr
+}
+
+// prefetcherRoster lists every scheme the service accepts, evaluated
+// roster plus extensions, in registration order.
+func (s *Service) prefetcherRoster() []string {
+	factories := harness.ExtendedPrefetchers()
+	out := make([]string, len(factories))
+	for i, f := range factories {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Sentinel submission errors, mapped to HTTP statuses by the server
+// layer.
+var (
+	ErrQueueFull = fmt.Errorf("job queue is full")
+	ErrDraining  = fmt.Errorf("server is draining")
+)

@@ -1,0 +1,391 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cbws/internal/harness"
+	"cbws/internal/sim"
+	"cbws/internal/workload"
+)
+
+// testConfig is a small, fast base system for service tests.
+func testConfig() Config {
+	base := harness.DefaultOptions().Sim
+	base.MaxInstructions = 200_000
+	base.WarmupInstructions = 50_000
+	return Config{
+		Workers:        2,
+		QueueDepth:     16,
+		BaseSim:        base,
+		SampleInterval: 50_000,
+		CodeVersion:    "test",
+	}
+}
+
+func newTestService(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = svc.Drain(ctx)
+	})
+	return svc, ts
+}
+
+func postJob(t *testing.T, url, body string) (int, map[string]any, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("response is not JSON (%d): %q", resp.StatusCode, raw)
+	}
+	return resp.StatusCode, m, resp.Header
+}
+
+func getJSON(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// waitDone polls the status endpoint until the job reaches a terminal
+// state.
+func waitDone(t *testing.T, url, key string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		code, raw := getJSON(t, url+"/v1/jobs/"+key)
+		if code != http.StatusOK {
+			t.Fatalf("status %s: %d %s", key, code, raw)
+		}
+		var view JobView
+		if err := json.Unmarshal(raw, &view); err != nil {
+			t.Fatal(err)
+		}
+		switch view.Status {
+		case StatusDone, StatusFailed, StatusCanceled:
+			var m map[string]any
+			_ = json.Unmarshal(raw, &m)
+			return m
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", key)
+	return nil
+}
+
+func TestSubmitRunResult(t *testing.T) {
+	svc, ts := newTestService(t, testConfig())
+
+	code, m, _ := postJob(t, ts.URL, `{"workload":"stencil-default","prefetcher":"cbws"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, m)
+	}
+	key, _ := m["key"].(string)
+	if len(key) != 64 {
+		t.Fatalf("submit returned no content address: %v", m)
+	}
+
+	final := waitDone(t, ts.URL, key)
+	if final["status"] != string(StatusDone) {
+		t.Fatalf("job did not complete: %v", final)
+	}
+	prog := final["progress"].(map[string]any)
+	if prog["instructions"].(float64) != 200_000 {
+		t.Fatalf("done job progress: %v", prog)
+	}
+
+	code, raw := getJSON(t, ts.URL+"/v1/results/"+key)
+	if code != http.StatusOK {
+		t.Fatalf("result: %d %s", code, raw)
+	}
+	var rec harness.RunRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("served result is not a valid PR-2 run record: %v", err)
+	}
+
+	// The served metrics must be bit-identical to a direct harness run
+	// of the same cell — the service adds caching, not new semantics.
+	spec, _ := workload.ByName("stencil-default")
+	f, _ := harness.FactoryByName("cbws")
+	direct, err := harness.NewMatrix(harness.Options{Sim: svc.cfg.BaseSim}).Get(spec, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Metrics != direct.Metrics {
+		t.Fatalf("served metrics diverge from direct run:\n got %+v\nwant %+v", rec.Metrics, direct.Metrics)
+	}
+	got := harness.CellHash(sim.Result{Workload: rec.Workload, Prefetcher: rec.Prefetcher, Metrics: rec.Metrics})
+	want := harness.CellHash(direct)
+	if got != want {
+		t.Fatalf("cell hash mismatch: %s vs %s", got, want)
+	}
+
+	// Resubmission is answered from the cache.
+	code, m, _ = postJob(t, ts.URL, `{"workload":"stencil-default","prefetcher":"cbws"}`)
+	if code != http.StatusOK || m["cached"] != true {
+		t.Fatalf("resubmit not served from cache: %d %v", code, m)
+	}
+	if svc.counters.cacheHits.Load() == 0 {
+		t.Fatal("cache hit not counted")
+	}
+}
+
+func TestSubmitIdempotentWhileQueued(t *testing.T) {
+	svc, _ := newTestService(t, testConfig())
+	spec, err := ParseSpec([]byte(`{"workload":"fft-simlarge","prefetcher":"stride"}`), svc.cfg.BaseSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Key != v2.Key {
+		t.Fatalf("same spec produced two jobs: %s vs %s", v1.Key, v2.Key)
+	}
+	if svc.counters.cacheMisses.Load() != 1 {
+		t.Fatalf("duplicate submission counted as a second miss: %d", svc.counters.cacheMisses.Load())
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	_, ts := newTestService(t, testConfig())
+
+	// Unknown prefetcher: the 400 body must carry the registry's
+	// case-insensitive suggestion verbatim.
+	code, m, _ := postJob(t, ts.URL, `{"workload":"stencil-default","prefetcher":"CBWS"}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown prefetcher: %d %v", code, m)
+	}
+	wantMsg := `unknown prefetcher "CBWS" (did you mean "cbws"? valid: none, stride, ghb-pc/dc, ghb-g/dc, sms, cbws, cbws+sms, ampm, markov)`
+	if m["error"] != wantMsg {
+		t.Fatalf("400 body:\n got %v\nwant %s", m["error"], wantMsg)
+	}
+
+	code, m, _ = postJob(t, ts.URL, `{"workload":"no-such","prefetcher":"cbws"}`)
+	if code != http.StatusBadRequest || !strings.Contains(m["error"].(string), "unknown workload") {
+		t.Fatalf("unknown workload: %d %v", code, m)
+	}
+
+	code, m, _ = postJob(t, ts.URL, `{"workload":"stencil-default","prefetcher":"cbws","config":{"NoSuchField":1}}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown config field: %d %v", code, m)
+	}
+
+	code, m, _ = postJob(t, ts.URL, `{"workload":"stencil-default","prefetcher":"cbws","config":{"WarmupInstructions":300000}}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("invalid config (warmup >= max): %d %v", code, m)
+	}
+
+	code, raw := getJSON(t, ts.URL+"/v1/jobs/"+strings.Repeat("0", 64))
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown job: %d %s", code, raw)
+	}
+	code, raw = getJSON(t, ts.URL+"/v1/results/"+strings.Repeat("0", 64))
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown result: %d %s", code, raw)
+	}
+}
+
+func TestBackpressureAndDrain(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.QueueDepth = 1
+	// One long-running job occupies the single worker (~2s), one fills
+	// the queue, the third must bounce with 429 + Retry-After.
+	long := cfg.BaseSim
+	long.MaxInstructions = 60_000_000
+	long.WarmupInstructions = 1_000_000
+	cfg.BaseSim = long
+	svc, ts := newTestService(t, cfg)
+
+	submit := func(wl, pf string) (int, map[string]any, http.Header) {
+		return postJob(t, ts.URL, fmt.Sprintf(`{"workload":%q,"prefetcher":%q}`, wl, pf))
+	}
+	code, m1, _ := submit("stencil-default", "none")
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: %d %v", code, m1)
+	}
+	code, m2, _ := submit("fft-simlarge", "none")
+	if code != http.StatusAccepted {
+		t.Fatalf("second submit: %d %v", code, m2)
+	}
+	code, m3, hdr := submit("bfs-1m", "none")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("third submit should bounce: %d %v", code, m3)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if svc.counters.rejected.Load() != 1 {
+		t.Fatalf("rejected counter: %d", svc.counters.rejected.Load())
+	}
+
+	// A rejected spec must be resubmittable once there is room — the
+	// bounce may not leave a tombstone in the job table.
+	bouncedKey := mustSpec(t, svc, "bfs-1m", "none").Key(svc.cfg.CodeVersion)
+	if _, ok := svc.Job(bouncedKey); ok {
+		t.Fatal("429'd submission left a job behind")
+	}
+
+	// Drain: the running job finishes, the queued one is canceled.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	k1 := m1["key"].(string)
+	view1, ok := svc.Status(k1)
+	if !ok || view1.Status != StatusDone {
+		t.Fatalf("running job after drain: %+v (ok=%v), want done", view1, ok)
+	}
+	k2 := m2["key"].(string)
+	view2, ok := svc.Status(k2)
+	if !ok || view2.Status != StatusCanceled {
+		t.Fatalf("queued job after drain: %+v (ok=%v), want canceled", view2, ok)
+	}
+
+	// Draining services refuse new work.
+	if _, err := svc.Submit(mustSpec(t, svc, "radix-simlarge", "none")); err != ErrDraining {
+		t.Fatalf("submit while draining: %v, want ErrDraining", err)
+	}
+}
+
+func mustSpec(t *testing.T, svc *Service, wl, pf string) JobSpec {
+	t.Helper()
+	spec, err := ParseSpec([]byte(fmt.Sprintf(`{"workload":%q,"prefetcher":%q}`, wl, pf)), svc.cfg.BaseSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestJobTimeout(t *testing.T) {
+	cfg := testConfig()
+	cfg.JobTimeout = 30 * time.Millisecond
+	big := cfg.BaseSim
+	big.MaxInstructions = 500_000_000 // would take minutes
+	big.WarmupInstructions = 1_000_000
+	cfg.BaseSim = big
+	svc, ts := newTestService(t, cfg)
+
+	view, err := svc.Submit(mustSpec(t, svc, "stencil-default", "none"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, ts.URL, view.Key)
+	if final["status"] != string(StatusFailed) {
+		t.Fatalf("timed-out job: %v, want failed", final)
+	}
+	if !strings.Contains(final["error"].(string), "context deadline exceeded") {
+		t.Fatalf("timeout error not surfaced: %v", final["error"])
+	}
+}
+
+func TestCachePersistenceAcrossServices(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.CacheDir = dir
+
+	svc1, ts1 := newTestService(t, cfg)
+	view, err := svc1.Submit(mustSpec(t, svc1, "stencil-default", "stride"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, ts1.URL, view.Key)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "index.json")); err != nil {
+		t.Fatalf("drain did not persist the cache index: %v", err)
+	}
+
+	// A new daemon over the same directory serves the result without
+	// simulating: submission comes back done+cached immediately.
+	svc2, _ := newTestService(t, cfg)
+	got, err := svc2.Submit(mustSpec(t, svc2, "stencil-default", "stride"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusDone || !got.Cached {
+		t.Fatalf("restarted daemon did not serve from persisted cache: %+v", got)
+	}
+	if svc2.counters.cacheHits.Load() != 1 || svc2.counters.cacheMisses.Load() != 0 {
+		t.Fatalf("hit/miss after restart: %d/%d",
+			svc2.counters.cacheHits.Load(), svc2.counters.cacheMisses.Load())
+	}
+	data, ok := svc2.Result(got.Key)
+	if !ok {
+		t.Fatal("result bytes missing after restart")
+	}
+	var rec harness.RunRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("persisted record invalid: %v", err)
+	}
+}
+
+func TestHealthzAndRosters(t *testing.T) {
+	_, ts := newTestService(t, testConfig())
+	code, raw := getJSON(t, ts.URL+"/healthz")
+	if code != http.StatusOK || !bytes.Contains(raw, []byte(`"status": "ok"`)) {
+		t.Fatalf("healthz: %d %s", code, raw)
+	}
+	code, raw = getJSON(t, ts.URL+"/v1/workloads")
+	if code != http.StatusOK || !bytes.Contains(raw, []byte("stencil-default")) {
+		t.Fatalf("workloads roster: %d", code)
+	}
+	code, raw = getJSON(t, ts.URL+"/v1/prefetchers")
+	if code != http.StatusOK || !bytes.Contains(raw, []byte("cbws+sms")) {
+		t.Fatalf("prefetchers roster: %d", code)
+	}
+	code, raw = getJSON(t, ts.URL+"/debug/vars")
+	if code != http.StatusOK || !bytes.Contains(raw, []byte("cbwsd")) {
+		t.Fatalf("expvar not mounted on service mux: %d %.120s", code, raw)
+	}
+}
