@@ -7,7 +7,8 @@ STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
 .PHONY: all build test vet fmt-check race bench obs-smoke service-smoke check \
-	fuzz-smoke golden bench-gate lint lint-custom staticcheck govulncheck tools
+	fuzz-smoke golden bench-gate corpus-smoke lint lint-custom staticcheck \
+	govulncheck tools
 
 all: check
 
@@ -49,6 +50,13 @@ obs-smoke:
 service-smoke:
 	./scripts/service_smoke.sh
 
+# End-to-end corpus smoke: pack two kernels into CBWC corpora (twice,
+# requiring identical bytes), convert a CBWT capture and require the
+# same bytes again, then replay the golden matrix from the corpus on
+# both the mmap and ReaderAt paths against golden/seed.json.
+corpus-smoke:
+	./scripts/corpus_smoke.sh
+
 # Each differential fuzz target gets a short coverage-guided run on top
 # of its seed corpus (CI uses 30s per target; override with FUZZTIME).
 FUZZTIME ?= 30s
@@ -56,6 +64,8 @@ fuzz-smoke:
 	$(GO) test ./internal/check/ -run '^$$' -fuzz '^FuzzCacheVsRef$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/check/ -run '^$$' -fuzz '^FuzzCBWSVsRef$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace/corpus/ -run '^$$' -fuzz '^FuzzCorpusRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace/corpus/ -run '^$$' -fuzz '^FuzzCorpusParse$$' -fuzztime $(FUZZTIME)
 
 # Golden determinism gate: rebuild the full-matrix manifest with serial
 # and parallel fills and require both to match golden/seed.json byte
@@ -102,7 +112,7 @@ lint: fmt-check vet lint-custom
 # To re-baseline: make bench-gate BENCHGATE_FLAGS='-write BENCH_baseline.json'
 BENCHGATE_FLAGS ?= -baseline BENCH_baseline.json
 bench-gate:
-	$(GO) test -run '^$$' -bench 'BenchmarkPipelineEventsPerSec$$|BenchmarkCBWSOnAccess$$' \
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineEventsPerSec$$|BenchmarkCBWSOnAccess$$|BenchmarkCorpusReplayEventsPerSec$$' \
 		-count 3 . | tee /tmp/cbws-bench.out
 	$(GO) run ./cmd/benchgate $(BENCHGATE_FLAGS) -input /tmp/cbws-bench.out
 

@@ -3,6 +3,7 @@
 // Usage:
 //
 //	cbwsctl [-server URL] submit -workload W -prefetcher P [-n N] [-warmup N] [-wait]
+//	        [-workload-hash SHA256]
 //	cbwsctl [-server URL] status KEY
 //	cbwsctl [-server URL] result KEY [-o FILE]
 //	cbwsctl [-server URL] sweep -workloads A,B -prefetchers X,Y [-n N] [-warmup N]
@@ -219,8 +220,8 @@ func (c *client) waitDone(key string) (service.JobView, error) {
 
 // requestBody builds one submit body. n/warm of 0 mean "daemon
 // default": no config override is sent at all.
-func requestBody(wl, pf string, n, warm uint64, warmSet bool) ([]byte, error) {
-	req := service.SubmitRequest{Workload: wl, Prefetcher: pf}
+func requestBody(wl, pf, wlHash string, n, warm uint64, warmSet bool) ([]byte, error) {
+	req := service.SubmitRequest{Workload: wl, Prefetcher: pf, WorkloadHash: wlHash}
 	cfg := map[string]uint64{}
 	if n > 0 {
 		cfg["MaxInstructions"] = n
@@ -245,6 +246,7 @@ func (c *client) cmdSubmit(args []string, stdout, stderr io.Writer) int {
 	pf := fs.String("prefetcher", "", "prefetcher name")
 	n := fs.Uint64("n", 0, "instruction budget (0: daemon default)")
 	warm := fs.Uint64("warmup", 0, "warmup instructions")
+	wlHash := fs.String("workload-hash", "", "pin the corpus content address the job must run from (daemon 409s on mismatch)")
 	wait := fs.Bool("wait", false, "poll until the job finishes")
 	if err := fs.Parse(args); err != nil {
 		return cli.ExitUsage
@@ -253,7 +255,7 @@ func (c *client) cmdSubmit(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "cbwsctl submit: -workload and -prefetcher are required")
 		return cli.ExitUsage
 	}
-	body, err := requestBody(*wl, *pf, *n, *warm, flagSet(fs, "warmup"))
+	body, err := requestBody(*wl, *pf, *wlHash, *n, *warm, flagSet(fs, "warmup"))
 	if err != nil {
 		fmt.Fprintf(stderr, "cbwsctl: %v\n", err)
 		return cli.ExitFail
@@ -382,7 +384,7 @@ func (c *client) cmdSweep(args []string, stdout, stderr io.Writer) int {
 	cells := make([]*sweepCell, 0, len(workloads)*len(prefetchers))
 	for _, wl := range workloads {
 		for _, pf := range prefetchers {
-			body, err := requestBody(wl, pf, *n, *warm, flagSet(fs, "warmup"))
+			body, err := requestBody(wl, pf, "", *n, *warm, flagSet(fs, "warmup"))
 			if err != nil {
 				fmt.Fprintf(stderr, "cbwsctl: %v\n", err)
 				return cli.ExitFail

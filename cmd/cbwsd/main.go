@@ -8,6 +8,7 @@
 //	cbwsd [-addr 127.0.0.1:8344] [-cache-dir DIR] [-workers N] [-queue N]
 //	      [-n instructions] [-warmup instructions] [-config system.json]
 //	      [-job-timeout D] [-drain-timeout D] [-addr-file PATH]
+//	      [-corpus-dir DIR] [-corpus-mmap=false]
 //
 // -addr :0 binds an ephemeral port; combined with -addr-file the bound
 // address is written to a file once listening, so scripts can start the
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"cbws/internal/cli"
+	"cbws/internal/harness"
 	"cbws/internal/service"
 	"cbws/internal/sim"
 )
@@ -54,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jobTimeout := fs.Duration("job-timeout", 0, "abort a single job after this long (0: no timeout)")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "bound on finishing running jobs at shutdown")
 	interval := fs.Uint64("sample-interval", 0, "probe/progress period in instructions (0: default)")
+	corpusDir := fs.String("corpus-dir", "", "replay workloads from packed .cbwc corpora in this directory (others use live generators)")
+	corpusMmap := fs.Bool("corpus-mmap", true, "mmap corpus files (false: positioned-read fallback)")
 	if err := fs.Parse(args); err != nil {
 		return cli.ExitUsage
 	}
@@ -78,6 +82,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	base.MaxInstructions = *n
 	base.WarmupInstructions = *warm
 
+	var corpusSrc *harness.CorpusSource
+	if *corpusDir != "" {
+		src, err := harness.OpenCorpusDir(*corpusDir, *corpusMmap)
+		if err != nil {
+			fmt.Fprintf(stderr, "cbwsd: %v\n", err)
+			return cli.ExitFail
+		}
+		corpusSrc = src
+		defer corpusSrc.Close()
+		fmt.Fprintf(stderr, "cbwsd: corpus replay for %d workload(s) from %s\n",
+			len(corpusSrc.Names()), *corpusDir)
+	}
+
 	svc, err := service.New(service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -85,6 +102,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		CacheDir:       *cacheDir,
 		BaseSim:        base,
 		SampleInterval: *interval,
+		Corpus:         corpusSrc,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "cbwsd: %v\n", err)

@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"cbws/internal/trace"
+	"cbws/internal/trace/corpus"
+	"cbws/internal/workload"
+)
+
+// CorpusSource serves workloads from packed CBWC trace corpora instead
+// of live generators. It maps workload names (the name recorded in each
+// corpus header) to opened corpora, so a harness run can replay
+// captured traces at memory bandwidth while workloads without a packed
+// corpus fall back to their generators untouched.
+//
+// A CorpusSource is immutable after OpenCorpusDir and safe for
+// concurrent use: every Override hands out a fresh Replayer over the
+// shared read-only Corpus.
+type CorpusSource struct {
+	dir     string
+	corpora map[string]*corpus.Corpus
+	hashes  map[string]string
+
+	closeMu sync.Mutex
+	closed  bool
+}
+
+// OpenCorpusDir opens every *.cbwc file in dir, keyed by the workload
+// name in its header. With mmap false the io.ReaderAt fallback path is
+// forced (replay output is identical). Two corpora claiming the same
+// workload name are rejected — the source must be unambiguous about
+// which bytes back a name, because the content hash feeds cache keys.
+func OpenCorpusDir(dir string, mmap bool) (*CorpusSource, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("harness: corpus dir: %w", err)
+	}
+	s := &CorpusSource{
+		dir:     dir,
+		corpora: make(map[string]*corpus.Corpus),
+		hashes:  make(map[string]string),
+	}
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".cbwc") {
+			continue
+		}
+		path := filepath.Join(dir, ent.Name())
+		c, err := corpus.Open(path, corpus.OpenOptions{DisableMmap: !mmap})
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("harness: corpus %s: %w", path, err)
+		}
+		name := c.Name()
+		if _, dup := s.corpora[name]; dup {
+			c.Close()
+			s.Close()
+			return nil, fmt.Errorf("harness: corpus dir %s: two corpora claim workload %q", dir, name)
+		}
+		hash, err := c.Hash()
+		if err != nil {
+			c.Close()
+			s.Close()
+			return nil, fmt.Errorf("harness: corpus %s: %w", path, err)
+		}
+		s.corpora[name] = c
+		s.hashes[name] = hash
+	}
+	if len(s.corpora) == 0 {
+		s.Close()
+		return nil, fmt.Errorf("harness: corpus dir %s holds no .cbwc files", dir)
+	}
+	return s, nil
+}
+
+// Dir returns the directory the source was opened from.
+func (s *CorpusSource) Dir() string { return s.dir }
+
+// Names returns the workload names with a packed corpus, sorted.
+func (s *CorpusSource) Names() []string {
+	out := make([]string, 0, len(s.corpora))
+	for name := range s.corpora {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Has reports whether a corpus backs the named workload.
+func (s *CorpusSource) Has(name string) bool {
+	_, ok := s.corpora[name]
+	return ok
+}
+
+// Hash returns the content address (hex SHA-256 of the file bytes) of
+// the corpus backing name.
+func (s *CorpusSource) Hash(name string) (string, bool) {
+	h, ok := s.hashes[name]
+	return h, ok
+}
+
+// Instructions returns the dynamic instruction count recorded in the
+// corpus backing name (0 when absent), so callers can check a corpus
+// covers their simulation window before trusting replay.
+func (s *CorpusSource) Instructions(name string) uint64 {
+	if c, ok := s.corpora[name]; ok {
+		return c.Instructions()
+	}
+	return 0
+}
+
+// Override returns spec with Make rebound to corpus replay when a
+// corpus backs spec.Name, and spec unchanged otherwise. Each
+// constructed generator is an independent Replayer, so overridden
+// specs stay safe for the harness's parallel fills.
+func (s *CorpusSource) Override(spec workload.Spec) workload.Spec {
+	c, ok := s.corpora[spec.Name]
+	if !ok {
+		return spec
+	}
+	spec.Make = func() trace.Generator { return c.NewReplayer() }
+	return spec
+}
+
+// Close releases every opened corpus.
+func (s *CorpusSource) Close() error {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for _, c := range s.corpora {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

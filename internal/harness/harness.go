@@ -87,6 +87,10 @@ type Options struct {
 	// instructions (0: sim.DefaultSampleInterval). Only used when
 	// ObsDir is set.
 	SampleInterval uint64
+	// Corpus, when set, replays workloads from packed CBWC corpora:
+	// any spec whose name has a corpus in the source runs from replay
+	// instead of its live generator; the rest are untouched.
+	Corpus *CorpusSource
 }
 
 // DefaultOptions returns the Table II system with a 4M-instruction
@@ -194,6 +198,9 @@ func (m *Matrix) GetObserved(ctx context.Context, spec workload.Spec, f Factory,
 func (m *Matrix) run(ctx context.Context, spec workload.Spec, f Factory, extra ...sim.Option) (sim.Result, error) {
 	wrap := func(err error) error {
 		return fmt.Errorf("harness: %s/%s: %w", spec.Name, f.Name, err)
+	}
+	if m.opts.Corpus != nil {
+		spec = m.opts.Corpus.Override(spec)
 	}
 	if m.opts.ObsDir == "" {
 		res, err := sim.RunContext(ctx, m.opts.Sim, spec.Make(), f.New(), extra...)

@@ -21,11 +21,14 @@ import (
 //     observation order, so only a total-order comparator is safe and
 //     sort.SliceStable (or a total-order key) is required.
 //
-// The driver scopes it to internal/{sim,harness,report,stats,service}
-// and cmd/figures; fixture tests run it everywhere. internal/service is
-// in scope because its cached run records are compared byte-for-byte
-// across daemons — the one legitimate wall-clock read (job duration
-// telemetry) carries an explicit waiver.
+// The driver scopes it to internal/{sim,harness,report,stats,service},
+// internal/trace/corpus, and cmd/figures; fixture tests run it
+// everywhere. internal/service is in scope because its cached run
+// records are compared byte-for-byte across daemons — the one
+// legitimate wall-clock read (job duration telemetry) carries an
+// explicit waiver. internal/trace/corpus is in scope because corpus
+// files are content-addressed: any nondeterminism in the writer would
+// silently fracture the shared result cache.
 var Determinism = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "flag map-iteration-order leaks, wall-clock reads, unseeded " +
@@ -36,6 +39,7 @@ var Determinism = &analysis.Analyzer{
 		"cbws/internal/report",
 		"cbws/internal/stats",
 		"cbws/internal/service",
+		"cbws/internal/trace/corpus",
 		"cbws/cmd/figures",
 	},
 	Run: runDeterminism,

@@ -27,6 +27,15 @@ type JobSpec struct {
 	Workload   string     `json:"workload"`
 	Prefetcher string     `json:"prefetcher"`
 	Config     sim.Config `json:"config"`
+	// WorkloadHash is the content address (hex SHA-256) of the packed
+	// CBWC corpus backing the workload, when the daemon replays it from
+	// a corpus instead of a live generator. It folds the exact trace
+	// bytes into the job key: two daemons pointed at byte-identical
+	// corpora share cached results, and a corpus change can never serve
+	// a stale result. Empty for generator-backed workloads, and omitted
+	// from the canonical key bytes then — so generator-backed job keys
+	// are unchanged from before the field existed.
+	WorkloadHash string `json:"workload_hash,omitempty"`
 }
 
 // Key computes the content address of the job under the given code
@@ -37,12 +46,13 @@ type JobSpec struct {
 // different key.
 func (s JobSpec) Key(codeVersion string) string {
 	canonical := struct {
-		Schema      string     `json:"schema"`
-		CodeVersion string     `json:"code_version"`
-		Workload    string     `json:"workload"`
-		Prefetcher  string     `json:"prefetcher"`
-		Config      sim.Config `json:"config"`
-	}{KeySchema, codeVersion, s.Workload, s.Prefetcher, s.Config}
+		Schema       string     `json:"schema"`
+		CodeVersion  string     `json:"code_version"`
+		Workload     string     `json:"workload"`
+		Prefetcher   string     `json:"prefetcher"`
+		Config       sim.Config `json:"config"`
+		WorkloadHash string     `json:"workload_hash,omitempty"`
+	}{KeySchema, codeVersion, s.Workload, s.Prefetcher, s.Config, s.WorkloadHash}
 	b, err := json.Marshal(canonical)
 	if err != nil {
 		// Every field is a string or a plain struct of scalars; this
@@ -73,6 +83,16 @@ func (s JobSpec) Validate() error {
 	}
 	if s.Config.MaxInstructions == 0 {
 		return fmt.Errorf("config.MaxInstructions must be positive: the service does not run unbounded jobs")
+	}
+	if s.WorkloadHash != "" {
+		if len(s.WorkloadHash) != 64 {
+			return fmt.Errorf("workload_hash must be a hex SHA-256 (64 characters), got %d", len(s.WorkloadHash))
+		}
+		for _, c := range s.WorkloadHash {
+			if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+				return fmt.Errorf("workload_hash must be lowercase hex")
+			}
+		}
 	}
 	return nil
 }

@@ -156,6 +156,51 @@ func TestKeyCanonicalInputShape(t *testing.T) {
 	}
 }
 
+// TestKeyCoversWorkloadHash checks the corpus content address is part
+// of the job identity: distinct corpora can never alias, while a spec
+// with no hash (generator-backed) keys exactly as specs did before the
+// field existed — its canonical bytes must not mention the field at
+// all, so old disk caches stay valid.
+func TestKeyCoversWorkloadHash(t *testing.T) {
+	plain := baseSpec()
+	a, b := baseSpec(), baseSpec()
+	a.WorkloadHash = strings.Repeat("a", 64)
+	b.WorkloadHash = strings.Repeat("b", 64)
+	if a.Key("v1") == plain.Key("v1") || b.Key("v1") == plain.Key("v1") {
+		t.Fatal("workload hash not covered by the key")
+	}
+	if a.Key("v1") == b.Key("v1") {
+		t.Fatal("different corpus hashes key identically")
+	}
+	// omitempty on the canonical struct: an empty hash must be absent
+	// from the marshaled spec, the same shape the key hashes.
+	bs, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(bs), "workload_hash") {
+		t.Fatalf("empty workload hash leaked into canonical JSON: %s", bs)
+	}
+}
+
+func TestValidateWorkloadHash(t *testing.T) {
+	ok := baseSpec()
+	ok.WorkloadHash = strings.Repeat("0123456789abcdef", 4)
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid hash rejected: %v", err)
+	}
+	short := baseSpec()
+	short.WorkloadHash = "abc123"
+	if err := short.Validate(); err == nil || !strings.Contains(err.Error(), "workload_hash") {
+		t.Fatalf("short hash: got %v", err)
+	}
+	upper := baseSpec()
+	upper.WorkloadHash = strings.Repeat("A", 64)
+	if err := upper.Validate(); err == nil || !strings.Contains(err.Error(), "hex") {
+		t.Fatalf("non-hex hash: got %v", err)
+	}
+}
+
 func TestValidateSpec(t *testing.T) {
 	ok := baseSpec()
 	if err := ok.Validate(); err != nil {

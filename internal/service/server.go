@@ -21,6 +21,10 @@ type SubmitRequest struct {
 	Workload   string          `json:"workload"`
 	Prefetcher string          `json:"prefetcher"`
 	Config     json.RawMessage `json:"config,omitempty"`
+	// WorkloadHash, when present, pins the content address of the
+	// corpus the job must run from; the daemon rejects the submission
+	// (409) if its corpus for the workload differs.
+	WorkloadHash string `json:"workload_hash,omitempty"`
 }
 
 // errorBody is the JSON error envelope of every non-2xx response.
@@ -74,7 +78,7 @@ func ParseSpec(body []byte, base sim.Config) (JobSpec, error) {
 	if err := dec.Decode(&req); err != nil {
 		return JobSpec{}, fmt.Errorf("parsing request: %w", err)
 	}
-	spec := JobSpec{Workload: req.Workload, Prefetcher: req.Prefetcher, Config: base}
+	spec := JobSpec{Workload: req.Workload, Prefetcher: req.Prefetcher, Config: base, WorkloadHash: req.WorkloadHash}
 	if len(req.Config) > 0 {
 		cfg, err := sim.ReadConfig(bytes.NewReader(req.Config), base)
 		if err != nil {
@@ -107,6 +111,9 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, ErrCorpusMismatch):
+		writeError(w, http.StatusConflict, "%v", err)
 		return
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, "%v", err)

@@ -54,6 +54,10 @@ type Config struct {
 	// CodeVersion overrides the build's VCS revision in cache keys
 	// ("": CodeVersion()).
 	CodeVersion string
+	// Corpus, when set, replays corpus-backed workloads from packed
+	// CBWC files: a job naming such a workload runs from replay, and
+	// its key absorbs the corpus content address (JobSpec.WorkloadHash).
+	Corpus *harness.CorpusSource
 }
 
 // withDefaults fills the zero fields.
@@ -139,6 +143,9 @@ func (s *Service) CodeVersion() string { return s.cfg.CodeVersion }
 // accepted. ErrQueueFull is returned when the queue is at depth, and
 // ErrDraining once drain has begun.
 func (s *Service) Submit(spec JobSpec) (JobView, error) {
+	if err := s.resolveWorkloadHash(&spec); err != nil {
+		return JobView{}, err
+	}
 	key := spec.Key(s.cfg.CodeVersion)
 	if view, ok := s.cachedView(key); ok {
 		s.counters.cacheHits.Add(1)
@@ -169,6 +176,30 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 		s.counters.rejected.Add(1)
 		return JobView{}, ErrQueueFull
 	}
+}
+
+// resolveWorkloadHash reconciles the spec's workload hash with the
+// daemon's corpus source before keying. A corpus-backed workload gets
+// its corpus content address stamped into the spec (so the job key —
+// and therefore the cache entry — is bound to the exact trace bytes);
+// a client that pins a hash the daemon cannot honor is rejected rather
+// than silently served a result computed from different bytes.
+func (s *Service) resolveWorkloadHash(spec *JobSpec) error {
+	var have string
+	if s.cfg.Corpus != nil {
+		have, _ = s.cfg.Corpus.Hash(spec.Workload)
+	}
+	switch {
+	case spec.WorkloadHash == "":
+		spec.WorkloadHash = have // "" when generator-backed: key shape unchanged
+	case have == "":
+		return fmt.Errorf("%w: job pins workload_hash %.12s… but this daemon has no corpus for %q",
+			ErrCorpusMismatch, spec.WorkloadHash, spec.Workload)
+	case spec.WorkloadHash != have:
+		return fmt.Errorf("%w: job pins workload_hash %.12s… but the daemon's corpus for %q is %.12s…",
+			ErrCorpusMismatch, spec.WorkloadHash, spec.Workload, have)
+	}
+	return nil
 }
 
 // cachedView synthesizes a done view for a key present in the result
@@ -280,6 +311,9 @@ func (s *Service) runJob(j *Job) {
 		s.failJob(j, fmt.Sprintf("unknown workload %q", j.Spec.Workload))
 		return
 	}
+	if s.cfg.Corpus != nil {
+		spec = s.cfg.Corpus.Override(spec)
+	}
 	f, err := harness.ResolveFactory(j.Spec.Prefetcher)
 	if err != nil {
 		s.failJob(j, err.Error())
@@ -379,4 +413,7 @@ func (s *Service) prefetcherRoster() []string {
 var (
 	ErrQueueFull = fmt.Errorf("job queue is full")
 	ErrDraining  = fmt.Errorf("server is draining")
+	// ErrCorpusMismatch rejects a submission that pins a workload_hash
+	// the daemon's corpus source cannot honor (HTTP 409).
+	ErrCorpusMismatch = fmt.Errorf("workload corpus mismatch")
 )

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package corpus
+
+import (
+	"errors"
+	"os"
+)
+
+// errMmapUnavailable makes Open fall through to the io.ReaderAt path.
+var errMmapUnavailable = errors.New("corpus: mmap unavailable")
+
+// mmapFile always fails on platforms without a memory-mapping
+// implementation; Open falls back to positioned reads.
+func mmapFile(_ *os.File, _ int64) ([]byte, func() error, error) {
+	return nil, nil, errMmapUnavailable
+}

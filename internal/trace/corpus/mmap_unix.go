@@ -1,0 +1,25 @@
+//go:build unix
+
+package corpus
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// errMmapUnavailable makes Open fall through to the io.ReaderAt path.
+var errMmapUnavailable = errors.New("corpus: mmap unavailable")
+
+// mmapFile maps the whole file read-only and returns the mapping plus
+// its release function. Callers fall back to positioned reads on error.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, nil, errMmapUnavailable
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

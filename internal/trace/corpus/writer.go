@@ -1,0 +1,338 @@
+package corpus
+
+import (
+	"compress/flate"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"os"
+	"path/filepath"
+
+	"cbws/internal/trace"
+)
+
+// Options configures a corpus writer.
+type Options struct {
+	// BlockEvents is the events-per-block granule (0: DefaultBlockEvents).
+	BlockEvents int
+	// Compress DEFLATE-compresses each block payload. Compressed
+	// corpora trade replay throughput (and the zero-allocation
+	// steady state) for disk footprint; leave it off for benchmark
+	// and golden-gate corpora.
+	Compress bool
+}
+
+// withDefaults fills the zero fields and validates the rest.
+func (o Options) withDefaults() (Options, error) {
+	if o.BlockEvents == 0 {
+		o.BlockEvents = DefaultBlockEvents
+	}
+	if o.BlockEvents < 1 || o.BlockEvents > MaxBlockEvents {
+		return o, fmt.Errorf("corpus: block events %d out of range [1, %d]", o.BlockEvents, MaxBlockEvents)
+	}
+	return o, nil
+}
+
+// Writer encodes an event stream into the CBWC columnar format. It
+// implements trace.Sink and trace.BatchSink, so any generator can be
+// packed with trace.DriveBatches. Encoding errors are sticky and
+// reported by Close.
+type Writer struct {
+	w     io.Writer
+	sum   hash.Hash // sha256 over every byte written
+	opts  Options
+	name  string
+	flags byte
+
+	// Current block state.
+	events   int // events in the current block
+	basePC   uint64
+	baseAddr uint64
+	lastPC   uint64
+	lastAddr uint64
+	cols     [numCols][]byte
+	takenBit uint // bit cursor into the taken column
+
+	// File state.
+	off        uint64
+	index      []blockEntry
+	eventCount uint64
+	instrCount uint64
+	comp       *flate.Writer
+	compBuf    countingWriter
+	closed     bool
+	err        error
+}
+
+// countingWriter buffers compressed block bytes for length accounting.
+type countingWriter struct{ buf []byte }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.buf = append(c.buf, p...)
+	return len(p), nil
+}
+
+// NewWriter writes the corpus header for the given trace name and
+// returns a Writer ready to receive events.
+func NewWriter(w io.Writer, name string, opts Options) (*Writer, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(name) > maxNameLen {
+		return nil, fmt.Errorf("corpus: name too long (%d bytes)", len(name))
+	}
+	cw := &Writer{sum: sha256.New(), opts: opts, name: name}
+	cw.w = io.MultiWriter(w, cw.sum)
+	if opts.Compress {
+		cw.flags |= flagCompressed
+		cw.comp, _ = flate.NewWriter(&cw.compBuf, flate.DefaultCompression)
+	}
+	var hdr []byte
+	hdr = append(hdr, magic...)
+	hdr = append(hdr, version, cw.flags, 0, 0)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(opts.BlockEvents))
+	hdr = binary.AppendUvarint(hdr, uint64(len(name)))
+	hdr = append(hdr, name...)
+	if err := cw.write(hdr); err != nil {
+		return nil, err
+	}
+	return cw, nil
+}
+
+// write appends raw bytes to the file, tracking the offset.
+func (w *Writer) write(p []byte) error {
+	n, err := w.w.Write(p)
+	w.off += uint64(n)
+	if err != nil {
+		w.err = err
+	}
+	return err
+}
+
+// Consume implements trace.Sink.
+func (w *Writer) Consume(e trace.Event) {
+	if w.err != nil {
+		return
+	}
+	w.encode(e)
+}
+
+// ConsumeBatch implements trace.BatchSink; a sticky error asks the
+// producer to stop.
+func (w *Writer) ConsumeBatch(batch []trace.Event) bool {
+	for i := range batch {
+		if w.err != nil {
+			return false
+		}
+		w.encode(batch[i])
+	}
+	return w.err == nil
+}
+
+// encode appends one event to the current block's columns, flushing the
+// block when it reaches the configured size.
+func (w *Writer) encode(e trace.Event) {
+	if w.events == 0 {
+		w.basePC = w.lastPC
+		w.baseAddr = w.lastAddr
+	}
+	w.cols[colKinds] = append(w.cols[colKinds], byte(e.Kind))
+	switch e.Kind {
+	case trace.Instr:
+		if e.N > trace.MaxInstrCount {
+			w.err = fmt.Errorf("corpus: instr count %d exceeds %d", e.N, trace.MaxInstrCount)
+			return
+		}
+		n := uint64(e.Count())
+		w.cols[colN] = binary.AppendUvarint(w.cols[colN], n)
+		w.instrCount += n
+	case trace.Load, trace.Store:
+		w.cols[colPC] = binary.AppendUvarint(w.cols[colPC], zigzag(int64(e.PC)-int64(w.lastPC)))
+		w.cols[colAddr] = binary.AppendUvarint(w.cols[colAddr], zigzag(int64(e.Addr)-int64(w.lastAddr)))
+		w.lastPC = e.PC
+		w.lastAddr = uint64(e.Addr)
+		w.instrCount++
+	case trace.BlockBegin, trace.BlockEnd:
+		if e.Block < 0 || e.Block > trace.MaxBlockID {
+			w.err = fmt.Errorf("corpus: block ID %d out of range [0, %d]", e.Block, trace.MaxBlockID)
+			return
+		}
+		w.cols[colBlock] = binary.AppendUvarint(w.cols[colBlock], uint64(e.Block))
+		w.instrCount++
+	case trace.Branch:
+		w.cols[colPC] = binary.AppendUvarint(w.cols[colPC], zigzag(int64(e.PC)-int64(w.lastPC)))
+		w.lastPC = e.PC
+		if w.takenBit%8 == 0 {
+			w.cols[colTaken] = append(w.cols[colTaken], 0)
+		}
+		if e.Taken {
+			w.cols[colTaken][len(w.cols[colTaken])-1] |= 1 << (w.takenBit % 8)
+		}
+		w.takenBit++
+		w.instrCount++
+	default:
+		w.err = fmt.Errorf("corpus: cannot encode kind %v", e.Kind)
+		return
+	}
+	w.events++
+	w.eventCount++
+	if w.events >= w.opts.BlockEvents {
+		w.flushBlock()
+	}
+}
+
+// flushBlock writes the current block payload and records its index
+// entry.
+func (w *Writer) flushBlock() {
+	if w.err != nil || w.events == 0 {
+		return
+	}
+	entry := blockEntry{
+		offset:   w.off,
+		events:   uint32(w.events),
+		basePC:   w.basePC,
+		baseAddr: w.baseAddr,
+	}
+	var raw int
+	for i, col := range w.cols {
+		entry.colLen[i] = uint32(len(col))
+		raw += len(col)
+	}
+	entry.rawLen = uint32(raw)
+	if w.opts.Compress {
+		w.compBuf.buf = w.compBuf.buf[:0]
+		w.comp.Reset(&w.compBuf)
+		for _, col := range w.cols {
+			if _, err := w.comp.Write(col); err != nil {
+				w.err = err
+				return
+			}
+		}
+		if err := w.comp.Close(); err != nil {
+			w.err = err
+			return
+		}
+		entry.storedLen = uint32(len(w.compBuf.buf))
+		if w.write(w.compBuf.buf) != nil {
+			return
+		}
+	} else {
+		entry.storedLen = entry.rawLen
+		for _, col := range w.cols {
+			if w.write(col) != nil {
+				return
+			}
+		}
+	}
+	w.index = append(w.index, entry)
+	for i := range w.cols {
+		w.cols[i] = w.cols[i][:0]
+	}
+	w.events = 0
+	w.takenBit = 0
+}
+
+// Close flushes the final partial block and writes the index and
+// trailer. The writer is unusable afterwards.
+func (w *Writer) Close() error {
+	if w.closed {
+		return w.err
+	}
+	w.closed = true
+	w.flushBlock()
+	if w.err != nil {
+		return w.err
+	}
+	indexOff := w.off
+	var idx []byte
+	for i := range w.index {
+		idx = w.index[i].marshal(idx)
+	}
+	if err := w.write(idx); err != nil {
+		return err
+	}
+	var tr []byte
+	tr = binary.LittleEndian.AppendUint64(tr, indexOff)
+	tr = binary.LittleEndian.AppendUint64(tr, uint64(len(idx)))
+	tr = binary.LittleEndian.AppendUint64(tr, uint64(len(w.index)))
+	tr = binary.LittleEndian.AppendUint64(tr, w.eventCount)
+	tr = binary.LittleEndian.AppendUint64(tr, w.instrCount)
+	tr = append(tr, magicEnd...)
+	return w.write(tr)
+}
+
+// Sum returns the corpus content address: the hex SHA-256 over every
+// byte written so far. Meaningful after Close.
+func (w *Writer) Sum() string {
+	return hex.EncodeToString(w.sum.Sum(nil))
+}
+
+// Events returns the number of events encoded.
+func (w *Writer) Events() uint64 { return w.eventCount }
+
+// Instructions returns the total dynamic instruction count encoded.
+func (w *Writer) Instructions() uint64 { return w.instrCount }
+
+// PackResult describes a corpus produced by Pack.
+type PackResult struct {
+	// Hash is the content address (hex SHA-256 of the file bytes).
+	Hash string
+	// Events and Instructions count what was packed.
+	Events       uint64
+	Instructions uint64
+	// Bytes is the file size.
+	Bytes int64
+}
+
+// Pack captures g's event stream (bounded to max dynamic instructions
+// when max > 0) into a corpus file at path, written atomically via a
+// temp file + rename so a crash never leaves a torn corpus behind.
+func Pack(path string, g trace.Generator, max uint64, opts Options) (PackResult, error) {
+	gen := g
+	if max > 0 {
+		gen = trace.Limit{Gen: g, Max: max}
+	}
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return PackResult{}, fmt.Errorf("corpus: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	res, err := packTo(tmp, g.Name(), gen, opts)
+	if err != nil {
+		tmp.Close()
+		return PackResult{}, err
+	}
+	if err := tmp.Close(); err != nil {
+		return PackResult{}, fmt.Errorf("corpus: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return PackResult{}, fmt.Errorf("corpus: %w", err)
+	}
+	return res, nil
+}
+
+// packTo drives gen into a Writer over w and reports the result.
+func packTo(w io.Writer, name string, gen trace.Generator, opts Options) (PackResult, error) {
+	cw, err := NewWriter(w, name, opts)
+	if err != nil {
+		return PackResult{}, err
+	}
+	trace.DriveBatches(gen, cw)
+	if err := cw.Close(); err != nil {
+		return PackResult{}, err
+	}
+	return PackResult{
+		Hash:         cw.Sum(),
+		Events:       cw.Events(),
+		Instructions: cw.Instructions(),
+		Bytes:        int64(cw.off),
+	}, nil
+}

@@ -82,6 +82,10 @@ func (w *Writer) Consume(e Event) {
 	w.err = w.w.WriteByte(byte(e.Kind))
 	switch e.Kind {
 	case Instr:
+		if e.N > MaxInstrCount {
+			w.err = fmt.Errorf("trace: instr count %d exceeds %d", e.N, MaxInstrCount)
+			return
+		}
 		w.putUvarint(uint64(e.Count()))
 	case Load, Store:
 		w.putVarint(int64(e.PC) - int64(w.lastPC))
@@ -89,6 +93,10 @@ func (w *Writer) Consume(e Event) {
 		w.lastPC = e.PC
 		w.lastAddr = uint64(e.Addr)
 	case BlockBegin, BlockEnd:
+		if e.Block < 0 || e.Block > MaxBlockID {
+			w.err = fmt.Errorf("trace: block ID %d out of range [0, %d]", e.Block, MaxBlockID)
+			return
+		}
 		w.putUvarint(uint64(e.Block))
 	case Branch:
 		w.putVarint(int64(e.PC) - int64(w.lastPC))
@@ -218,6 +226,13 @@ func (r *Reader) DecodeBatches(sink BatchSink) error {
 			if err != nil {
 				return fail(err)
 			}
+			// Bound before the int conversion: an unchecked 64-bit count
+			// would wrap into garbage (possibly negative) on 32-bit
+			// builds and distort instruction budgets everywhere.
+			if n > MaxInstrCount {
+				flush()
+				return fmt.Errorf("%w: instr count %d exceeds %d", ErrBadTrace, n, uint64(MaxInstrCount))
+			}
 			e.N = int(n)
 		case Load, Store:
 			dpc, err := binary.ReadVarint(r.r)
@@ -237,6 +252,10 @@ func (r *Reader) DecodeBatches(sink BatchSink) error {
 			if err != nil {
 				return fail(err)
 			}
+			if id > MaxBlockID {
+				flush()
+				return fmt.Errorf("%w: block ID %d exceeds %d", ErrBadTrace, id, uint64(MaxBlockID))
+			}
 			e.Block = int(id)
 		case Branch:
 			dpc, err := binary.ReadVarint(r.r)
@@ -248,6 +267,12 @@ func (r *Reader) DecodeBatches(sink BatchSink) error {
 			t, err := binary.ReadUvarint(r.r)
 			if err != nil {
 				return fail(err)
+			}
+			// The encoder writes exactly 0 or 1; anything else is a
+			// corrupt stream, not a "very taken" branch.
+			if t > 1 {
+				flush()
+				return fmt.Errorf("%w: branch outcome %d is not 0 or 1", ErrBadTrace, t)
 			}
 			e.Taken = t != 0
 		default:

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"math/rand"
 	"testing"
@@ -176,6 +177,83 @@ func TestWriterRejectsUnknownKind(t *testing.T) {
 	w.Consume(Event{Kind: Kind(200)})
 	if err := w.Close(); err == nil {
 		t.Error("expected Close to report the encoding error")
+	}
+}
+
+// rawStream builds a header for name "x" followed by the given body
+// bytes and an EOF terminator, bypassing the Writer's validation.
+func rawStream(body ...byte) []byte {
+	stream := []byte("CBWT\x01\x01x")
+	stream = append(stream, body...)
+	return append(stream, kindEOF)
+}
+
+// TestDecodeRejectsUnboundedFields pins the decoder's field bounds:
+// uvarint values beyond the shared caps (or a branch outcome other than
+// 0/1) are a malformed stream, not a giant event. Unchecked, an
+// Instr.N or Block near 2^64 would wrap through int into garbage
+// (negative counts, bogus block IDs) on 32-bit builds.
+func TestDecodeRejectsUnboundedFields(t *testing.T) {
+	huge := binary.AppendUvarint(nil, uint64(MaxInstrCount)+1)
+	cases := map[string][]byte{
+		"instr-count":    rawStream(append([]byte{byte(Instr)}, huge...)...),
+		"instr-wrap":     rawStream(append([]byte{byte(Instr)}, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01)...),
+		"block-begin-id": rawStream(append([]byte{byte(BlockBegin)}, binary.AppendUvarint(nil, uint64(MaxBlockID)+1)...)...),
+		"block-end-id":   rawStream(append([]byte{byte(BlockEnd)}, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01)...),
+		"branch-outcome": rawStream(byte(Branch), 0x00, 0x02),
+	}
+	for name, stream := range cases {
+		r, err := NewReader(bytes.NewReader(stream))
+		if err != nil {
+			t.Fatalf("%s: header rejected: %v", name, err)
+		}
+		if err := r.Decode(SinkFunc(func(Event) {})); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("%s: Decode err = %v, want ErrBadTrace", name, err)
+		}
+	}
+}
+
+// TestDecodeAcceptsBoundaryFields checks the caps are inclusive: the
+// largest legal values decode cleanly.
+func TestDecodeAcceptsBoundaryFields(t *testing.T) {
+	events := []Event{
+		{Kind: Instr, N: MaxInstrCount},
+		{Kind: BlockBegin, Block: MaxBlockID},
+		{Kind: BlockEnd, Block: MaxBlockID},
+	}
+	r := roundTrip(t, "bounds", events)
+	var got []Event
+	if err := r.Decode(SinkFunc(func(e Event) { got = append(got, e) })); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+// TestWriterRejectsOutOfRangeFields mirrors the decoder bounds on the
+// encode side, keeping the codec closed: everything the writer accepts,
+// the reader accepts back.
+func TestWriterRejectsOutOfRangeFields(t *testing.T) {
+	for name, e := range map[string]Event{
+		"instr-count":    {Kind: Instr, N: MaxInstrCount + 1},
+		"block-negative": {Kind: BlockBegin, Block: -1},
+		"block-huge":     {Kind: BlockEnd, Block: MaxBlockID + 1},
+	} {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Consume(e)
+		if err := w.Close(); err == nil {
+			t.Errorf("%s: expected Close to report the encoding error", name)
+		}
 	}
 }
 

@@ -55,6 +55,14 @@ func FuzzTraceRoundTrip(f *testing.F) {
 	}
 	// A hostile seed too: valid header, garbage body.
 	f.Add(append([]byte("CBWT\x01\x04fuzz"), 0x03, 0xFF, 0xFF, 0xFF))
+	// Field-bound regressions: a 2^63-ish Instr count, a block ID past
+	// the cap, and a branch outcome byte that is neither 0 nor 1. All
+	// three must be rejected (the decoder bounds every uvarint field),
+	// and the fuzz property below asserts the bounds hold whenever a
+	// decode does succeed.
+	f.Add(append([]byte("CBWT\x01\x04fuzz"), 0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01, 0xFF))
+	f.Add(append([]byte("CBWT\x01\x04fuzz"), 0x03, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F, 0xFF))
+	f.Add(append([]byte("CBWT\x01\x04fuzz"), 0x05, 0x00, 0x02, 0xFF))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := trace.NewReader(bytes.NewReader(data))
@@ -64,6 +72,17 @@ func FuzzTraceRoundTrip(f *testing.F) {
 		first := trace.New(r.Name())
 		if err := r.Decode(first); err != nil {
 			return // body rejected: partial decodes are not re-encodable
+		}
+		// Everything the decoder accepts must respect the field bounds;
+		// anything past them has to surface as ErrBadTrace, never as an
+		// oversized event.
+		for i, e := range first.Events {
+			if e.N > trace.MaxInstrCount {
+				t.Fatalf("event %d: decoded Instr count %d exceeds cap", i, e.N)
+			}
+			if e.Block < 0 || e.Block > trace.MaxBlockID {
+				t.Fatalf("event %d: decoded block ID %d out of range", i, e.Block)
+			}
 		}
 
 		var buf bytes.Buffer

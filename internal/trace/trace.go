@@ -55,6 +55,20 @@ func (k Kind) String() string {
 	}
 }
 
+// Field bounds shared by every trace codec (the CBWT stream and the
+// CBWC corpus format). The caps fit comfortably in an int32, so decoded
+// events are well-formed on 32-bit builds too; a decoder finding a
+// field beyond its cap rejects the input as malformed instead of
+// truncating it into a garbage event.
+const (
+	// MaxInstrCount bounds Instr.N, the dynamic instruction count a
+	// single batch event may carry.
+	MaxInstrCount = 1 << 30
+	// MaxBlockID bounds the static block ID of BlockBegin/BlockEnd
+	// events.
+	MaxBlockID = 1 << 30
+)
+
 // Event is one element of the committed instruction stream.
 type Event struct {
 	Kind  Kind
