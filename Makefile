@@ -7,8 +7,8 @@ STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
 .PHONY: all build test vet fmt-check race bench obs-smoke service-smoke check \
-	fuzz-smoke golden bench-gate corpus-smoke lint lint-custom staticcheck \
-	govulncheck tools
+	fuzz-smoke golden bench-gate corpus-smoke cluster-smoke lint lint-custom \
+	staticcheck govulncheck tools
 
 all: check
 
@@ -31,7 +31,7 @@ fmt-check:
 # worker pool and HTTP handlers on top, so all three get a
 # race-detector pass.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/harness/... ./internal/service/...
+	$(GO) test -race ./internal/sim/... ./internal/harness/... ./internal/service/... ./internal/cluster/...
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
@@ -49,6 +49,13 @@ obs-smoke:
 # cache hits, and SIGTERM-drain cleanly.
 service-smoke:
 	./scripts/service_smoke.sh
+
+# End-to-end cluster smoke: 3 peered cbwsd workers, a sharded sweep
+# byte-identical to golden/seed.json, peer-fetch instead of
+# re-simulation, a 100% cache-hit cbwsload hot replay, SIGKILL
+# failover, and clean drains.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # End-to-end corpus smoke: pack two kernels into CBWC corpora (twice,
 # requiring identical bytes), convert a CBWT capture and require the

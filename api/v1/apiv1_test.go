@@ -1,0 +1,96 @@
+package apiv1
+
+import (
+	"encoding/json"
+	"testing"
+
+	"cbws/internal/harness"
+)
+
+// TestWireShapesPinned pins the exact marshaled bytes of the wire
+// types. These shapes predate the api/v1 extraction — cbwsd daemons
+// and cbwsctl clients from before it must interoperate with the ones
+// after — so a diff here is a wire break, not a refactor.
+func TestWireShapesPinned(t *testing.T) {
+	cases := []struct {
+		name string
+		v    any
+		want string
+	}{
+		{
+			"JobView",
+			JobView{
+				Key: "k", Workload: "w", Prefetcher: "p", Status: StatusRunning,
+				Progress: Progress{Instructions: 5, MaxInstructions: 10},
+			},
+			`{"key":"k","workload":"w","prefetcher":"p","status":"running","progress":{"instructions":5,"max_instructions":10}}`,
+		},
+		{
+			"JobView cached+error",
+			JobView{Key: "k", Status: StatusDone, Cached: true, Error: "boom"},
+			`{"key":"k","workload":"","prefetcher":"","status":"done","progress":{"instructions":0,"max_instructions":0},"cached":true,"error":"boom"}`,
+		},
+		{
+			"SubmitRequest minimal",
+			SubmitRequest{Workload: "w", Prefetcher: "p"},
+			`{"workload":"w","prefetcher":"p"}`,
+		},
+		{
+			"SubmitRequest full",
+			SubmitRequest{Workload: "w", Prefetcher: "p", Config: json.RawMessage(`{"MaxInstructions":1}`), WorkloadHash: "h"},
+			`{"workload":"w","prefetcher":"p","config":{"MaxInstructions":1},"workload_hash":"h"}`,
+		},
+		{
+			"ErrorBody",
+			ErrorBody{Error: "no"},
+			`{"error":"no"}`,
+		},
+		{
+			"RosterEntry",
+			RosterEntry{Name: "fft-simlarge", Suite: "splash2", MI: true},
+			`{"name":"fft-simlarge","suite":"splash2","mi":true}`,
+		},
+		{
+			"Healthz",
+			Healthz{Status: "ok", Draining: false, CodeVersion: "abc"},
+			`{"status":"ok","draining":false,"code_version":"abc"}`,
+		},
+	}
+	for _, tc := range cases {
+		b, err := json.Marshal(tc.v)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if string(b) != tc.want {
+			t.Errorf("%s wire shape changed:\n got %s\nwant %s", tc.name, b, tc.want)
+		}
+	}
+}
+
+// TestJobKeyPinned pins one concrete content address. The key decides
+// which on-disk cache entries and federated peer results are valid, so
+// it may only change when the canonical input is changed deliberately
+// (with a KeySchema bump or an accepted cache invalidation) — never as
+// a side effect of refactoring. This exact value was produced by the
+// pre-extraction internal/service implementation.
+func TestJobKeyPinned(t *testing.T) {
+	cfg := harness.DefaultOptions().Sim
+	cfg.MaxInstructions = 400000
+	cfg.WarmupInstructions = 100000
+	spec := JobSpec{Workload: "stencil-default", Prefetcher: "cbws", Config: cfg}
+	const want = "15cd20e2938e577b9ceba62d1a1c73cc2e032e99536254effef15e42791549b6"
+	if got := spec.Key("pinned-code-version"); got != want {
+		t.Fatalf("canonical job key drifted — this invalidates every existing cache:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestStatusTerminal(t *testing.T) {
+	for st, want := range map[Status]bool{
+		StatusQueued: false, StatusRunning: false,
+		StatusDone: true, StatusFailed: true, StatusCanceled: true,
+	} {
+		if st.Terminal() != want {
+			t.Errorf("%s.Terminal() = %v, want %v", st, !want, want)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package apiv1
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Error is a non-2xx response decoded from the server's error
+// envelope. Transport failures (connection refused, timeouts) are NOT
+// Errors — they surface as plain errors, which is how callers
+// distinguish "the worker answered no" from "the worker is gone"
+// (cluster failover reacts only to the latter).
+type Error struct {
+	Code int    // HTTP status
+	Msg  string // server's error message
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("server: %s (HTTP %d)", e.Msg, e.Code) }
+
+// decodeError builds an *Error from a non-2xx response body.
+func decodeError(resp *http.Response, body []byte) error {
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+		eb.Error = strings.TrimSpace(string(body))
+	}
+	return &Error{Code: resp.StatusCode, Msg: eb.Error}
+}
+
+// Client speaks the v1 API to one daemon. The zero value is not usable;
+// construct with NewClient. All methods are safe for concurrent use —
+// cbwsload drives one Client per worker from many goroutines.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://127.0.0.1:8344".
+	Base string
+	// HTTP is the underlying client (NewClient sets a 30s timeout).
+	HTTP *http.Client
+	// Budget bounds how long Submit keeps retrying 429 backpressure and
+	// how long WaitDone polls (default 10m).
+	Budget time.Duration
+	// Poll is the WaitDone status polling period (default 100ms).
+	Poll time.Duration
+	// Jitter returns a value in [0,1) used to spread 429 retries: the
+	// actual wait is Retry-After + jitter·(Retry-After/2), bounded to
+	// [1x, 1.5x] of the server's ask, so a fleet of clients bounced by
+	// the same 429 does not thundering-herd the worker in lockstep.
+	// Must be safe for concurrent use. Nil uses the process-global
+	// math/rand/v2 source; tests inject a deterministic one.
+	Jitter func() float64
+	// Logf, when set, receives human-readable retry notices
+	// ("queue full, retrying in …"). Nil is silent.
+	Logf func(format string, args ...any)
+	// OnBackpressure, when set, observes every 429-induced sleep with
+	// the jittered wait. Load harnesses count retries through it. Must
+	// be safe for concurrent use.
+	OnBackpressure func(wait time.Duration)
+}
+
+// NewClient builds a Client for the daemon at base with the defaults
+// every CLI uses: 30s per-request timeout, 10m retry/poll budget,
+// 100ms poll period.
+func NewClient(base string) *Client {
+	return &Client{
+		Base:   strings.TrimRight(base, "/"),
+		HTTP:   &http.Client{Timeout: 30 * time.Second},
+		Budget: 10 * time.Minute,
+		Poll:   100 * time.Millisecond,
+	}
+}
+
+// Submit posts one job body, sleeping out 429 backpressure: on
+// queue-full the server's Retry-After is honored (jittered, with a
+// floor) and the request retried until the Budget is spent.
+func (c *Client) Submit(body []byte) (JobView, error) {
+	deadline := time.Now().Add(c.Budget)
+	for {
+		resp, err := c.HTTP.Post(c.Base+PathJobs, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return JobView{}, err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return JobView{}, err
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted:
+			var view JobView
+			if err := json.Unmarshal(raw, &view); err != nil {
+				return JobView{}, fmt.Errorf("decoding submit response: %w", err)
+			}
+			return view, nil
+		case resp.StatusCode == http.StatusTooManyRequests:
+			wait := c.retryAfter(resp)
+			if time.Now().Add(wait).After(deadline) {
+				return JobView{}, fmt.Errorf("queue stayed full for %s: %w", c.Budget, decodeError(resp, raw))
+			}
+			if c.Logf != nil {
+				c.Logf("queue full, retrying in %s", wait)
+			}
+			if c.OnBackpressure != nil {
+				c.OnBackpressure(wait)
+			}
+			time.Sleep(wait)
+		default:
+			return JobView{}, decodeError(resp, raw)
+		}
+	}
+}
+
+// retryAfter turns a 429's Retry-After header into the jittered wait.
+// Unparseable or zero values are floored at 100ms so the retry loop
+// never spins.
+func (c *Client) retryAfter(resp *http.Response) time.Duration {
+	base := 100 * time.Millisecond
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		base = time.Duration(secs) * time.Second
+	}
+	j := rand.Float64
+	if c.Jitter != nil {
+		j = c.Jitter
+	}
+	return base + time.Duration(j()*float64(base)/2)
+}
+
+// GetJSON fetches a v1 path and decodes the 200 body into v.
+func (c *Client) GetJSON(path string, v any) error {
+	resp, err := c.HTTP.Get(c.Base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp, raw)
+	}
+	return json.Unmarshal(raw, v)
+}
+
+// Status reads one job's state by content address.
+func (c *Client) Status(key string) (JobView, error) {
+	var view JobView
+	err := c.GetJSON(PathJobs+"/"+key, &view)
+	return view, err
+}
+
+// Result fetches the encoded run record for a completed job.
+func (c *Client) Result(key string) ([]byte, error) {
+	resp, err := c.HTTP.Get(c.Base + PathResults + "/" + key)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp, raw)
+	}
+	return raw, nil
+}
+
+// WaitDone polls a job's status until it reaches a terminal state,
+// erroring on failed/canceled jobs and when the Budget runs out.
+func (c *Client) WaitDone(key string) (JobView, error) {
+	deadline := time.Now().Add(c.Budget)
+	for {
+		view, err := c.Status(key)
+		if err != nil {
+			return view, err
+		}
+		switch view.Status {
+		case StatusDone:
+			return view, nil
+		case StatusFailed, StatusCanceled:
+			return view, fmt.Errorf("job %s %s: %s", key[:12], view.Status, view.Error)
+		}
+		if time.Now().After(deadline) {
+			return view, fmt.Errorf("job %s still %s after %s", key[:12], view.Status, c.Budget)
+		}
+		time.Sleep(c.Poll)
+	}
+}
+
+// Healthz reads the daemon's liveness body.
+func (c *Client) Healthz() (Healthz, error) {
+	var h Healthz
+	err := c.GetJSON(PathHealthz, &h)
+	return h, err
+}

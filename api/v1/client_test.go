@@ -1,0 +1,179 @@
+package apiv1
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterJitterBounds proves the jittered wait stays inside
+// [base, 1.5·base] for the whole jitter range, and that the jitter
+// source is injectable — the fleet-wide herd-spreading is deterministic
+// under test.
+func TestRetryAfterJitterBounds(t *testing.T) {
+	resp := &http.Response{Header: http.Header{"Retry-After": []string{"2"}}}
+	base := 2 * time.Second
+	for _, j := range []float64{0, 0.25, 0.5, 0.9999} {
+		c := NewClient("http://x")
+		c.Jitter = func() float64 { return j }
+		got := c.retryAfter(resp)
+		want := base + time.Duration(j*float64(base)/2)
+		if got != want {
+			t.Errorf("jitter %v: wait %v, want %v", j, got, want)
+		}
+		if got < base || got > base+base/2 {
+			t.Errorf("jitter %v: wait %v outside [%v, %v]", j, got, base, base+base/2)
+		}
+	}
+
+	// Unparseable or absent Retry-After floors at 100ms so the loop
+	// never spins.
+	for _, h := range []http.Header{{}, {"Retry-After": []string{"soon"}}, {"Retry-After": []string{"0"}}} {
+		c := NewClient("http://x")
+		c.Jitter = func() float64 { return 0 }
+		if got := c.retryAfter(&http.Response{Header: h}); got != 100*time.Millisecond {
+			t.Errorf("header %v: floor wait %v, want 100ms", h, got)
+		}
+	}
+
+	// The default source (nil Jitter) must still respect the bounds.
+	c := NewClient("http://x")
+	for i := 0; i < 100; i++ {
+		got := c.retryAfter(resp)
+		if got < base || got > base+base/2 {
+			t.Fatalf("default jitter: wait %v outside [%v, %v]", got, base, base+base/2)
+		}
+	}
+}
+
+// TestSubmitRetriesBackpressure bounces two submits with 429 before
+// accepting, and checks the client sleeps the jittered Retry-After,
+// reports each sleep through OnBackpressure, and returns the accepted
+// view.
+func TestSubmitRetriesBackpressure(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != PathJobs {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0") // floors at 100ms
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(ErrorBody{Error: "job queue is full"})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(JobView{Key: "k1", Status: StatusQueued})
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.Jitter = func() float64 { return 0.5 }
+	var waits []time.Duration
+	c.OnBackpressure = func(d time.Duration) { waits = append(waits, d) }
+	var logged []string
+	c.Logf = func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }
+
+	view, err := c.Submit([]byte(`{"workload":"w","prefetcher":"p"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Key != "k1" || view.Status != StatusQueued {
+		t.Fatalf("view %+v", view)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d submits, want 3", calls.Load())
+	}
+	want := 100*time.Millisecond + 25*time.Millisecond // base + 0.5·base/2
+	if len(waits) != 2 || waits[0] != want || waits[1] != want {
+		t.Fatalf("backpressure waits %v, want two of %v", waits, want)
+	}
+	if len(logged) != 2 {
+		t.Fatalf("logged %v, want two retry notices", logged)
+	}
+}
+
+// TestSubmitBudgetExhausted checks a persistently full queue fails with
+// the server's error once the budget cannot cover the next wait.
+func TestSubmitBudgetExhausted(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(ErrorBody{Error: "job queue is full"})
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.Budget = 100 * time.Millisecond // smaller than one 1s Retry-After
+	c.Jitter = func() float64 { return 0 }
+	_, err := c.Submit([]byte(`{}`))
+	var apiErr *Error
+	if err == nil || !errors.As(err, &apiErr) || apiErr.Code != http.StatusTooManyRequests {
+		t.Fatalf("got %v, want wrapped 429 Error", err)
+	}
+}
+
+// TestErrorDecoding checks API errors carry the server's message and
+// status, and non-JSON bodies degrade to raw text.
+func TestErrorDecoding(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case PathJobs + "/missing":
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(ErrorBody{Error: `unknown job "missing"`})
+		default:
+			w.WriteHeader(http.StatusTeapot)
+			fmt.Fprint(w, "plain text failure")
+		}
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	_, err := c.Status("missing")
+	var apiErr *Error
+	if !errors.As(err, &apiErr) || apiErr.Code != 404 || apiErr.Msg != `unknown job "missing"` {
+		t.Fatalf("status error: %v", err)
+	}
+	_, err = c.Result("whatever")
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusTeapot || apiErr.Msg != "plain text failure" {
+		t.Fatalf("non-JSON error: %v", err)
+	}
+
+	// Transport failures must NOT be *Error: failover keys off this.
+	dead := NewClient("http://127.0.0.1:1")
+	_, err = dead.Status("k")
+	if err == nil || errors.As(err, &apiErr) {
+		t.Fatalf("transport failure decoded as API error: %v", err)
+	}
+}
+
+// TestWaitDone polls a job through queued → running → done.
+func TestWaitDone(t *testing.T) {
+	var polls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st := StatusDone
+		switch polls.Add(1) {
+		case 1:
+			st = StatusQueued
+		case 2:
+			st = StatusRunning
+		}
+		json.NewEncoder(w).Encode(JobView{Key: "k", Status: st})
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.Poll = time.Millisecond
+	view, err := c.WaitDone("0123456789ab")
+	if err != nil || view.Status != StatusDone {
+		t.Fatalf("WaitDone: %+v, %v", view, err)
+	}
+	if polls.Load() != 3 {
+		t.Fatalf("polled %d times, want 3", polls.Load())
+	}
+}

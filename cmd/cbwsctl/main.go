@@ -1,44 +1,51 @@
-// Command cbwsctl is the client for the cbwsd simulation daemon.
+// Command cbwsctl is the client for cbwsd simulation daemons — one, or
+// a whole fleet.
 //
 // Usage:
 //
-//	cbwsctl [-server URL] submit -workload W -prefetcher P [-n N] [-warmup N] [-wait]
+//	cbwsctl [-server URL[,URL...]] submit -workload W -prefetcher P [-n N] [-warmup N] [-wait]
 //	        [-workload-hash SHA256]
-//	cbwsctl [-server URL] status KEY
-//	cbwsctl [-server URL] result KEY [-o FILE]
-//	cbwsctl [-server URL] sweep -workloads A,B -prefetchers X,Y [-n N] [-warmup N]
+//	cbwsctl [-server URL[,URL...]] status KEY
+//	cbwsctl [-server URL[,URL...]] result KEY [-o FILE]
+//	cbwsctl [-server URL[,URL...]] sweep -workloads A,B -prefetchers X,Y [-n N] [-warmup N]
 //	        [-golden FILE] [-require-cached] [-out DIR]
 //
+// -server takes a single daemon URL (the classic setup) or a
+// comma-separated fleet. Against a fleet every operation is ring-aware:
+// submissions route to the consistent-hash owner of the job's content,
+// sweeps shard their cells across the workers, and a worker dying
+// mid-sweep is survived by resubmitting its cells to the next worker
+// on the ring — content-addressed jobs make the rerun bit-identical.
+//
 // submit posts one job and prints its content address (with -wait it
-// polls until the job finishes). status and result read a job back by
-// that address. sweep drives a full workload × prefetcher matrix:
-// every cell is submitted (429 backpressure is honored by sleeping the
-// server's Retry-After and retrying), polled to completion, fetched,
-// and validated as a run record. With -golden each served result's
-// canonical cell hash is compared against the manifest's — the same
-// hashes golden/seed.json pins — so a sweep can prove a remote daemon
-// bit-identical to the local seed without rerunning anything. With
-// -require-cached the sweep fails unless every cell was answered from
-// the daemon's content-addressed cache, which is how CI asserts a
-// repeated sweep is 100% cache hits.
+// polls until the job finishes). status and result look a job up
+// across the fleet by that address. sweep drives a full workload ×
+// prefetcher matrix: every cell is submitted (429 backpressure is
+// honored by sleeping the server's jittered Retry-After and retrying),
+// polled to completion, fetched, and validated as a run record. With
+// -golden each served result's canonical cell hash is compared against
+// the manifest's — the same hashes golden/seed.json pins — so a sweep
+// can prove a remote daemon (or a whole cluster) bit-identical to the
+// local seed without rerunning anything. With -require-cached the
+// sweep fails unless every cell was answered from a daemon's
+// content-addressed cache, which is how CI asserts a repeated sweep is
+// 100% cache hits.
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 	"time"
 
+	apiv1 "cbws/api/v1"
 	"cbws/internal/cli"
+	"cbws/internal/cluster"
 	"cbws/internal/harness"
-	"cbws/internal/service"
 	"cbws/internal/sim"
 )
 
@@ -47,7 +54,7 @@ func main() {
 }
 
 func usage(stderr io.Writer) int {
-	fmt.Fprintln(stderr, "usage: cbwsctl [-server URL] {submit|status|result|sweep} ...")
+	fmt.Fprintln(stderr, "usage: cbwsctl [-server URL[,URL...]] {submit|status|result|sweep} ...")
 	return cli.ExitUsage
 }
 
@@ -55,7 +62,7 @@ func usage(stderr io.Writer) int {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cbwsctl", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	server := fs.String("server", "http://127.0.0.1:8344", "cbwsd base URL")
+	server := fs.String("server", "http://127.0.0.1:8344", "cbwsd base URL, or a comma-separated fleet")
 	timeout := fs.Duration("timeout", 10*time.Minute, "overall budget for waiting on jobs")
 	poll := fs.Duration("poll", 100*time.Millisecond, "status polling period")
 	if err := fs.Parse(args); err != nil {
@@ -64,13 +71,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if fs.NArg() == 0 {
 		return usage(stderr)
 	}
-	c := &client{
-		base:   strings.TrimRight(*server, "/"),
-		hc:     &http.Client{Timeout: 30 * time.Second},
-		budget: *timeout,
-		poll:   *poll,
-		stderr: stderr,
+	fleet, err := cluster.New(splitList(*server), func(w *apiv1.Client) {
+		w.Budget = *timeout
+		w.Poll = *poll
+		w.Logf = func(format string, a ...any) {
+			fmt.Fprintf(stderr, "cbwsctl: "+format+"\n", a...)
+		}
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "cbwsctl: -server: %v\n", err)
+		return cli.ExitUsage
 	}
+	c := &ctl{fleet: fleet}
 	cmd, rest := fs.Arg(0), fs.Args()[1:]
 	switch cmd {
 	case "submit":
@@ -87,141 +99,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 }
 
-// client wraps the daemon's HTTP API with 429-aware retry.
-type client struct {
-	base   string
-	hc     *http.Client
-	budget time.Duration
-	poll   time.Duration
-	stderr io.Writer
-}
-
-// apiError is a non-2xx response decoded from the daemon's error
-// envelope.
-type apiError struct {
-	code int
-	msg  string
-}
-
-func (e *apiError) Error() string { return fmt.Sprintf("server: %s (HTTP %d)", e.msg, e.code) }
-
-func decodeError(resp *http.Response, body []byte) error {
-	var eb struct {
-		Error string `json:"error"`
-	}
-	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
-		eb.Error = strings.TrimSpace(string(body))
-	}
-	return &apiError{code: resp.StatusCode, msg: eb.Error}
-}
-
-// submit posts one job, sleeping out 429 backpressure: on queue-full
-// the server's Retry-After is honored (with a floor) and the request
-// retried until the overall budget is spent.
-func (c *client) submit(body []byte) (service.JobView, error) {
-	deadline := time.Now().Add(c.budget)
-	for {
-		resp, err := c.hc.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return service.JobView{}, err
-		}
-		raw, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			return service.JobView{}, err
-		}
-		switch {
-		case resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted:
-			var view service.JobView
-			if err := json.Unmarshal(raw, &view); err != nil {
-				return service.JobView{}, fmt.Errorf("decoding submit response: %w", err)
-			}
-			return view, nil
-		case resp.StatusCode == http.StatusTooManyRequests:
-			wait := retryAfter(resp)
-			if time.Now().Add(wait).After(deadline) {
-				return service.JobView{}, fmt.Errorf("queue stayed full for %s: %w", c.budget, decodeError(resp, raw))
-			}
-			fmt.Fprintf(c.stderr, "cbwsctl: queue full, retrying in %s\n", wait)
-			time.Sleep(wait)
-		default:
-			return service.JobView{}, decodeError(resp, raw)
-		}
-	}
-}
-
-// retryAfter reads the 429 Retry-After header, flooring unparseable or
-// zero values at 100ms so the retry loop never spins.
-func retryAfter(resp *http.Response) time.Duration {
-	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-		return time.Duration(secs) * time.Second
-	}
-	return 100 * time.Millisecond
-}
-
-func (c *client) getJSON(path string, v any) error {
-	resp, err := c.hc.Get(c.base + path)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return decodeError(resp, raw)
-	}
-	return json.Unmarshal(raw, v)
-}
-
-func (c *client) status(key string) (service.JobView, error) {
-	var view service.JobView
-	err := c.getJSON("/v1/jobs/"+key, &view)
-	return view, err
-}
-
-func (c *client) result(key string) ([]byte, error) {
-	resp, err := c.hc.Get(c.base + "/v1/results/" + key)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp, raw)
-	}
-	return raw, nil
-}
-
-// waitDone polls a job's status until it reaches a terminal state.
-func (c *client) waitDone(key string) (service.JobView, error) {
-	deadline := time.Now().Add(c.budget)
-	for {
-		view, err := c.status(key)
-		if err != nil {
-			return view, err
-		}
-		switch view.Status {
-		case service.StatusDone:
-			return view, nil
-		case service.StatusFailed, service.StatusCanceled:
-			return view, fmt.Errorf("job %s %s: %s", key[:12], view.Status, view.Error)
-		}
-		if time.Now().After(deadline) {
-			return view, fmt.Errorf("job %s still %s after %s", key[:12], view.Status, c.budget)
-		}
-		time.Sleep(c.poll)
-	}
+// ctl binds the subcommands to a fleet client. A single -server URL is
+// just a one-worker fleet: the ring routes everything to it.
+type ctl struct {
+	fleet *cluster.Client
 }
 
 // requestBody builds one submit body. n/warm of 0 mean "daemon
 // default": no config override is sent at all.
 func requestBody(wl, pf, wlHash string, n, warm uint64, warmSet bool) ([]byte, error) {
-	req := service.SubmitRequest{Workload: wl, Prefetcher: pf, WorkloadHash: wlHash}
+	req := apiv1.SubmitRequest{Workload: wl, Prefetcher: pf, WorkloadHash: wlHash}
 	cfg := map[string]uint64{}
 	if n > 0 {
 		cfg["MaxInstructions"] = n
@@ -239,7 +126,7 @@ func requestBody(wl, pf, wlHash string, n, warm uint64, warmSet bool) ([]byte, e
 	return json.Marshal(req)
 }
 
-func (c *client) cmdSubmit(args []string, stdout, stderr io.Writer) int {
+func (c *ctl) cmdSubmit(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cbwsctl submit", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	wl := fs.String("workload", "", "workload name")
@@ -260,13 +147,13 @@ func (c *client) cmdSubmit(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "cbwsctl: %v\n", err)
 		return cli.ExitFail
 	}
-	view, err := c.submit(body)
+	view, worker, err := c.fleet.Submit(string(body), body)
 	if err != nil {
 		fmt.Fprintf(stderr, "cbwsctl: %v\n", err)
 		return cli.ExitFail
 	}
-	if *wait && view.Status != service.StatusDone {
-		if view, err = c.waitDone(view.Key); err != nil {
+	if *wait && view.Status != apiv1.StatusDone {
+		if view, _, _, err = c.fleet.Collect(worker, string(body), body, view.Key); err != nil {
 			fmt.Fprintf(stderr, "cbwsctl: %v\n", err)
 			return cli.ExitFail
 		}
@@ -285,13 +172,13 @@ func flagSet(fs *flag.FlagSet, name string) bool {
 	return set
 }
 
-func printView(w io.Writer, view service.JobView) {
+func printView(w io.Writer, view apiv1.JobView) {
 	cached := ""
 	if view.Cached {
 		cached = " (cached)"
 	}
 	fmt.Fprintf(w, "%s  %s/%s  %s%s", view.Key, view.Workload, view.Prefetcher, view.Status, cached)
-	if view.Status == service.StatusRunning && view.Progress.MaxInstructions > 0 {
+	if view.Status == apiv1.StatusRunning && view.Progress.MaxInstructions > 0 {
 		fmt.Fprintf(w, "  %d/%d instructions", view.Progress.Instructions, view.Progress.MaxInstructions)
 	}
 	if view.Error != "" {
@@ -300,12 +187,12 @@ func printView(w io.Writer, view service.JobView) {
 	fmt.Fprintln(w)
 }
 
-func (c *client) cmdStatus(args []string, stdout, stderr io.Writer) int {
+func (c *ctl) cmdStatus(args []string, stdout, stderr io.Writer) int {
 	if len(args) != 1 {
 		fmt.Fprintln(stderr, "usage: cbwsctl status KEY")
 		return cli.ExitUsage
 	}
-	view, err := c.status(args[0])
+	view, err := c.fleet.StatusAny(args[0])
 	if err != nil {
 		fmt.Fprintf(stderr, "cbwsctl: %v\n", err)
 		return cli.ExitFail
@@ -314,7 +201,7 @@ func (c *client) cmdStatus(args []string, stdout, stderr io.Writer) int {
 	return cli.ExitOK
 }
 
-func (c *client) cmdResult(args []string, stdout, stderr io.Writer) int {
+func (c *ctl) cmdResult(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cbwsctl result", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("o", "", "write the run record here instead of stdout")
@@ -325,7 +212,7 @@ func (c *client) cmdResult(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "usage: cbwsctl result [-o FILE] KEY")
 		return cli.ExitUsage
 	}
-	data, err := c.result(fs.Arg(0))
+	data, err := c.fleet.ResultAny(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintf(stderr, "cbwsctl: %v\n", err)
 		return cli.ExitFail
@@ -348,9 +235,12 @@ type sweepCell struct {
 	Key        string
 	Cached     bool
 	Record     *harness.RunRecord
+
+	body   []byte // submit body; doubles as the ring route key
+	worker string // worker that accepted the submission
 }
 
-func (c *client) cmdSweep(args []string, stdout, stderr io.Writer) int {
+func (c *ctl) cmdSweep(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cbwsctl sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	wls := fs.String("workloads", "", "comma-separated workload names")
@@ -379,8 +269,9 @@ func (c *client) cmdSweep(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	// Submit every cell first (the daemon dedups and queues), then
-	// collect: the daemon's worker pool provides the parallelism.
+	// Submit every cell first — the ring shards them across the fleet,
+	// each daemon dedups and queues — then collect: the workers' pools
+	// provide the parallelism.
 	cells := make([]*sweepCell, 0, len(workloads)*len(prefetchers))
 	for _, wl := range workloads {
 		for _, pf := range prefetchers {
@@ -389,14 +280,15 @@ func (c *client) cmdSweep(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "cbwsctl: %v\n", err)
 				return cli.ExitFail
 			}
-			view, err := c.submit(body)
+			view, worker, err := c.fleet.Submit(string(body), body)
 			if err != nil {
 				fmt.Fprintf(stderr, "cbwsctl: %s/%s: %v\n", wl, pf, err)
 				return cli.ExitFail
 			}
 			cells = append(cells, &sweepCell{
 				Workload: wl, Prefetcher: pf, Key: view.Key,
-				Cached: view.Cached && view.Status == service.StatusDone,
+				Cached: view.Cached && view.Status == apiv1.StatusDone,
+				body:   body, worker: worker,
 			})
 		}
 	}
@@ -404,11 +296,7 @@ func (c *client) cmdSweep(args []string, stdout, stderr io.Writer) int {
 	cachedCount := 0
 	var mismatches []string
 	for _, cell := range cells {
-		if _, err := c.waitDone(cell.Key); err != nil {
-			fmt.Fprintf(stderr, "cbwsctl: %s/%s: %v\n", cell.Workload, cell.Prefetcher, err)
-			return cli.ExitFail
-		}
-		data, err := c.result(cell.Key)
+		_, data, _, err := c.fleet.Collect(cell.worker, string(cell.body), cell.body, cell.Key)
 		if err != nil {
 			fmt.Fprintf(stderr, "cbwsctl: %s/%s: %v\n", cell.Workload, cell.Prefetcher, err)
 			return cli.ExitFail
@@ -460,6 +348,9 @@ func (c *client) cmdSweep(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "  %-26s %-10s IPC %.4f  MPKI %.2f%s\n",
 			cell.Workload, cell.Prefetcher, m.IPC(), m.MPKI(), tag)
+	}
+	if down := c.fleet.Down(); len(down) > 0 {
+		fmt.Fprintf(stderr, "cbwsctl: %d worker(s) died during the sweep: %s\n", len(down), strings.Join(down, ", "))
 	}
 	for _, mm := range mismatches {
 		fmt.Fprintf(stderr, "cbwsctl: golden mismatch: %s\n", mm)

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -167,6 +169,100 @@ func TestSweepGoldenAndCacheReplay(t *testing.T) {
 		"-workloads", "bfs-1m", "-prefetchers", "none", "-require-cached")
 	if code != cli.ExitFail || !strings.Contains(errOut, "-require-cached") {
 		t.Fatalf("uncached -require-cached sweep: exit %d, stderr %q", code, errOut)
+	}
+}
+
+// startFleet brings up n peered in-process daemons: every worker knows
+// the others' URLs, so a cache entry anywhere serves the whole fleet.
+// Listeners are bound first so the peer lists can be complete before
+// any service starts — the same order cbwsd uses.
+func startFleet(t *testing.T, n int) []string {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	for i := range lns {
+		cfg := smallConfig()
+		for j, u := range urls {
+			if j != i {
+				cfg.Peers = append(cfg.Peers, u)
+			}
+		}
+		svc, err := service.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := &http.Server{Handler: svc.Handler()}
+		go srv.Serve(lns[i])
+		t.Cleanup(func() { srv.Close() })
+	}
+	return urls
+}
+
+// TestSweepAgainstFleet shards a sweep across two peered daemons and
+// replays it: the repeat must be answered entirely from the fleet's
+// caches, proving ring routing is stable sweep to sweep.
+func TestSweepAgainstFleet(t *testing.T) {
+	urls := startFleet(t, 2)
+	fleet := strings.Join(urls, ",")
+
+	sweep := []string{"-server", fleet, "sweep",
+		"-workloads", "stencil-default,fft-simlarge", "-prefetchers", "none,stride"}
+	code, out, errOut := runCtl(t, sweep...)
+	if code != cli.ExitOK {
+		t.Fatalf("fleet sweep: exit %d\nstdout %s\nstderr %s", code, out, errOut)
+	}
+	if !strings.Contains(out, "sweep: 4 cells") {
+		t.Fatalf("fleet sweep output: %s", out)
+	}
+
+	code, out, errOut = runCtl(t, append(sweep, "-require-cached")...)
+	if code != cli.ExitOK {
+		t.Fatalf("fleet replay: exit %d\nstdout %s\nstderr %s", code, out, errOut)
+	}
+	if !strings.Contains(out, "4 served from cache") {
+		t.Fatalf("fleet replay output: %s", out)
+	}
+
+	// status/result find a key regardless of which worker computed it.
+	fields := strings.Fields(out)
+	var key string
+	for _, f := range fields {
+		if len(f) == 64 {
+			key = f
+			break
+		}
+	}
+	if key == "" {
+		// The replay output lists metrics, not keys; look one up instead.
+		code, out, _ := runCtl(t, "-server", fleet, "submit",
+			"-workload", "stencil-default", "-prefetcher", "none")
+		if code != cli.ExitOK {
+			t.Fatalf("submit for key: %d", code)
+		}
+		key = strings.Fields(out)[0]
+	}
+	if code, out, errOut := runCtl(t, "-server", fleet, "status", key); code != cli.ExitOK || !strings.Contains(out, "done") {
+		t.Fatalf("fleet status: exit %d, %q, stderr %s", code, out, errOut)
+	}
+	if code, _, errOut := runCtl(t, "-server", fleet, "result", "-o", filepath.Join(t.TempDir(), "r.json"), key); code != cli.ExitOK {
+		t.Fatalf("fleet result: exit %d, stderr %s", code, errOut)
+	}
+}
+
+// TestFleetDuplicateServersRejected checks a malformed -server list is
+// a usage error, not a skewed ring.
+func TestFleetDuplicateServersRejected(t *testing.T) {
+	code, _, errOut := runCtl(t, "-server", "http://x:1,http://x:1", "status", strings.Repeat("0", 64))
+	if code != cli.ExitUsage || !strings.Contains(errOut, "duplicate") {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
 	}
 }
 

@@ -9,6 +9,7 @@
 //	      [-n instructions] [-warmup instructions] [-config system.json]
 //	      [-job-timeout D] [-drain-timeout D] [-addr-file PATH]
 //	      [-corpus-dir DIR] [-corpus-mmap=false]
+//	      [-peers URL[,URL...]] [-advertise URL]
 //
 // -addr :0 binds an ephemeral port; combined with -addr-file the bound
 // address is written to a file once listening, so scripts can start the
@@ -16,6 +17,16 @@
 // the daemon drains gracefully: the listener closes, running jobs
 // finish (bounded by -drain-timeout), queued jobs are canceled, and the
 // cache index is persisted before exit 0.
+//
+// -peers turns the daemon into one worker of a fleet: before
+// simulating a job it asks the listed sibling daemons for the job's
+// content address and serves a sibling's cached bytes when one has
+// them (the federated result cache). Every worker can be given the
+// same full fleet list — the daemon filters its own -advertise URL
+// (default: http://<bound address>) out, so a deployment needs only
+// one peer list, not one per worker. The listener is bound before the
+// service starts for exactly this reason: with -addr :0 the advertised
+// URL is only known once the port is.
 package main
 
 import (
@@ -28,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -58,6 +70,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	interval := fs.Uint64("sample-interval", 0, "probe/progress period in instructions (0: default)")
 	corpusDir := fs.String("corpus-dir", "", "replay workloads from packed .cbwc corpora in this directory (others use live generators)")
 	corpusMmap := fs.Bool("corpus-mmap", true, "mmap corpus files (false: positioned-read fallback)")
+	peers := fs.String("peers", "", "comma-separated sibling daemon URLs to peer-fetch results from (own URL is filtered out)")
+	advertise := fs.String("advertise", "", "this daemon's URL as peers see it (default: http://<bound address>)")
+	peerTimeout := fs.Duration("peer-timeout", 2*time.Second, "per-sibling budget for peer-fetch probes")
 	if err := fs.Parse(args); err != nil {
 		return cli.ExitUsage
 	}
@@ -95,6 +110,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 			len(corpusSrc.Names()), *corpusDir)
 	}
 
+	// The listener comes up before the service: with -addr :0 the
+	// daemon's own advertised URL exists only after the bind, and the
+	// peer list must have self filtered out before the ring is built.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "cbwsd: %v\n", err)
+		return cli.ExitFail
+	}
+	bound := ln.Addr().String()
+	self := *advertise
+	if self == "" {
+		self = "http://" + bound
+	}
+	siblings := filterSelf(splitList(*peers), self)
+
 	svc, err := service.New(service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -103,20 +133,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		BaseSim:        base,
 		SampleInterval: *interval,
 		Corpus:         corpusSrc,
+		Peers:          siblings,
+		PeerTimeout:    *peerTimeout,
 	})
 	if err != nil {
+		ln.Close()
 		fmt.Fprintf(stderr, "cbwsd: %v\n", err)
 		return cli.ExitFail
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fmt.Fprintf(stderr, "cbwsd: %v\n", err)
-		return cli.ExitFail
-	}
-	bound := ln.Addr().String()
 	if *addrFile != "" {
 		if err := writeAddrFile(*addrFile, bound); err != nil {
+			ln.Close()
 			fmt.Fprintf(stderr, "cbwsd: %v\n", err)
 			return cli.ExitFail
 		}
@@ -124,6 +152,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stderr, "cbwsd: listening on http://%s (version %s, cache %d entries)\n",
 		bound, svc.CodeVersion(), svc.Cache().Len())
+	if len(siblings) > 0 {
+		fmt.Fprintf(stderr, "cbwsd: peering with %d sibling(s) as %s\n", len(siblings), self)
+	}
 
 	srv := &http.Server{Handler: svc.Handler()}
 	serveErr := make(chan error, 1)
@@ -151,6 +182,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stderr, "cbwsd: drained cleanly (cache %d entries)\n", svc.Cache().Len())
 	return cli.ExitOK
+}
+
+// splitList parses a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// filterSelf drops the daemon's own advertised URL from the peer list,
+// so every worker in a fleet can be handed the identical list.
+// Trailing slashes are ignored in the comparison.
+func filterSelf(peers []string, self string) []string {
+	canon := strings.TrimRight(self, "/")
+	var out []string
+	for _, p := range peers {
+		if strings.TrimRight(p, "/") != canon {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // writeAddrFile publishes the bound address atomically (write to a temp

@@ -29,6 +29,35 @@ func TestUsageErrors(t *testing.T) {
 	}
 }
 
+// TestFilterSelf pins the one-peer-list-per-fleet contract: a worker
+// handed the full fleet list drops exactly its own advertised URL.
+func TestFilterSelf(t *testing.T) {
+	fleet := []string{"http://a:1", "http://b:2/", "http://c:3"}
+	got := filterSelf(fleet, "http://b:2")
+	if len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://c:3" {
+		t.Fatalf("filterSelf = %v", got)
+	}
+	if got := filterSelf(fleet, "http://elsewhere:9"); len(got) != 3 {
+		t.Fatalf("foreign self filtered something: %v", got)
+	}
+	if got := filterSelf(nil, "http://a:1"); got != nil {
+		t.Fatalf("empty peers: %v", got)
+	}
+	if got := splitList(" http://a:1, ,http://b:2 "); len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
+		t.Fatalf("splitList = %v", got)
+	}
+}
+
+// TestPeerConfigErrors checks a bad -peers list dies at startup, after
+// the bind (the listener must not leak the port into the error path).
+func TestPeerConfigErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-addr", "127.0.0.1:0", "-peers", "http://x:1,http://x:1"}, &stdout, &stderr)
+	if code != cli.ExitFail || !strings.Contains(stderr.String(), "duplicate") {
+		t.Fatalf("exit %d, stderr %q", code, stderr.String())
+	}
+}
+
 func TestBadListenAddr(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-addr", "256.0.0.1:http"}, &stdout, &stderr); code != cli.ExitFail {

@@ -1,0 +1,360 @@
+// Command cbwsload is the load-generation harness for a cbwsd fleet.
+//
+// Usage:
+//
+//	cbwsload -servers URL[,URL...] [-requests N] [-concurrency C]
+//	         [-hot-frac F] [-hot-set K] [-prewarm] [-seed S]
+//	         [-workloads A,B] [-prefetchers X,Y] [-n INSTR]
+//	         [-report FILE]
+//
+// The harness builds a population of job cells (workload × prefetcher,
+// fetched from the fleet's roster unless pinned by flags), then fires
+// -requests submissions from -concurrency goroutines through the
+// cluster client — so every request routes by content like a real
+// caller, including failover when a worker dies mid-run.
+//
+// The key mix is the interesting knob. With -hot-frac F, each request
+// draws from a small hot set of K cells with probability F and from
+// the whole population otherwise: -hot-frac 1 replays the same few
+// keys forever (a pure cache-hit workload against a warm fleet, the
+// shape content addressing is built for), -hot-frac 0 is a uniform
+// sweep. The schedule is generated up front from -seed with a PCG
+// source, so a mix is reproducible run to run regardless of
+// concurrency or interleaving.
+//
+// With -prewarm each distinct cell in the schedule is computed to
+// completion once before the clock starts, so the measured phase
+// isolates serving latency from simulation cost.
+//
+// The report is machine-readable JSON on stdout (or -report FILE):
+// p50/p95/p99/max submit latency, jobs/sec, cache-hit ratio, 429
+// retries, submit errors, and which workers died. Human-readable
+// progress goes to stderr.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	apiv1 "cbws/api/v1"
+	"cbws/internal/cli"
+	"cbws/internal/cluster"
+)
+
+func main() {
+	cli.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// cell is one distinct job spec the harness can submit.
+type cell struct {
+	workload   string
+	prefetcher string
+	body       []byte
+}
+
+// report is the machine-readable run summary. Field order is the
+// output order; keep it stable, scripts parse this.
+type report struct {
+	Servers       []string `json:"servers"`
+	Requests      int      `json:"requests"`
+	Concurrency   int      `json:"concurrency"`
+	HotFrac       float64  `json:"hot_frac"`
+	HotSet        int      `json:"hot_set"`
+	Population    int      `json:"population"`
+	Prewarmed     int      `json:"prewarmed"`
+	Seed          uint64   `json:"seed"`
+	DurationMS    float64  `json:"duration_ms"`
+	JobsPerSec    float64  `json:"jobs_per_sec"`
+	Latency       latency  `json:"submit_latency_ms"`
+	CacheHits     int64    `json:"cache_hits"`
+	CacheHitRatio float64  `json:"cache_hit_ratio"`
+	Retries429    int64    `json:"retries_429"`
+	SubmitErrors  int64    `json:"submit_errors"`
+	WorkersDown   []string `json:"workers_down"`
+}
+
+type latency struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cbwsload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	servers := fs.String("servers", "http://127.0.0.1:8344", "comma-separated cbwsd base URLs")
+	requests := fs.Int("requests", 200, "total submissions in the measured phase")
+	concurrency := fs.Int("concurrency", 8, "submitting goroutines")
+	hotFrac := fs.Float64("hot-frac", 0.9, "fraction of requests drawn from the hot set (0: uniform, 1: hot only)")
+	hotSet := fs.Int("hot-set", 4, "number of cells in the hot set")
+	prewarm := fs.Bool("prewarm", false, "compute every distinct scheduled cell once before measuring")
+	seed := fs.Uint64("seed", 1, "PCG seed for the key mix")
+	wls := fs.String("workloads", "", "comma-separated workloads (default: fleet roster)")
+	pfs := fs.String("prefetchers", "", "comma-separated prefetchers (default: fleet roster)")
+	n := fs.Uint64("n", 0, "instruction budget per cell (0: daemon default)")
+	timeout := fs.Duration("timeout", 10*time.Minute, "per-request retry/poll budget")
+	reportPath := fs.String("report", "", "write the JSON report here instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
+	}
+	if *requests <= 0 || *concurrency <= 0 || *hotSet <= 0 || *hotFrac < 0 || *hotFrac > 1 {
+		fmt.Fprintln(stderr, "cbwsload: -requests, -concurrency, -hot-set must be positive and -hot-frac in [0,1]")
+		return cli.ExitUsage
+	}
+
+	var retries429 atomic.Int64
+	cc, err := cluster.New(splitList(*servers), func(w *apiv1.Client) {
+		w.Budget = *timeout
+		w.OnBackpressure = func(time.Duration) { retries429.Add(1) }
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "cbwsload: %v\n", err)
+		return cli.ExitUsage
+	}
+
+	cells, err := buildCells(cc, splitList(*wls), splitList(*pfs), *n)
+	if err != nil {
+		fmt.Fprintf(stderr, "cbwsload: %v\n", err)
+		return cli.ExitFail
+	}
+	sched, hot := mix(len(cells), *requests, *hotSet, *hotFrac, *seed)
+	fmt.Fprintf(stderr, "cbwsload: %d cells, hot set %d, %d requests × %d goroutines\n",
+		len(cells), len(hot), *requests, *concurrency)
+
+	prewarmed := 0
+	if *prewarm {
+		if prewarmed, err = prewarmCells(cc, cells, sched, stderr); err != nil {
+			fmt.Fprintf(stderr, "cbwsload: prewarm: %v\n", err)
+			return cli.ExitFail
+		}
+	}
+
+	rep := fire(cc, cells, sched, *concurrency)
+	rep.Servers = cc.Workers()
+	rep.HotFrac = *hotFrac
+	rep.HotSet = len(hot)
+	rep.Population = len(cells)
+	rep.Prewarmed = prewarmed
+	rep.Seed = *seed
+	rep.Retries429 = retries429.Load()
+	rep.WorkersDown = cc.Down()
+	if rep.WorkersDown == nil {
+		rep.WorkersDown = []string{}
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "cbwsload: %v\n", err)
+		return cli.ExitFail
+	}
+	out = append(out, '\n')
+	if *reportPath != "" {
+		if err := os.WriteFile(*reportPath, out, 0o644); err != nil {
+			fmt.Fprintf(stderr, "cbwsload: %v\n", err)
+			return cli.ExitFail
+		}
+	} else {
+		_, _ = stdout.Write(out)
+	}
+	if rep.SubmitErrors > 0 {
+		fmt.Fprintf(stderr, "cbwsload: %d submissions failed\n", rep.SubmitErrors)
+		return cli.ExitFail
+	}
+	return cli.ExitOK
+}
+
+// buildCells expands the workload × prefetcher matrix into submit
+// bodies. Empty lists are filled from the fleet's roster — asked of
+// the first live worker, since a homogeneous fleet serves one roster.
+func buildCells(cc *cluster.Client, workloads, prefetchers []string, n uint64) ([]cell, error) {
+	if len(workloads) == 0 {
+		if err := roster(cc, apiv1.PathWorkloads, &workloads); err != nil {
+			return nil, fmt.Errorf("fetching workload roster: %w", err)
+		}
+	}
+	if len(prefetchers) == 0 {
+		if err := roster(cc, apiv1.PathPrefetchers, &prefetchers); err != nil {
+			return nil, fmt.Errorf("fetching prefetcher roster: %w", err)
+		}
+	}
+	if len(workloads) == 0 || len(prefetchers) == 0 {
+		return nil, fmt.Errorf("empty population (%d workloads × %d prefetchers)", len(workloads), len(prefetchers))
+	}
+	var cells []cell
+	for _, wl := range workloads {
+		for _, pf := range prefetchers {
+			req := apiv1.SubmitRequest{Workload: wl, Prefetcher: pf}
+			if n > 0 {
+				cfg, err := json.Marshal(map[string]uint64{"MaxInstructions": n})
+				if err != nil {
+					return nil, err
+				}
+				req.Config = cfg
+			}
+			body, err := json.Marshal(req)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, cell{workload: wl, prefetcher: pf, body: body})
+		}
+	}
+	return cells, nil
+}
+
+// roster fills names from a fleet roster endpoint, trying workers in
+// ring order until one answers.
+func roster(cc *cluster.Client, path string, names *[]string) error {
+	var lastErr error
+	for _, url := range cc.Workers() {
+		var entries []apiv1.RosterEntry
+		if lastErr = cc.Worker(url).GetJSON(path, &entries); lastErr != nil {
+			continue
+		}
+		for _, e := range entries {
+			*names = append(*names, e.Name)
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// mix builds the request schedule: sched[i] is the cell index of
+// request i, hot is the hot-set cell indices. Deterministic in
+// (nCells, requests, hotSet, hotFrac, seed) — the schedule is fixed
+// before any goroutine runs, so a mix replays identically regardless
+// of concurrency.
+func mix(nCells, requests, hotSet int, hotFrac float64, seed uint64) (sched []int, hot []int) {
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	if hotSet > nCells {
+		hotSet = nCells
+	}
+	hot = rng.Perm(nCells)[:hotSet]
+	sched = make([]int, requests)
+	for i := range sched {
+		if rng.Float64() < hotFrac {
+			sched[i] = hot[rng.IntN(len(hot))]
+		} else {
+			sched[i] = rng.IntN(nCells)
+		}
+	}
+	return sched, hot
+}
+
+// prewarmCells computes every distinct scheduled cell to completion
+// once, so the measured phase runs against a warm fleet cache.
+func prewarmCells(cc *cluster.Client, cells []cell, sched []int, stderr io.Writer) (int, error) {
+	distinct := make([]int, 0, len(cells))
+	seen := make(map[int]bool)
+	for _, ci := range sched {
+		if !seen[ci] {
+			seen[ci] = true
+			distinct = append(distinct, ci)
+		}
+	}
+	sort.Ints(distinct)
+	for _, ci := range distinct {
+		c := cells[ci]
+		view, worker, err := cc.Submit(string(c.body), c.body)
+		if err != nil {
+			return 0, fmt.Errorf("%s/%s: %w", c.workload, c.prefetcher, err)
+		}
+		if _, _, _, err := cc.Collect(worker, string(c.body), c.body, view.Key); err != nil {
+			return 0, fmt.Errorf("%s/%s: %w", c.workload, c.prefetcher, err)
+		}
+	}
+	fmt.Fprintf(stderr, "cbwsload: prewarmed %d distinct cells\n", len(distinct))
+	return len(distinct), nil
+}
+
+// fire runs the measured phase: concurrency goroutines drain the
+// schedule through the cluster client, timing each submission.
+func fire(cc *cluster.Client, cells []cell, sched []int, concurrency int) report {
+	var next, cacheHits, submitErrors atomic.Int64
+	lats := make([]time.Duration, len(sched))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < concurrency; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sched) {
+					return
+				}
+				c := cells[sched[i]]
+				t0 := time.Now()
+				view, _, err := cc.Submit(string(c.body), c.body)
+				lats[i] = time.Since(t0)
+				if err != nil {
+					submitErrors.Add(1)
+					continue
+				}
+				if view.Cached && view.Status == apiv1.StatusDone {
+					cacheHits.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	ok := int64(len(sched)) - submitErrors.Load()
+	ratio := 0.0
+	if ok > 0 {
+		ratio = float64(cacheHits.Load()) / float64(ok)
+	}
+	return report{
+		Requests:    len(sched),
+		Concurrency: concurrency,
+		DurationMS:  float64(elapsed.Microseconds()) / 1e3,
+		JobsPerSec:  float64(len(sched)) / elapsed.Seconds(),
+		Latency: latency{
+			P50: ms(percentile(lats, 0.50)),
+			P95: ms(percentile(lats, 0.95)),
+			P99: ms(percentile(lats, 0.99)),
+			Max: ms(lats[len(lats)-1]),
+		},
+		CacheHits:     cacheHits.Load(),
+		CacheHitRatio: ratio,
+		SubmitErrors:  submitErrors.Load(),
+	}
+}
+
+// percentile is the nearest-rank percentile of a sorted sample.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	apiv1 "cbws/api/v1"
+	"cbws/internal/cli"
+)
+
+// fakeWorker serves a warm-fleet caricature of the v1 API: a fixed
+// roster, and every submission answered instantly as a cache hit keyed
+// by SHA-256 of the body. reject429 makes each distinct body bounce
+// with a 429 once before being accepted, to exercise retry counting.
+type fakeWorker struct {
+	ts        *httptest.Server
+	reject429 bool
+
+	mu      sync.Mutex
+	bounced map[string]bool
+	submits int
+}
+
+func newFakeWorker(t *testing.T, reject429 bool) *fakeWorker {
+	f := &fakeWorker{reject429: reject429, bounced: make(map[string]bool)}
+	f.ts = httptest.NewServer(http.HandlerFunc(f.serve))
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func (f *fakeWorker) serve(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch {
+	case r.URL.Path == apiv1.PathWorkloads:
+		json.NewEncoder(w).Encode([]apiv1.RosterEntry{{Name: "w1"}, {Name: "w2"}})
+	case r.URL.Path == apiv1.PathPrefetchers:
+		json.NewEncoder(w).Encode([]apiv1.RosterEntry{{Name: "p1"}, {Name: "p2"}, {Name: "p3"}})
+	case r.Method == http.MethodPost && r.URL.Path == apiv1.PathJobs:
+		body, _ := io.ReadAll(r.Body)
+		sum := sha256.Sum256(body)
+		key := hex.EncodeToString(sum[:])
+		if f.reject429 && !f.bounced[key] {
+			f.bounced[key] = true
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(apiv1.ErrorBody{Error: "queue full"})
+			return
+		}
+		f.submits++
+		json.NewEncoder(w).Encode(apiv1.JobView{Key: key, Status: apiv1.StatusDone, Cached: true})
+	default:
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(apiv1.ErrorBody{Error: "not found"})
+	}
+}
+
+func runLoad(t *testing.T, args ...string) (int, report) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	var rep report
+	if stdout.Len() > 0 {
+		if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+			t.Fatalf("report is not JSON: %v\n%s", err, stdout.String())
+		}
+	}
+	if code != cli.ExitOK {
+		t.Logf("stderr:\n%s", stderr.String())
+	}
+	return code, rep
+}
+
+// TestWarmFleetIsAllCacheHits drives a hot-key replay against a warm
+// 2-worker fleet: every submission must be a cache hit and the report
+// must say so.
+func TestWarmFleetIsAllCacheHits(t *testing.T) {
+	a, b := newFakeWorker(t, false), newFakeWorker(t, false)
+	code, rep := runLoad(t,
+		"-servers", a.ts.URL+","+b.ts.URL,
+		"-requests", "40", "-concurrency", "4",
+		"-hot-frac", "1", "-hot-set", "2", "-seed", "7")
+	if code != cli.ExitOK {
+		t.Fatalf("exit %d", code)
+	}
+	if rep.Requests != 40 || rep.CacheHits != 40 || rep.CacheHitRatio != 1.0 {
+		t.Fatalf("requests=%d hits=%d ratio=%v, want 40/40/1.0", rep.Requests, rep.CacheHits, rep.CacheHitRatio)
+	}
+	if rep.Population != 6 || rep.HotSet != 2 {
+		t.Fatalf("population=%d hotset=%d, want 6/2 from the fake roster", rep.Population, rep.HotSet)
+	}
+	if rep.SubmitErrors != 0 || len(rep.WorkersDown) != 0 {
+		t.Fatalf("errors=%d down=%v on a healthy fleet", rep.SubmitErrors, rep.WorkersDown)
+	}
+	if rep.Latency.P50 <= 0 || rep.Latency.P99 < rep.Latency.P50 || rep.Latency.Max < rep.Latency.P99 {
+		t.Fatalf("latency summary not ordered: %+v", rep.Latency)
+	}
+	if rep.JobsPerSec <= 0 {
+		t.Fatalf("jobs_per_sec %v", rep.JobsPerSec)
+	}
+	a.mu.Lock()
+	b.mu.Lock()
+	total := a.submits + b.submits
+	b.mu.Unlock()
+	a.mu.Unlock()
+	if total != 40 {
+		t.Fatalf("fleet saw %d submits, want 40", total)
+	}
+}
+
+// TestBackpressureRetriesCounted bounces each distinct cell once with
+// a 429 and checks the retries land in the report.
+func TestBackpressureRetriesCounted(t *testing.T) {
+	a := newFakeWorker(t, true)
+	code, rep := runLoad(t,
+		"-servers", a.ts.URL,
+		"-requests", "2", "-concurrency", "1",
+		"-hot-frac", "1", "-hot-set", "1",
+		"-workloads", "w1", "-prefetchers", "p1")
+	if code != cli.ExitOK {
+		t.Fatalf("exit %d", code)
+	}
+	// One distinct cell (hot-set 1, hot-frac 1): exactly one 429 bounce.
+	if rep.Retries429 != 1 {
+		t.Fatalf("retries_429 = %d, want 1", rep.Retries429)
+	}
+	if rep.CacheHits != 2 {
+		t.Fatalf("cache_hits = %d, want 2", rep.CacheHits)
+	}
+}
+
+// TestMixDeterministic pins the schedule generator: same seed, same
+// schedule; hot-frac 1 stays inside the hot set; hot-frac 0 ranges
+// beyond it.
+func TestMixDeterministic(t *testing.T) {
+	s1, h1 := mix(20, 200, 3, 0.9, 42)
+	s2, h2 := mix(20, 200, 3, 0.9, 42)
+	if len(s1) != 200 || len(h1) != 3 {
+		t.Fatalf("shape: %d sched, %d hot", len(s1), len(h1))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("schedule diverged at %d: %d vs %d", i, s1[i], s2[i])
+		}
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatalf("hot set diverged at %d", i)
+		}
+	}
+	if _, h3 := mix(20, 200, 3, 0.9, 43); equalInts(h1, h3) {
+		t.Fatal("different seeds produced the same hot set")
+	}
+
+	hotOnly, hot := mix(20, 500, 3, 1.0, 7)
+	inHot := map[int]bool{}
+	for _, h := range hot {
+		inHot[h] = true
+	}
+	for _, ci := range hotOnly {
+		if !inHot[ci] {
+			t.Fatalf("hot-frac 1 escaped the hot set: cell %d", ci)
+		}
+	}
+	uniform, _ := mix(20, 500, 3, 0.0, 7)
+	distinct := map[int]bool{}
+	for _, ci := range uniform {
+		distinct[ci] = true
+	}
+	if len(distinct) <= 3 {
+		t.Fatalf("hot-frac 0 only touched %d cells", len(distinct))
+	}
+
+	// Hot set larger than the population degrades gracefully.
+	if _, hot := mix(2, 10, 5, 0.5, 1); len(hot) != 2 {
+		t.Fatalf("hot set %d, want clamped to 2", len(hot))
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBadFlags checks flag validation short-circuits before any
+// network traffic.
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-requests", "0"},
+		{"-concurrency", "0"},
+		{"-hot-set", "0"},
+		{"-hot-frac", "1.5"},
+		{"-servers", ""},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != cli.ExitUsage {
+			t.Fatalf("%v exited %d, want usage", args, code)
+		}
+		if !strings.Contains(stderr.String(), "cbwsload") {
+			t.Fatalf("%v: no diagnostic", args)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	apiv1 "cbws/api/v1"
+)
+
+// Client drives a cbwsd fleet through the ring: submissions route to
+// the key's owner, and every operation fails over along the ring
+// sequence when a worker is unreachable. Content-addressed idempotent
+// jobs make that safe — resubmitting a cell to a different worker can
+// only produce the identical result (or find it already cached /
+// peer-fetched).
+//
+// A worker that fails at the transport level is marked down for the
+// lifetime of the Client; later operations skip it. API-level errors
+// (400, 404, 409, persistent 429) are the server answering and are
+// never failover triggers — except 503, which a draining worker
+// returns on submit.
+type Client struct {
+	ring *Ring
+
+	mu      sync.Mutex
+	workers map[string]*apiv1.Client
+	down    map[string]bool
+}
+
+// New builds a cluster client over the worker base URLs. configure,
+// when non-nil, is applied to each per-worker api/v1 client (budgets,
+// jitter source, log hooks) after construction.
+func New(urls []string, configure func(*apiv1.Client)) (*Client, error) {
+	ring, err := NewRing(urls, 0)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		ring:    ring,
+		workers: make(map[string]*apiv1.Client, len(urls)),
+		down:    make(map[string]bool),
+	}
+	for _, u := range ring.Nodes() {
+		w := apiv1.NewClient(u)
+		if configure != nil {
+			configure(w)
+		}
+		c.workers[w.Base] = w
+	}
+	return c, nil
+}
+
+// Workers returns the fleet's base URLs in canonical ring order.
+func (c *Client) Workers() []string { return c.ring.Nodes() }
+
+// Worker returns the api/v1 client for one base URL ("" or unknown:
+// nil).
+func (c *Client) Worker(url string) *apiv1.Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.workers[url]
+}
+
+// Owner returns the worker the ring assigns to routeKey.
+func (c *Client) Owner(routeKey string) string { return c.ring.Owner(routeKey) }
+
+// markDown records a worker as unreachable; subsequent operations skip
+// it.
+func (c *Client) markDown(url string) {
+	c.mu.Lock()
+	c.down[url] = true
+	c.mu.Unlock()
+}
+
+// isDown reports whether url has been marked unreachable.
+func (c *Client) isDown(url string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down[url]
+}
+
+// Down returns the workers currently marked unreachable.
+func (c *Client) Down() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for _, u := range c.ring.Nodes() {
+		if c.down[u] {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// failover reports whether err means "try the next worker": transport
+// failures and 503 (draining). API answers like 400/404/409 are final.
+func failover(err error) bool {
+	if err == nil {
+		return false
+	}
+	var apiErr *apiv1.Error
+	if errors.As(err, &apiErr) {
+		return apiErr.Code == http.StatusServiceUnavailable
+	}
+	return true
+}
+
+// Submit posts body to routeKey's owner, failing over along the ring
+// sequence. It returns the accepted view and the worker that took the
+// job — status polls for the job must go back to that worker.
+func (c *Client) Submit(routeKey string, body []byte) (apiv1.JobView, string, error) {
+	var lastErr error
+	tried := 0
+	for _, url := range c.ring.Sequence(routeKey) {
+		if c.isDown(url) {
+			continue
+		}
+		tried++
+		view, err := c.Worker(url).Submit(body)
+		if err == nil {
+			return view, url, nil
+		}
+		if !failover(err) {
+			return apiv1.JobView{}, url, err
+		}
+		c.markDown(url)
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: all %d workers marked down", c.ring.Len())
+	}
+	return apiv1.JobView{}, "", fmt.Errorf("cluster: no worker accepted the job (%d tried): %w", tried, lastErr)
+}
+
+// Collect waits for the job submitted as body (content address key) on
+// worker to finish and fetches its result. If the worker dies mid-wait
+// the cell is resubmitted to the next live worker on the ring and the
+// wait continues there — the new worker either peer-fetches the result
+// or recomputes it bit-identically, so the caller never observes the
+// failure beyond latency. Returns the terminal view, the result bytes,
+// and the worker that finally served them.
+func (c *Client) Collect(worker, routeKey string, body []byte, key string) (apiv1.JobView, []byte, string, error) {
+	// One resubmission per remaining worker at most: a dead fleet must
+	// surface as an error, not an infinite reroute loop.
+	for hops := 0; hops <= c.ring.Len(); hops++ {
+		w := c.Worker(worker)
+		if w == nil {
+			return apiv1.JobView{}, nil, "", fmt.Errorf("cluster: unknown worker %q", worker)
+		}
+		view, err := w.WaitDone(key)
+		if err == nil {
+			data, rerr := w.Result(key)
+			if rerr == nil {
+				return view, data, worker, nil
+			}
+			err = rerr
+		}
+		if !failover(err) {
+			return view, nil, worker, err
+		}
+		c.markDown(worker)
+		view, next, serr := c.Submit(routeKey, body)
+		if serr != nil {
+			return apiv1.JobView{}, nil, "", fmt.Errorf("cluster: resubmitting %.12s… after %s died: %w", key, worker, serr)
+		}
+		if view.Key != key {
+			// Same body must produce the same content address everywhere;
+			// a mismatch means the fleet disagrees on code version or base
+			// config and results would not be comparable.
+			return apiv1.JobView{}, nil, "", fmt.Errorf(
+				"cluster: %s keyed the job %.12s…, expected %.12s… — fleet is not homogeneous (code version or base config differs)",
+				next, view.Key, key)
+		}
+		worker = next
+	}
+	return apiv1.JobView{}, nil, "", fmt.Errorf("cluster: job %.12s… kept failing over; fleet unstable", key)
+}
+
+// StatusAny looks key up on every live worker in ring order and
+// returns the first answer. Useful for `cbwsctl status` against a
+// fleet, where the caller does not know which worker owns the job.
+func (c *Client) StatusAny(key string) (apiv1.JobView, error) {
+	return firstAny(c, key, func(w *apiv1.Client) (apiv1.JobView, error) { return w.Status(key) })
+}
+
+// ResultAny fetches key's result from the first worker that has it,
+// in ring order — after a peer-fetch or a sweep any worker on the key's
+// sequence may serve it.
+func (c *Client) ResultAny(key string) ([]byte, error) {
+	return firstAny(c, key, func(w *apiv1.Client) ([]byte, error) { return w.Result(key) })
+}
+
+// firstAny walks key's ring sequence and returns the first successful
+// answer, skipping down workers and marking transport failures.
+// API-level errors are remembered and returned only when no worker
+// succeeds.
+func firstAny[T any](c *Client, key string, op func(*apiv1.Client) (T, error)) (T, error) {
+	var zero T
+	var lastErr error
+	for _, url := range c.ring.Sequence(key) {
+		if c.isDown(url) {
+			continue
+		}
+		v, err := op(c.Worker(url))
+		if err == nil {
+			return v, nil
+		}
+		if failover(err) {
+			c.markDown(url)
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: all %d workers marked down", c.ring.Len())
+	}
+	return zero, lastErr
+}

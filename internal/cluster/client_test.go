@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	apiv1 "cbws/api/v1"
+)
+
+// fakeWorker is a minimal in-memory daemon speaking just enough of the
+// v1 API for routing tests: submissions are keyed by SHA-256 of the
+// body (so every worker agrees on content addresses, like a
+// homogeneous fleet), jobs complete instantly, results are the body
+// echoed back.
+type fakeWorker struct {
+	ts *httptest.Server
+
+	mu       sync.Mutex
+	submits  int
+	results  map[string][]byte
+	statuses int
+}
+
+func newFakeWorker(t *testing.T) *fakeWorker {
+	f := &fakeWorker{results: make(map[string][]byte)}
+	f.ts = httptest.NewServer(http.HandlerFunc(f.serve))
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func bodyKey(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
+
+func (f *fakeWorker) serve(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == apiv1.PathJobs:
+		body, _ := io.ReadAll(r.Body)
+		key := bodyKey(body)
+		f.submits++
+		f.results[key] = body
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(apiv1.JobView{Key: key, Status: apiv1.StatusQueued})
+	case strings.HasPrefix(r.URL.Path, apiv1.PathJobs+"/"):
+		key := strings.TrimPrefix(r.URL.Path, apiv1.PathJobs+"/")
+		f.statuses++
+		if _, ok := f.results[key]; !ok {
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(apiv1.ErrorBody{Error: "unknown job"})
+			return
+		}
+		json.NewEncoder(w).Encode(apiv1.JobView{Key: key, Status: apiv1.StatusDone})
+	case strings.HasPrefix(r.URL.Path, apiv1.PathResults+"/"):
+		key := strings.TrimPrefix(r.URL.Path, apiv1.PathResults+"/")
+		data, ok := f.results[key]
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(apiv1.ErrorBody{Error: "no result"})
+			return
+		}
+		w.Write(data)
+	default:
+		w.WriteHeader(http.StatusNotFound)
+	}
+}
+
+func (f *fakeWorker) submitCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.submits
+}
+
+// newFakeFleet builds n fake workers and a cluster client over them.
+func newFakeFleet(t *testing.T, n int) (map[string]*fakeWorker, *Client) {
+	t.Helper()
+	fleet := make(map[string]*fakeWorker, n)
+	var urls []string
+	for i := 0; i < n; i++ {
+		f := newFakeWorker(t)
+		fleet[f.ts.URL] = f
+		urls = append(urls, f.ts.URL)
+	}
+	c, err := New(urls, func(w *apiv1.Client) { w.Poll = 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fleet, c
+}
+
+// TestSubmitRoutesToOwner checks every submission lands on exactly the
+// ring owner of its route key.
+func TestSubmitRoutesToOwner(t *testing.T) {
+	fleet, c := newFakeFleet(t, 3)
+	for i := 0; i < 24; i++ {
+		body := []byte(fmt.Sprintf(`{"workload":"w%d","prefetcher":"p"}`, i))
+		route := string(body)
+		before := map[string]int{}
+		for url, f := range fleet {
+			before[url] = f.submitCount()
+		}
+		_, worker, err := c.Submit(route, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner := c.Owner(route); worker != owner {
+			t.Fatalf("cell %d went to %s, ring owner is %s", i, worker, owner)
+		}
+		for url, f := range fleet {
+			want := before[url]
+			if url == worker {
+				want++
+			}
+			if got := f.submitCount(); got != want {
+				t.Fatalf("worker %s saw %d submits, want %d", url, got, want)
+			}
+		}
+	}
+}
+
+// TestSubmitFailsOverToSuccessor kills a route's owner and checks the
+// submission lands on the next worker in the key's ring sequence, with
+// the dead worker remembered as down.
+func TestSubmitFailsOverToSuccessor(t *testing.T) {
+	fleet, c := newFakeFleet(t, 3)
+	body := []byte(`{"workload":"w","prefetcher":"p"}`)
+	route := string(body)
+	seq := c.ring.Sequence(route)
+	fleet[seq[0]].ts.Close() // owner dies
+
+	view, worker, err := c.Submit(route, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worker != seq[1] {
+		t.Fatalf("failover went to %s, want first successor %s", worker, seq[1])
+	}
+	if view.Key != bodyKey(body) {
+		t.Fatalf("view key %s", view.Key)
+	}
+	down := c.Down()
+	if len(down) != 1 || down[0] != seq[0] {
+		t.Fatalf("down list %v, want [%s]", down, seq[0])
+	}
+
+	// Later submissions skip the corpse without re-probing it.
+	if _, worker2, err := c.Submit(route, body); err != nil || worker2 != seq[1] {
+		t.Fatalf("second submit: %s, %v", worker2, err)
+	}
+}
+
+// TestCollectResubmitsWhenWorkerDies submits to the owner, kills it,
+// and checks Collect reroutes the cell to a live worker and still
+// returns the result.
+func TestCollectResubmitsWhenWorkerDies(t *testing.T) {
+	fleet, c := newFakeFleet(t, 3)
+	body := []byte(`{"workload":"w","prefetcher":"p"}`)
+	route := string(body)
+	view, worker, err := c.Submit(route, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet[worker].ts.Close() // dies before the client collects
+
+	gotView, data, served, err := c.Collect(worker, route, body, view.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served == worker {
+		t.Fatal("Collect claims the dead worker served the result")
+	}
+	if gotView.Status != apiv1.StatusDone || string(data) != string(body) {
+		t.Fatalf("collected %+v %q", gotView, data)
+	}
+}
+
+// TestCollectDetectsHeterogeneousFleet checks a resubmission that keys
+// differently (fleet on mixed code versions / base configs) is an
+// explicit error, not a silently different result.
+func TestCollectDetectsHeterogeneousFleet(t *testing.T) {
+	fleet, c := newFakeFleet(t, 2)
+	body := []byte(`{"workload":"w","prefetcher":"p"}`)
+	route := string(body)
+	_, worker, err := c.Submit(route, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lie about the expected key: the resubmission path must notice the
+	// fleet "disagrees" with it. Kill the owner to force that path.
+	fleet[worker].ts.Close()
+	wrong := strings.Repeat("0", 64)
+	_, _, _, err = c.Collect(worker, route, body, wrong)
+	if err == nil || !strings.Contains(err.Error(), "not homogeneous") {
+		t.Fatalf("got %v, want heterogeneous-fleet error", err)
+	}
+}
+
+// TestResultAnyFindsOffOwnerCopy stores a result only on the LAST
+// worker of the key's sequence and checks ResultAny still finds it.
+func TestResultAnyFindsOffOwnerCopy(t *testing.T) {
+	fleet, c := newFakeFleet(t, 3)
+	body := []byte(`{"workload":"w","prefetcher":"p"}`)
+	key := bodyKey(body)
+	seq := c.ring.Sequence(key)
+	holder := fleet[seq[len(seq)-1]]
+	holder.mu.Lock()
+	holder.results[key] = body
+	holder.mu.Unlock()
+
+	data, err := c.ResultAny(key)
+	if err != nil || string(data) != string(body) {
+		t.Fatalf("ResultAny: %q, %v", data, err)
+	}
+	if _, err := c.ResultAny(strings.Repeat("f", 64)); err == nil {
+		t.Fatal("ResultAny invented a result for an unknown key")
+	}
+}
+
+// TestAllWorkersDown checks total fleet loss is a clear error.
+func TestAllWorkersDown(t *testing.T) {
+	fleet, c := newFakeFleet(t, 2)
+	for _, f := range fleet {
+		f.ts.Close()
+	}
+	if _, _, err := c.Submit("k", []byte("{}")); err == nil {
+		t.Fatal("submit succeeded against a dead fleet")
+	}
+	if _, err := c.StatusAny("k"); err == nil {
+		t.Fatal("status succeeded against a dead fleet")
+	}
+}
+
+func TestNewRejectsBadFleet(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if _, err := New([]string{"http://a", "http://a"}, nil); err == nil {
+		t.Fatal("duplicate worker accepted")
+	}
+}

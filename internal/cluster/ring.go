@@ -1,0 +1,151 @@
+// Package cluster scales the single cbwsd daemon into a fleet: a
+// consistent-hash ring routes jobs by content address across N
+// workers, and a failover-aware client drives the ring from cbwsctl
+// and cbwsload.
+//
+// Routing is client-side — there is no coordinator process. That
+// choice leans on the substrate the service already provides: jobs are
+// content-addressed and idempotent, every worker can compute (or
+// peer-fetch) any key, and results are bit-identical across workers.
+// Routing therefore only decides *locality* (which worker's cache gets
+// warm for a key), never correctness, so the ring can live in each
+// client with no coordination, no extra network hop, and no single
+// point of failure. A misrouted or failed-over request costs at most
+// one redundant simulation, which the federated cache then absorbs.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the virtual-node count per worker. 128 vnodes
+// keep the load spread within a few percent of uniform for small
+// fleets while the ring stays tiny (3 workers → 384 points).
+const DefaultReplicas = 128
+
+// Ring is an immutable consistent-hash ring over worker names
+// (base URLs). Keys map to the worker owning the first ring point at
+// or after the key's hash; when a worker joins or leaves, only the
+// keys hashing into its vnode arcs move, everything else keeps its
+// owner — the property the ring test pins.
+type Ring struct {
+	nodes  []string
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node int // index into nodes
+}
+
+// NewRing builds a ring over the given workers with replicas vnodes
+// each (<=0: DefaultReplicas). Worker order does not matter: the node
+// list is sorted first so every client sharing a member list — in any
+// order — derives the identical ring. Duplicates are rejected, since
+// they would silently double a worker's share.
+func NewRing(workers []string, replicas int) (*Ring, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one worker")
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	nodes := append([]string(nil), workers...)
+	sort.Strings(nodes)
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i] == nodes[i-1] {
+			return nil, fmt.Errorf("cluster: duplicate worker %q", nodes[i])
+		}
+	}
+	r := &Ring{nodes: nodes, points: make([]ringPoint, 0, len(nodes)*replicas)}
+	for ni, node := range nodes {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: vnodeHash(node, v), node: ni})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on node index so equal hashes (vanishingly rare but
+		// possible) still order deterministically across clients.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// vnodeHash is the ring position of one virtual node: FNV-64a over
+// "worker\x00vnode#", finalized through mix64. FNV is stable across
+// platforms and Go versions, which matters — every client must derive
+// the same ring — but on its own it leaves similar short inputs
+// correlated (a worker's vnodes clump into one arc and the load skews
+// 2–10x); the finalizer restores avalanche so the spread is uniform.
+func vnodeHash(node string, vnode int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(node))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(vnode)))
+	return mix64(h.Sum64())
+}
+
+// keyHash is the ring position of a routing key.
+func keyHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the MurmurHash3 64-bit finalizer: a fixed bijective
+// avalanche over the raw FNV value. Deterministic everywhere, no
+// seed.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Nodes returns the ring's workers in canonical (sorted) order.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Len returns the number of workers.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Owner returns the worker owning key: the node of the first ring
+// point at or after the key's hash, wrapping at the top.
+func (r *Ring) Owner(key string) string {
+	return r.nodes[r.points[r.search(key)].node]
+}
+
+// search returns the index of the first point at or after key's hash.
+func (r *Ring) search(key string) int {
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Sequence returns all workers in ring order starting at key's owner:
+// the owner first, then each distinct successor. This is the failover
+// (and peer-fetch) order — every client walks the same sequence, so
+// retries concentrate on the same fallback worker and its cache gets
+// warm in turn.
+func (r *Ring) Sequence(key string) []string {
+	out := make([]string, 0, len(r.nodes))
+	seen := make([]bool, len(r.nodes))
+	for i, n := r.search(key), 0; n < len(r.points) && len(out) < len(r.nodes); i, n = (i+1)%len(r.points), n+1 {
+		p := r.points[i]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, r.nodes[p.node])
+		}
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+var testWorkers = []string{"http://a:1", "http://b:2", "http://c:3"}
+
+func mustRing(t *testing.T, workers []string) *Ring {
+	t.Helper()
+	r, err := NewRing(workers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestRingPinnedAssignments pins concrete key→worker routes. The ring
+// is part of the fleet contract: every client (cbwsctl, cbwsload, the
+// peer-fetch path) must derive the identical assignment from the same
+// member list, across platforms and releases, or routing locality and
+// failover order silently degrade. Any change to the hash is a
+// topology migration and must be deliberate.
+func TestRingPinnedAssignments(t *testing.T) {
+	ring := mustRing(t, testWorkers)
+	want := map[string]string{
+		"alpha":   "http://b:2",
+		"bravo":   "http://b:2",
+		"charlie": "http://b:2",
+		"delta":   "http://a:1",
+		"echo":    "http://c:3",
+		"foxtrot": "http://a:1",
+	}
+	for key, owner := range want {
+		if got := ring.Owner(key); got != owner {
+			t.Errorf("Owner(%q) = %q, want %q", key, got, owner)
+		}
+	}
+	wantSeq := map[string][]string{
+		"alpha": {"http://b:2", "http://a:1", "http://c:3"},
+		"echo":  {"http://c:3", "http://a:1", "http://b:2"},
+	}
+	for key, seq := range wantSeq {
+		if got := ring.Sequence(key); !reflect.DeepEqual(got, seq) {
+			t.Errorf("Sequence(%q) = %v, want %v", key, got, seq)
+		}
+	}
+}
+
+// TestRingOrderIndependent checks every client derives the same ring
+// regardless of how its -server list happens to be ordered.
+func TestRingOrderIndependent(t *testing.T) {
+	a := mustRing(t, []string{"http://a:1", "http://b:2", "http://c:3"})
+	b := mustRing(t, []string{"http://c:3", "http://a:1", "http://b:2"})
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("member-list order changed Owner(%q): %q vs %q", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingStabilityOnLeave pins the consistent-hashing property the
+// whole design rests on: when a worker leaves, ONLY the keys it owned
+// move. Any key owned by a survivor keeps its owner exactly, so a
+// failover reshuffles nothing but the dead worker's share.
+func TestRingStabilityOnLeave(t *testing.T) {
+	full := mustRing(t, testWorkers)
+	without := mustRing(t, []string{"http://a:1", "http://c:3"})
+	const keys = 20000
+	orphaned := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		was := full.Owner(key)
+		now := without.Owner(key)
+		if was == "http://b:2" {
+			orphaned++
+			continue // b's keys must move somewhere, by definition
+		}
+		if was != now {
+			t.Fatalf("key %q owned by surviving %q moved to %q when b left", key, was, now)
+		}
+	}
+	// b owned roughly a third of the space; far outside that and the
+	// vnode spread is broken.
+	if orphaned < keys/5 || orphaned > keys/2 {
+		t.Fatalf("departed worker owned %d/%d keys; spread broken", orphaned, keys)
+	}
+}
+
+// TestRingStabilityOnJoin is the dual: a joining worker takes over
+// roughly its fair share, and every key it does not take keeps its
+// owner.
+func TestRingStabilityOnJoin(t *testing.T) {
+	three := mustRing(t, testWorkers)
+	four := mustRing(t, append(append([]string(nil), testWorkers...), "http://d:4"))
+	const keys = 20000
+	taken := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		was, now := three.Owner(key), four.Owner(key)
+		if now == "http://d:4" {
+			taken++
+			continue
+		}
+		if was != now {
+			t.Fatalf("key %q moved %q → %q on join without going to the joiner", key, was, now)
+		}
+	}
+	// Fair share is 1/4; accept a generous band around it.
+	if taken < keys/8 || taken > keys*3/8 {
+		t.Fatalf("joiner took %d/%d keys, want ≈%d", taken, keys, keys/4)
+	}
+}
+
+// TestRingSpread checks the vnode count keeps worker load within a
+// sane band of uniform — the raw-FNV regression this package once had
+// skewed 2–10x.
+func TestRingSpread(t *testing.T) {
+	ring := mustRing(t, testWorkers)
+	const keys = 30000
+	count := map[string]int{}
+	for i := 0; i < keys; i++ {
+		count[ring.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	fair := keys / len(testWorkers)
+	for w, n := range count {
+		if n < fair*7/10 || n > fair*13/10 {
+			t.Errorf("worker %s owns %d keys, want within 30%% of %d", w, n, fair)
+		}
+	}
+}
+
+// TestRingSequenceProperties checks Sequence is a permutation of the
+// fleet starting at the owner, for every key.
+func TestRingSequenceProperties(t *testing.T) {
+	ring := mustRing(t, testWorkers)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		seq := ring.Sequence(key)
+		if len(seq) != len(testWorkers) {
+			t.Fatalf("Sequence(%q) has %d entries, want %d", key, len(seq), len(testWorkers))
+		}
+		if seq[0] != ring.Owner(key) {
+			t.Fatalf("Sequence(%q) starts at %q, not owner %q", key, seq[0], ring.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, w := range seq {
+			if seen[w] {
+				t.Fatalf("Sequence(%q) repeats %q", key, w)
+			}
+			seen[w] = true
+		}
+	}
+}
+
+func TestRingRejectsBadInput(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty worker list accepted")
+	}
+	if _, err := NewRing([]string{"http://a:1", "http://a:1"}, 0); err == nil {
+		t.Error("duplicate worker accepted")
+	}
+}
+
+func TestRingSingleWorker(t *testing.T) {
+	ring := mustRing(t, []string{"http://only:1"})
+	if ring.Owner("anything") != "http://only:1" {
+		t.Fatal("single-worker ring must own everything")
+	}
+	if got := ring.Sequence("anything"); len(got) != 1 || got[0] != "http://only:1" {
+		t.Fatalf("Sequence = %v", got)
+	}
+}

@@ -3,19 +3,28 @@ package service
 import (
 	"sync"
 	"sync/atomic"
+
+	apiv1 "cbws/api/v1"
 )
 
-// Status is a job's lifecycle state.
-type Status string
+// Status is a job's lifecycle state (wire type, see api/v1).
+type Status = apiv1.Status
 
 // The job lifecycle: queued → running → done | failed, with canceled
 // for jobs still queued when the daemon drains.
 const (
-	StatusQueued   Status = "queued"
-	StatusRunning  Status = "running"
-	StatusDone     Status = "done"
-	StatusFailed   Status = "failed"
-	StatusCanceled Status = "canceled"
+	StatusQueued   = apiv1.StatusQueued
+	StatusRunning  = apiv1.StatusRunning
+	StatusDone     = apiv1.StatusDone
+	StatusFailed   = apiv1.StatusFailed
+	StatusCanceled = apiv1.StatusCanceled
+)
+
+// Progress and JobView are the wire forms served by the status and
+// submit endpoints (see api/v1).
+type (
+	Progress = apiv1.Progress
+	JobView  = apiv1.JobView
 )
 
 // Job is one accepted simulation, identified by its content address.
@@ -86,30 +95,6 @@ func (j *Job) cancel(msg string) bool {
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
-
-// Progress is the polled completion state of a job, derived from the
-// simulator's progress hook.
-type Progress struct {
-	// Instructions is the committed instruction count at the last
-	// progress report (0 until the first sample interval elapses).
-	Instructions uint64 `json:"instructions"`
-	// MaxInstructions is the job's instruction budget.
-	MaxInstructions uint64 `json:"max_instructions"`
-}
-
-// JobView is the wire form of a job's state, returned by the submit and
-// status endpoints.
-type JobView struct {
-	Key        string   `json:"key"`
-	Workload   string   `json:"workload"`
-	Prefetcher string   `json:"prefetcher"`
-	Status     Status   `json:"status"`
-	Progress   Progress `json:"progress"`
-	// Cached marks a view synthesized from the result cache alone (the
-	// result predates this daemon's job table).
-	Cached bool   `json:"cached,omitempty"`
-	Error  string `json:"error,omitempty"`
-}
 
 // View snapshots the job for serialization.
 func (j *Job) View() JobView {

@@ -10,14 +10,18 @@ import (
 // Everything is atomic: the submit path and the workers update them
 // concurrently.
 type counters struct {
-	jobsQueued   atomic.Int64 // currently waiting in the queue
-	jobsRunning  atomic.Int64 // currently simulating
-	jobsDone     atomic.Int64 // completed successfully (lifetime)
-	jobsFailed   atomic.Int64 // failed or timed out (lifetime)
-	jobsCanceled atomic.Int64 // canceled while queued, by drain (lifetime)
-	cacheHits    atomic.Int64 // submissions answered from the result cache
-	cacheMisses  atomic.Int64 // submissions that created a new job
-	rejected     atomic.Int64 // submissions rejected with 429 (queue full)
+	jobsQueued    atomic.Int64 // currently waiting in the queue
+	jobsRunning   atomic.Int64 // currently simulating
+	jobsDone      atomic.Int64 // completed successfully (lifetime)
+	jobsFailed    atomic.Int64 // failed or timed out (lifetime)
+	jobsCanceled  atomic.Int64 // canceled while queued, by drain (lifetime)
+	jobsSimulated atomic.Int64 // jobs that actually ran a simulation (lifetime)
+	cacheHits     atomic.Int64 // submissions answered from the result cache
+	cacheMisses   atomic.Int64 // submissions that created a new job
+	rejected      atomic.Int64 // submissions rejected with 429 (queue full)
+	peerHits      atomic.Int64 // jobs served from a sibling's cache instead of simulating
+	peerMisses    atomic.Int64 // sibling probes answered 404 (per-peer, not per-job)
+	peerErrors    atomic.Int64 // sibling probes that failed transport or validation
 }
 
 // Vars is the operational-counter snapshot served under the "cbwsd"
@@ -29,11 +33,16 @@ type Vars struct {
 	JobsDone      int64   `json:"jobs_done"`
 	JobsFailed    int64   `json:"jobs_failed"`
 	JobsCanceled  int64   `json:"jobs_canceled"`
+	JobsSimulated int64   `json:"jobs_simulated"`
 	CacheHits     int64   `json:"cache_hits"`
 	CacheMisses   int64   `json:"cache_misses"`
 	CacheHitRatio float64 `json:"cache_hit_ratio"`
 	CacheEntries  int     `json:"cache_entries"`
 	Rejected      int64   `json:"rejected_429"`
+	PeerHits      int64   `json:"peer_fetch_hits"`
+	PeerMisses    int64   `json:"peer_fetch_misses"`
+	PeerErrors    int64   `json:"peer_fetch_errors"`
+	Peers         int     `json:"peers"`
 	QueueDepth    int     `json:"queue_depth"`
 	Workers       int     `json:"workers"`
 	Draining      bool    `json:"draining"`
@@ -52,11 +61,16 @@ func (s *Service) vars() Vars {
 		JobsDone:      c.jobsDone.Load(),
 		JobsFailed:    c.jobsFailed.Load(),
 		JobsCanceled:  c.jobsCanceled.Load(),
+		JobsSimulated: c.jobsSimulated.Load(),
 		CacheHits:     hits,
 		CacheMisses:   misses,
 		CacheHitRatio: ratio,
 		CacheEntries:  s.cache.Len(),
 		Rejected:      c.rejected.Load(),
+		PeerHits:      c.peerHits.Load(),
+		PeerMisses:    c.peerMisses.Load(),
+		PeerErrors:    c.peerErrors.Load(),
+		Peers:         len(s.cfg.Peers),
 		QueueDepth:    cap(s.queue),
 		Workers:       s.cfg.Workers,
 		Draining:      s.draining.Load(),

@@ -9,28 +9,14 @@ import (
 	"net/http"
 	"strconv"
 
+	apiv1 "cbws/api/v1"
 	"cbws/internal/debugsrv"
 	"cbws/internal/sim"
 	"cbws/internal/workload"
 )
 
-// SubmitRequest is the POST /v1/jobs body. Config, when present, is a
-// partial sim.Config merged over the daemon's base configuration
-// (unknown fields are rejected); absent, the base is used as-is.
-type SubmitRequest struct {
-	Workload   string          `json:"workload"`
-	Prefetcher string          `json:"prefetcher"`
-	Config     json.RawMessage `json:"config,omitempty"`
-	// WorkloadHash, when present, pins the content address of the
-	// corpus the job must run from; the daemon rejects the submission
-	// (409) if its corpus for the workload differs.
-	WorkloadHash string `json:"workload_hash,omitempty"`
-}
-
-// errorBody is the JSON error envelope of every non-2xx response.
-type errorBody struct {
-	Error string `json:"error"`
-}
+// SubmitRequest is the POST /v1/jobs body (wire type, see api/v1).
+type SubmitRequest = apiv1.SubmitRequest
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -41,7 +27,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, code, apiv1.ErrorBody{Error: fmt.Sprintf(format, args...)})
 }
 
 // maxBodyBytes bounds submit request bodies; configs are small.
@@ -56,14 +42,17 @@ const maxBodyBytes = 1 << 20
 //	GET  /v1/prefetchers   prefetcher roster
 //	GET  /healthz          liveness + drain state
 //	GET  /debug/...        pprof + expvar diagnostics (debugsrv)
+//
+// The wire contract (paths, body shapes, status mapping) is the api/v1
+// package; this handler is its server side.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{key}", s.handleStatus)
-	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
-	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
-	mux.HandleFunc("GET /v1/prefetchers", s.handlePrefetchers)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST "+apiv1.PathJobs, s.handleSubmit)
+	mux.HandleFunc("GET "+apiv1.PathJobs+"/{key}", s.handleStatus)
+	mux.HandleFunc("GET "+apiv1.PathResults+"/{key}", s.handleResult)
+	mux.HandleFunc("GET "+apiv1.PathWorkloads, s.handleWorkloads)
+	mux.HandleFunc("GET "+apiv1.PathPrefetchers, s.handlePrefetchers)
+	mux.HandleFunc("GET "+apiv1.PathHealthz, s.handleHealthz)
 	mux.Handle("GET /debug/", debugsrv.Handler())
 	return mux
 }
@@ -153,38 +142,24 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(data)
 }
 
-// rosterEntry is one name in the workload/prefetcher listings.
-type rosterEntry struct {
-	Name  string `json:"name"`
-	Suite string `json:"suite,omitempty"`
-	MI    bool   `json:"mi,omitempty"`
-}
-
 func (s *Service) handleWorkloads(w http.ResponseWriter, r *http.Request) {
-	var out []rosterEntry
+	var out []apiv1.RosterEntry
 	for _, spec := range workload.All() {
-		out = append(out, rosterEntry{Name: spec.Name, Suite: spec.Suite, MI: spec.MI})
+		out = append(out, apiv1.RosterEntry{Name: spec.Name, Suite: spec.Suite, MI: spec.MI})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Service) handlePrefetchers(w http.ResponseWriter, r *http.Request) {
-	var out []rosterEntry
+	var out []apiv1.RosterEntry
 	for _, f := range s.prefetcherRoster() {
-		out = append(out, rosterEntry{Name: f})
+		out = append(out, apiv1.RosterEntry{Name: f})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-// healthz is the liveness body.
-type healthz struct {
-	Status      string `json:"status"`
-	Draining    bool   `json:"draining"`
-	CodeVersion string `json:"code_version"`
-}
-
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthz{
+	writeJSON(w, http.StatusOK, apiv1.Healthz{
 		Status:      "ok",
 		Draining:    s.draining.Load(),
 		CodeVersion: s.cfg.CodeVersion,

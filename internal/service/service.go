@@ -58,6 +58,14 @@ type Config struct {
 	// CBWC files: a job naming such a workload runs from replay, and
 	// its key absorbs the corpus content address (JobSpec.WorkloadHash).
 	Corpus *harness.CorpusSource
+	// Peers are sibling daemons' base URLs (this daemon excluded).
+	// Before simulating a job, the worker asks the siblings for the
+	// job's content address in ring order and serves a validated answer
+	// from its own cache instead of simulating — the federated result
+	// cache. Empty: fully standalone, exactly the pre-cluster behavior.
+	Peers []string
+	// PeerTimeout bounds each sibling probe (0: 2s).
+	PeerTimeout time.Duration
 }
 
 // withDefaults fills the zero fields.
@@ -81,6 +89,9 @@ func (c Config) withDefaults() Config {
 	if c.CodeVersion == "" {
 		c.CodeVersion = CodeVersion()
 	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 2 * time.Second
+	}
 	return c
 }
 
@@ -97,6 +108,7 @@ type Service struct {
 	matMu    sync.Mutex
 	matrices map[string]*harness.Matrix
 
+	peers    *peerFetcher
 	counters counters
 	draining atomic.Bool
 	quit     chan struct{}
@@ -113,12 +125,17 @@ func New(cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
+	peers, err := newPeerFetcher(cfg.Peers, cfg.PeerTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
 	s := &Service{
 		cfg:      cfg,
 		cache:    cache,
 		queue:    make(chan *Job, cfg.QueueDepth),
 		jobs:     make(map[string]*Job),
 		matrices: make(map[string]*harness.Matrix),
+		peers:    peers,
 		quit:     make(chan struct{}),
 	}
 	publishVars(s)
@@ -299,6 +316,14 @@ func (s *Service) runJob(j *Job) {
 	s.counters.jobsRunning.Add(1)
 	defer s.counters.jobsRunning.Add(-1)
 
+	// Federated cache: any sibling that already computed this key serves
+	// it in milliseconds; simulation is the fallback, not the default.
+	if s.tryPeerFetch(j) {
+		s.counters.jobsDone.Add(1)
+		j.finish()
+		return
+	}
+
 	ctx := context.Background()
 	if s.cfg.JobTimeout > 0 {
 		var cancel context.CancelFunc
@@ -320,6 +345,7 @@ func (s *Service) runJob(j *Job) {
 		return
 	}
 
+	s.counters.jobsSimulated.Add(1)
 	interval := s.cfg.SampleInterval
 	capacity := int(j.Spec.Config.MaxInstructions/interval) + 2
 	ts := sim.NewTimeSeries(capacity)
