@@ -7,8 +7,8 @@ STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
 .PHONY: all build test vet fmt-check race bench obs-smoke service-smoke check \
-	fuzz-smoke golden bench-gate corpus-smoke cluster-smoke lint lint-custom \
-	staticcheck govulncheck tools
+	fuzz-smoke golden bench-gate corpus-smoke cluster-smoke streaming-smoke \
+	lint lint-custom staticcheck govulncheck tools
 
 all: check
 
@@ -57,6 +57,14 @@ service-smoke:
 cluster-smoke:
 	./scripts/cluster_smoke.sh
 
+# End-to-end streaming smoke: one cbwsd, two tenants. Over-quota opens
+# must be rejected 429 + Retry-After without touching the in-quota
+# tenant, a streamed full-budget trace must land byte-identical under
+# the closed-job content address, and a SIGTERM drain must finalize a
+# complete open stream and cancel a half-fed one.
+streaming-smoke:
+	./scripts/streaming_smoke.sh
+
 # End-to-end corpus smoke: pack two kernels into CBWC corpora (twice,
 # requiring identical bytes), convert a CBWT capture and require the
 # same bytes again, then replay the golden matrix from the corpus on
@@ -71,6 +79,7 @@ fuzz-smoke:
 	$(GO) test ./internal/check/ -run '^$$' -fuzz '^FuzzCacheVsRef$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/check/ -run '^$$' -fuzz '^FuzzCBWSVsRef$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzStreamChunkFraming$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace/corpus/ -run '^$$' -fuzz '^FuzzCorpusRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace/corpus/ -run '^$$' -fuzz '^FuzzCorpusParse$$' -fuzztime $(FUZZTIME)
 

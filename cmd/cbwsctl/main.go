@@ -9,6 +9,14 @@
 //	cbwsctl [-server URL[,URL...]] result KEY [-o FILE]
 //	cbwsctl [-server URL[,URL...]] sweep -workloads A,B -prefetchers X,Y [-n N] [-warmup N]
 //	        [-golden FILE] [-require-cached] [-out DIR]
+//	cbwsctl [-server URL[,URL...]] stream -tenant T -workload W -prefetcher P
+//	        [-n N] [-warmup N] [-f FILE|-] [-chunk BYTES]
+//
+// stream feeds a CBWT trace (file or stdin) into a live streaming
+// simulation on the first server: the daemon simulates chunks as they
+// arrive, admission control (429/413 + Retry-After) is honored by
+// waiting it out, and the finalized run record's content address is
+// printed when the stream completes.
 //
 // -server takes a single daemon URL (the classic setup) or a
 // comma-separated fleet. Against a fleet every operation is ring-aware:
@@ -54,7 +62,7 @@ func main() {
 }
 
 func usage(stderr io.Writer) int {
-	fmt.Fprintln(stderr, "usage: cbwsctl [-server URL[,URL...]] {submit|status|result|sweep} ...")
+	fmt.Fprintln(stderr, "usage: cbwsctl [-server URL[,URL...]] {submit|status|result|sweep|stream} ...")
 	return cli.ExitUsage
 }
 
@@ -93,6 +101,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return c.cmdResult(rest, stdout, stderr)
 	case "sweep":
 		return c.cmdSweep(rest, stdout, stderr)
+	case "stream":
+		return c.cmdStream(rest, stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "cbwsctl: unknown command %q\n", cmd)
 		return usage(stderr)
@@ -103,6 +113,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 // just a one-worker fleet: the ring routes everything to it.
 type ctl struct {
 	fleet *cluster.Client
+}
+
+// worker returns the per-daemon client of the first fleet member, for
+// operations that are stateful on a single daemon (streams).
+func (c *ctl) worker() *apiv1.Client {
+	return c.fleet.Worker(c.fleet.Workers()[0])
 }
 
 // requestBody builds one submit body. n/warm of 0 mean "daemon

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	apiv1 "cbws/api/v1"
+	"cbws/internal/cli"
+)
+
+// cmdStream feeds a CBWT trace file (or stdin) into a cbwsd streaming
+// simulation: open, chunked upload with backpressure honored, close,
+// wait, print the finalized result key. Streams are stateful on one
+// daemon, so against a fleet the stream goes to the first server.
+func (c *ctl) cmdStream(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cbwsctl stream", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tenant := fs.String("tenant", "", "quota account the stream is billed to")
+	wl := fs.String("workload", "", "declared workload name for the streamed trace")
+	pf := fs.String("prefetcher", "", "prefetcher name")
+	n := fs.Uint64("n", 0, "instruction budget (0: daemon default)")
+	warm := fs.Uint64("warmup", 0, "warmup instructions")
+	in := fs.String("f", "-", "CBWT trace file (-: stdin)")
+	// 64 KiB needs at most 32769 event slots, half the daemon's default
+	// 65536-event stream buffer — large enough to amortize the HTTP
+	// round-trip, small enough to never trip the hard 413 bound.
+	chunk := fs.Int("chunk", 64<<10, "chunk size in bytes")
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
+	}
+	if *tenant == "" || *wl == "" || *pf == "" {
+		fmt.Fprintln(stderr, "cbwsctl stream: -tenant, -workload and -prefetcher are required")
+		return cli.ExitUsage
+	}
+	if *chunk <= 0 {
+		fmt.Fprintln(stderr, "cbwsctl stream: -chunk must be positive")
+		return cli.ExitUsage
+	}
+
+	var src io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(stderr, "cbwsctl: %v\n", err)
+			return cli.ExitFail
+		}
+		defer f.Close()
+		src = f
+	}
+
+	req := apiv1.OpenStreamRequest{Tenant: *tenant, Workload: *wl, Prefetcher: *pf}
+	cfg := map[string]uint64{}
+	if *n > 0 {
+		cfg["MaxInstructions"] = *n
+	}
+	if flagSet(fs, "warmup") {
+		cfg["WarmupInstructions"] = *warm
+	}
+	if len(cfg) > 0 {
+		b, err := json.Marshal(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "cbwsctl: %v\n", err)
+			return cli.ExitFail
+		}
+		req.Config = b
+	}
+
+	client := c.worker()
+	view, err := client.OpenStream(req)
+	if err != nil {
+		fmt.Fprintf(stderr, "cbwsctl: open stream: %v\n", err)
+		return cli.ExitFail
+	}
+	fmt.Fprintf(stderr, "cbwsctl: stream %s open (%s/%s, tenant %s)\n", view.ID, *wl, *pf, *tenant)
+
+	buf := make([]byte, *chunk)
+	var sent uint64
+	for {
+		nr, rerr := io.ReadFull(src, buf)
+		if nr > 0 {
+			ack, err := client.SendChunk(view.ID, buf[:nr], nil)
+			if err != nil {
+				fmt.Fprintf(stderr, "cbwsctl: chunk at %d bytes: %v\n", sent, err)
+				return cli.ExitFail
+			}
+			sent += uint64(nr)
+			if ack.State.Terminal() {
+				break
+			}
+		}
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			break
+		}
+		if rerr != nil {
+			fmt.Fprintf(stderr, "cbwsctl: reading trace: %v\n", rerr)
+			return cli.ExitFail
+		}
+	}
+	if _, err := client.CloseStream(view.ID); err != nil {
+		fmt.Fprintf(stderr, "cbwsctl: close stream: %v\n", err)
+		return cli.ExitFail
+	}
+	final, err := client.WaitStream(view.ID)
+	if err != nil {
+		fmt.Fprintf(stderr, "cbwsctl: %v\n", err)
+		return cli.ExitFail
+	}
+	fmt.Fprintf(stdout, "%s  %s/%s  %s  %d bytes, %d events\n",
+		final.Key, final.Workload, final.Prefetcher, final.State, final.BytesIn, final.Events)
+	return cli.ExitOK
+}

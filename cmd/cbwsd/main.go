@@ -10,6 +10,9 @@
 //	      [-job-timeout D] [-drain-timeout D] [-addr-file PATH]
 //	      [-corpus-dir DIR] [-corpus-mmap=false]
 //	      [-peers URL[,URL...]] [-advertise URL]
+//	      [-stream-workers N] [-max-streams N] [-tenant-streams N]
+//	      [-tenant-rate BYTES/S] [-tenant-burst BYTES]
+//	      [-stream-buffer EVENTS] [-stream-idle-timeout D]
 //
 // -addr :0 binds an ephemeral port; combined with -addr-file the bound
 // address is written to a file once listening, so scripts can start the
@@ -73,6 +76,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	peers := fs.String("peers", "", "comma-separated sibling daemon URLs to peer-fetch results from (own URL is filtered out)")
 	advertise := fs.String("advertise", "", "this daemon's URL as peers see it (default: http://<bound address>)")
 	peerTimeout := fs.Duration("peer-timeout", 2*time.Second, "per-sibling budget for peer-fetch probes")
+	streamWorkers := fs.Int("stream-workers", 0, "concurrently simulating streams (0: same as -workers)")
+	maxStreams := fs.Int("max-streams", 0, "daemon-wide open-stream bound, opens beyond it get 429 (0: default 64, -1: unlimited)")
+	tenantStreams := fs.Int("tenant-streams", 0, "per-tenant concurrent-stream quota (0: default 4, -1: unlimited)")
+	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant sustained chunk-ingest rate in bytes/second (0: default 8 MiB/s)")
+	tenantBurst := fs.Float64("tenant-burst", 0, "per-tenant token-bucket burst in bytes; also the largest admissible chunk (0: default 4 MiB)")
+	streamBuffer := fs.Int("stream-buffer", 0, "per-stream decoded-event buffer bound (0: default 65536)")
+	streamIdle := fs.Duration("stream-idle-timeout", 0, "finalize or cancel a stream after this long without a chunk (0: default 2m, <0: never)")
 	if err := fs.Parse(args); err != nil {
 		return cli.ExitUsage
 	}
@@ -135,6 +145,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Corpus:         corpusSrc,
 		Peers:          siblings,
 		PeerTimeout:    *peerTimeout,
+
+		StreamWorkers:      *streamWorkers,
+		MaxStreams:         *maxStreams,
+		TenantStreams:      *tenantStreams,
+		TenantRateBytes:    *tenantRate,
+		TenantBurstBytes:   *tenantBurst,
+		StreamBufferEvents: *streamBuffer,
+		StreamIdleTimeout:  *streamIdle,
 	})
 	if err != nil {
 		ln.Close()

@@ -5,7 +5,8 @@
 //	cbwsload -servers URL[,URL...] [-requests N] [-concurrency C]
 //	         [-hot-frac F] [-hot-set K] [-prewarm] [-seed S]
 //	         [-workloads A,B] [-prefetchers X,Y] [-n INSTR]
-//	         [-report FILE]
+//	         [-streams N] [-stream-tenants T] [-stream-chunk BYTES]
+//	         [-stream-n INSTR] [-report FILE]
 //
 // The harness builds a population of job cells (workload × prefetcher,
 // fetched from the fleet's roster unless pinned by flags), then fires
@@ -25,6 +26,14 @@
 // With -prewarm each distinct cell in the schedule is computed to
 // completion once before the clock starts, so the measured phase
 // isolates serving latency from simulation cost.
+//
+// With -streams N the harness adds a streaming phase after the
+// closed-job phase: N identical synthetic CBWT traces are streamed
+// through the first worker, spread over -stream-tenants quota accounts,
+// so the report exercises and surfaces admission control —
+// streams_rejected_quota counts 429 quota rejections at open, and
+// chunk_ack_latency_ms reports p50/p95/p99 per-chunk acknowledgement
+// latency including rejected attempts.
 //
 // The report is machine-readable JSON on stdout (or -report FILE):
 // p50/p95/p99/max submit latency, jobs/sec, cache-hit ratio, 429
@@ -80,6 +89,8 @@ type report struct {
 	Retries429    int64    `json:"retries_429"`
 	SubmitErrors  int64    `json:"submit_errors"`
 	WorkersDown   []string `json:"workers_down"`
+	// Streaming is present when -streams > 0.
+	Streaming *streamReport `json:"streaming,omitempty"`
 }
 
 type latency struct {
@@ -103,12 +114,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	pfs := fs.String("prefetchers", "", "comma-separated prefetchers (default: fleet roster)")
 	n := fs.Uint64("n", 0, "instruction budget per cell (0: daemon default)")
 	timeout := fs.Duration("timeout", 10*time.Minute, "per-request retry/poll budget")
+	streams := fs.Int("streams", 0, "streaming-phase stream count (0: no streaming phase)")
+	streamTenants := fs.Int("stream-tenants", 2, "tenant accounts the streams are spread over")
+	streamChunk := fs.Int("stream-chunk", 64<<10, "streaming-phase chunk size in bytes")
+	streamN := fs.Uint64("stream-n", 200_000, "instruction budget per streamed trace")
 	reportPath := fs.String("report", "", "write the JSON report here instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return cli.ExitUsage
 	}
 	if *requests <= 0 || *concurrency <= 0 || *hotSet <= 0 || *hotFrac < 0 || *hotFrac > 1 {
 		fmt.Fprintln(stderr, "cbwsload: -requests, -concurrency, -hot-set must be positive and -hot-frac in [0,1]")
+		return cli.ExitUsage
+	}
+	if *streams < 0 || *streamTenants <= 0 || *streamChunk <= 0 || *streamN == 0 {
+		fmt.Fprintln(stderr, "cbwsload: -streams must be >= 0; -stream-tenants, -stream-chunk, -stream-n must be positive")
 		return cli.ExitUsage
 	}
 
@@ -140,6 +159,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	rep := fire(cc, cells, sched, *concurrency)
+	if *streams > 0 {
+		sr := fireStreams(cc, *streams, *streamTenants, *concurrency, *streamChunk,
+			*streamN, *timeout, stderr)
+		rep.Streaming = &sr
+	}
 	rep.Servers = cc.Workers()
 	rep.HotFrac = *hotFrac
 	rep.HotSet = len(hot)
@@ -168,6 +192,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if rep.SubmitErrors > 0 {
 		fmt.Fprintf(stderr, "cbwsload: %d submissions failed\n", rep.SubmitErrors)
+		return cli.ExitFail
+	}
+	if rep.Streaming != nil && rep.Streaming.StreamErrors > 0 {
+		fmt.Fprintf(stderr, "cbwsload: %d streams failed\n", rep.Streaming.StreamErrors)
 		return cli.ExitFail
 	}
 	return cli.ExitOK

@@ -1,0 +1,155 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// tokenBucket is a lazily-refilled byte-rate limiter: take() settles
+// the elapsed-time refill and then answers whether n tokens are
+// available, so there is no background filler goroutine and the bucket
+// costs nothing while idle. All times come from the caller (the
+// service's injected clock), which keeps refill behavior fully
+// deterministic under a fake clock in tests.
+type tokenBucket struct {
+	rate   float64 // tokens (bytes) per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket returns a full bucket.
+func newTokenBucket(rate, burst float64, now time.Time) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+// take settles the refill at now and withdraws n tokens if available.
+// On refusal it returns the wait until n tokens will have accumulated,
+// for the Retry-After header. n larger than the burst can never be
+// granted; callers must reject such requests outright (413) before
+// asking the bucket.
+func (b *tokenBucket) take(now time.Time, n float64) (ok bool, wait time.Duration) {
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if n <= b.tokens {
+		b.tokens -= n
+		return true, 0
+	}
+	missing := n - b.tokens
+	return false, time.Duration(missing / b.rate * float64(time.Second))
+}
+
+// tenant is one quota account: its rate limiter, its concurrent-stream
+// count, and its committed traffic counters. The committed counters are
+// atomics read by the expvar snapshot; the chunk hot path batches its
+// deltas stream-locally and commits them here only every
+// counterCommitBytes (see Stream.commitPending), so steady-state ingest
+// does one atomic add per ~megabyte instead of three per chunk.
+type tenant struct {
+	name string
+
+	mu      sync.Mutex
+	bucket  *tokenBucket
+	streams int // currently open/finalizing streams
+
+	bytesIn       atomic.Uint64 // committed stream bytes accepted
+	chunksIn      atomic.Uint64 // committed chunks accepted
+	eventsIn      atomic.Uint64 // committed events decoded
+	rejectedRate  atomic.Uint64 // chunk/open rejects from the byte bucket (429)
+	rejectedQuota atomic.Uint64 // stream opens over the concurrency quota (429)
+	streamsDone   atomic.Uint64 // lifetime finalized streams
+}
+
+// TenantVars is the per-tenant expvar snapshot. Traffic counters are
+// coalesced: they lag the live stream state by at most one commit
+// interval.
+type TenantVars struct {
+	Tenant        string `json:"tenant"`
+	Streams       int    `json:"streams"`
+	BytesIn       uint64 `json:"bytes_in"`
+	Chunks        uint64 `json:"chunks"`
+	Events        uint64 `json:"events"`
+	RejectedRate  uint64 `json:"rejected_rate_429"`
+	RejectedQuota uint64 `json:"rejected_quota_429"`
+	StreamsDone   uint64 `json:"streams_done"`
+}
+
+func (t *tenant) vars() TenantVars {
+	t.mu.Lock()
+	streams := t.streams
+	t.mu.Unlock()
+	return TenantVars{
+		Tenant:        t.name,
+		Streams:       streams,
+		BytesIn:       t.bytesIn.Load(),
+		Chunks:        t.chunksIn.Load(),
+		Events:        t.eventsIn.Load(),
+		RejectedRate:  t.rejectedRate.Load(),
+		RejectedQuota: t.rejectedQuota.Load(),
+		StreamsDone:   t.streamsDone.Load(),
+	}
+}
+
+// tenantTable tracks every quota account the daemon has seen. Accounts
+// are created on first use and never expire — tenancy is an
+// operational concept, and the per-tenant footprint is a few words.
+type tenantTable struct {
+	rate  float64
+	burst float64
+
+	mu sync.Mutex
+	m  map[string]*tenant
+}
+
+func newTenantTable(rate, burst float64) *tenantTable {
+	return &tenantTable{rate: rate, burst: burst, m: make(map[string]*tenant)}
+}
+
+// get returns (creating if needed) the account named name.
+func (tt *tenantTable) get(name string, now time.Time) *tenant {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	t, ok := tt.m[name]
+	if !ok {
+		t = &tenant{name: name, bucket: newTokenBucket(tt.rate, tt.burst, now)}
+		tt.m[name] = t
+	}
+	return t
+}
+
+// admitOpen charges one concurrent-stream slot against the tenant's
+// quota; max <= 0 means unlimited.
+func (t *tenant) admitOpen(max int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if max > 0 && t.streams >= max {
+		t.rejectedQuota.Add(1)
+		return false
+	}
+	t.streams++
+	return true
+}
+
+// releaseStream returns a concurrent-stream slot.
+func (t *tenant) releaseStream() {
+	t.mu.Lock()
+	t.streams--
+	t.mu.Unlock()
+}
+
+// admitBytes charges n bytes against the tenant's rate bucket.
+func (t *tenant) admitBytes(now time.Time, n int) (ok bool, wait time.Duration) {
+	t.mu.Lock()
+	ok, wait = t.bucket.take(now, float64(n))
+	t.mu.Unlock()
+	if !ok {
+		t.rejectedRate.Add(1)
+	}
+	return ok, wait
+}

@@ -163,6 +163,28 @@ func (c *Cache) Put(key string, meta CacheMeta, data []byte) error {
 	return writeFileAtomic(filepath.Join(c.dir, key+".json"), data)
 }
 
+// PutOnce stores data under key only if the key is absent, reporting
+// whether this call's bytes were stored. First write wins: streaming
+// finalization uses it so a result already computed by the closed-job
+// path (whose bytes include run-local telemetry like wall time) stays
+// authoritative, and every later writer is served those exact bytes.
+func (c *Cache) PutOnce(key string, meta CacheMeta, data []byte) (stored bool, err error) {
+	meta.Key = key
+	meta.Bytes = len(data)
+	c.mu.Lock()
+	if _, ok := c.mem[key]; ok {
+		c.mu.Unlock()
+		return false, nil
+	}
+	c.mem[key] = data
+	c.meta[key] = meta
+	c.mu.Unlock()
+	if c.dir == "" {
+		return true, nil
+	}
+	return true, writeFileAtomic(filepath.Join(c.dir, key+".json"), data)
+}
+
 // PersistIndex writes the index.json catalogue: every entry sorted by
 // key, so the file is byte-stable for a given cache population. Called
 // on graceful drain.

@@ -2,6 +2,7 @@ package service
 
 import (
 	"expvar"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -22,6 +23,12 @@ type counters struct {
 	peerHits      atomic.Int64 // jobs served from a sibling's cache instead of simulating
 	peerMisses    atomic.Int64 // sibling probes answered 404 (per-peer, not per-job)
 	peerErrors    atomic.Int64 // sibling probes that failed transport or validation
+
+	streamsOpened   atomic.Int64 // streams admitted (lifetime)
+	streamsDone     atomic.Int64 // streams finalized into a cached result (lifetime)
+	streamsFailed   atomic.Int64 // streams failed: decode/simulation error (lifetime)
+	streamsCanceled atomic.Int64 // streams aborted: client, idle timeout, drain (lifetime)
+	streamsRejected atomic.Int64 // stream opens rejected 429: daemon or tenant quota (lifetime)
 }
 
 // Vars is the operational-counter snapshot served under the "cbwsd"
@@ -46,6 +53,14 @@ type Vars struct {
 	QueueDepth    int     `json:"queue_depth"`
 	Workers       int     `json:"workers"`
 	Draining      bool    `json:"draining"`
+
+	StreamsOpen     int          `json:"streams_open"`
+	StreamsOpened   int64        `json:"streams_opened"`
+	StreamsDone     int64        `json:"streams_done"`
+	StreamsFailed   int64        `json:"streams_failed"`
+	StreamsCanceled int64        `json:"streams_canceled"`
+	StreamsRejected int64        `json:"streams_rejected_429"`
+	Tenants         []TenantVars `json:"tenants,omitempty"`
 }
 
 func (s *Service) vars() Vars {
@@ -74,7 +89,35 @@ func (s *Service) vars() Vars {
 		QueueDepth:    cap(s.queue),
 		Workers:       s.cfg.Workers,
 		Draining:      s.draining.Load(),
+
+		StreamsOpen:     s.openStreamCount(),
+		StreamsOpened:   c.streamsOpened.Load(),
+		StreamsDone:     c.streamsDone.Load(),
+		StreamsFailed:   c.streamsFailed.Load(),
+		StreamsCanceled: c.streamsCanceled.Load(),
+		StreamsRejected: c.streamsRejected.Load(),
+		Tenants:         s.tenantVars(),
 	}
+}
+
+// tenantVars snapshots every tenant account, sorted by name so the
+// expvar JSON is deterministic (the tenant table is a map).
+func (s *Service) tenantVars() []TenantVars {
+	s.tenants.mu.Lock()
+	tens := make([]*tenant, 0, len(s.tenants.m))
+	for _, t := range s.tenants.m {
+		tens = append(tens, t)
+	}
+	s.tenants.mu.Unlock()
+	sort.SliceStable(tens, func(i, j int) bool { return tens[i].name < tens[j].name })
+	out := make([]TenantVars, len(tens))
+	for i, t := range tens {
+		out[i] = t.vars()
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // Counters snapshots the service's operational counters — the same

@@ -1,0 +1,75 @@
+package service
+
+import "sync"
+
+// ticketSched is the fair scheduler for active streams: a fixed number
+// of run slots handed out in strict FIFO order. A stream's generator
+// acquires a slot, simulates one quantum of batches, releases, and
+// re-queues — so when more streams are runnable than slots exist, the
+// worker pool round-robins across them instead of letting the first
+// arrivals starve the rest. (Plain channel semaphores or sync.Cond make
+// no wakeup-order promise; the explicit waiter queue does.)
+type ticketSched struct {
+	mu    sync.Mutex
+	free  int
+	q     []chan bool // FIFO of blocked acquirers
+	drain bool
+}
+
+func newTicketSched(slots int) *ticketSched {
+	return &ticketSched{free: slots}
+}
+
+// acquire blocks until a slot is available (or the scheduler is
+// stopped, reporting false). Slots are granted in arrival order.
+func (ts *ticketSched) acquire() bool {
+	ts.mu.Lock()
+	if ts.drain {
+		ts.mu.Unlock()
+		return false
+	}
+	if ts.free > 0 {
+		ts.free--
+		ts.mu.Unlock()
+		return true
+	}
+	w := make(chan bool, 1)
+	ts.q = append(ts.q, w)
+	ts.mu.Unlock()
+	return <-w
+}
+
+// release returns a slot, handing it directly to the longest-waiting
+// acquirer if one is queued.
+func (ts *ticketSched) release() {
+	ts.mu.Lock()
+	if len(ts.q) > 0 {
+		w := ts.q[0]
+		ts.q = ts.q[1:]
+		ts.mu.Unlock()
+		w <- true
+		return
+	}
+	ts.free++
+	ts.mu.Unlock()
+}
+
+// stop fails all queued and future acquires. Held slots are unaffected;
+// their holders finish the current quantum and release normally.
+func (ts *ticketSched) stop() {
+	ts.mu.Lock()
+	ts.drain = true
+	q := ts.q
+	ts.q = nil
+	ts.mu.Unlock()
+	for _, w := range q {
+		w <- false
+	}
+}
+
+// waiting reports the number of blocked acquirers (tests).
+func (ts *ticketSched) waiting() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.q)
+}

@@ -43,6 +43,15 @@ const maxBodyBytes = 1 << 20
 //	GET  /healthz          liveness + drain state
 //	GET  /debug/...        pprof + expvar diagnostics (debugsrv)
 //
+// plus the streaming-simulation API (see api/v1 PathStreams):
+//
+//	POST   /v1/streams              open a stream (admission-controlled)
+//	GET    /v1/streams/{id}         stream status
+//	POST   /v1/streams/{id}/chunks  append CBWT trace bytes
+//	POST   /v1/streams/{id}/close   end of input, finalize
+//	DELETE /v1/streams/{id}         abort
+//	GET    /v1/streams/{id}/probe   live probe snapshot
+//
 // The wire contract (paths, body shapes, status mapping) is the api/v1
 // package; this handler is its server side.
 func (s *Service) Handler() http.Handler {
@@ -53,6 +62,12 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET "+apiv1.PathWorkloads, s.handleWorkloads)
 	mux.HandleFunc("GET "+apiv1.PathPrefetchers, s.handlePrefetchers)
 	mux.HandleFunc("GET "+apiv1.PathHealthz, s.handleHealthz)
+	mux.HandleFunc("POST "+apiv1.PathStreams, s.handleStreamOpen)
+	mux.HandleFunc("GET "+apiv1.PathStreams+"/{id}", s.handleStreamStatus)
+	mux.HandleFunc("POST "+apiv1.PathStreams+"/{id}/chunks", s.handleStreamChunk)
+	mux.HandleFunc("POST "+apiv1.PathStreams+"/{id}/close", s.handleStreamClose)
+	mux.HandleFunc("DELETE "+apiv1.PathStreams+"/{id}", s.handleStreamAbort)
+	mux.HandleFunc("GET "+apiv1.PathStreams+"/{id}/probe", s.handleStreamProbe)
 	mux.Handle("GET /debug/", debugsrv.Handler())
 	return mux
 }

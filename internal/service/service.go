@@ -58,6 +58,37 @@ type Config struct {
 	// CBWC files: a job naming such a workload runs from replay, and
 	// its key absorbs the corpus content address (JobSpec.WorkloadHash).
 	Corpus *harness.CorpusSource
+	// StreamWorkers bounds concurrently simulating streams: the slot
+	// count of the fair round-robin stream scheduler (<= 0: Workers).
+	StreamWorkers int
+	// MaxStreams bounds non-terminal streams daemon-wide; opens beyond
+	// it are rejected 429 (default 64, < 0: unlimited).
+	MaxStreams int
+	// TenantStreams bounds concurrently open streams per tenant
+	// (default 4, < 0: unlimited).
+	TenantStreams int
+	// TenantRateBytes is each tenant's sustained chunk-ingest rate in
+	// bytes/second (default 8 MiB/s).
+	TenantRateBytes float64
+	// TenantBurstBytes is each tenant's token-bucket capacity — the
+	// largest admissible chunk and the instantaneous burst (default
+	// 4 MiB).
+	TenantBurstBytes float64
+	// StreamBufferEvents bounds each stream's decoded-event buffer
+	// between ingest and simulation; chunks that cannot fit are
+	// rejected 413 (default 1<<16 events, ~3 MiB).
+	StreamBufferEvents int
+	// StreamIdleTimeout finalizes (cleanly terminated) or cancels
+	// (mid-stream) streams with no chunk for this long (default 2m,
+	// < 0: never).
+	StreamIdleTimeout time.Duration
+	// StreamQuantum is how many event batches a stream simulates per
+	// scheduler slot acquisition before requeueing (default 64).
+	StreamQuantum int
+	// Clock supplies the time for rate-limit refill, idle detection and
+	// stream wall-time telemetry (default time.Now); tests inject a
+	// fake.
+	Clock func() time.Time
 	// Peers are sibling daemons' base URLs (this daemon excluded).
 	// Before simulating a job, the worker asks the siblings for the
 	// job's content address in ring order and serves a validated answer
@@ -92,6 +123,33 @@ func (c Config) withDefaults() Config {
 	if c.PeerTimeout <= 0 {
 		c.PeerTimeout = 2 * time.Second
 	}
+	if c.StreamWorkers <= 0 {
+		c.StreamWorkers = c.Workers
+	}
+	if c.MaxStreams == 0 {
+		c.MaxStreams = 64
+	}
+	if c.TenantStreams == 0 {
+		c.TenantStreams = 4
+	}
+	if c.TenantRateBytes <= 0 {
+		c.TenantRateBytes = 8 << 20
+	}
+	if c.TenantBurstBytes <= 0 {
+		c.TenantBurstBytes = 4 << 20
+	}
+	if c.StreamBufferEvents <= 0 {
+		c.StreamBufferEvents = 1 << 16
+	}
+	if c.StreamIdleTimeout == 0 {
+		c.StreamIdleTimeout = 2 * time.Minute
+	}
+	if c.StreamQuantum <= 0 {
+		c.StreamQuantum = 64
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
 	return c
 }
 
@@ -107,6 +165,13 @@ type Service struct {
 
 	matMu    sync.Mutex
 	matrices map[string]*harness.Matrix
+
+	streamsMu   sync.Mutex
+	streams     map[string]*Stream
+	streamSeq   uint64
+	tenants     *tenantTable
+	streamSched *ticketSched
+	streamWG    sync.WaitGroup
 
 	peers    *peerFetcher
 	counters counters
@@ -130,18 +195,25 @@ func New(cfg Config) (*Service, error) {
 		return nil, fmt.Errorf("service: %w", err)
 	}
 	s := &Service{
-		cfg:      cfg,
-		cache:    cache,
-		queue:    make(chan *Job, cfg.QueueDepth),
-		jobs:     make(map[string]*Job),
-		matrices: make(map[string]*harness.Matrix),
-		peers:    peers,
-		quit:     make(chan struct{}),
+		cfg:         cfg,
+		cache:       cache,
+		queue:       make(chan *Job, cfg.QueueDepth),
+		jobs:        make(map[string]*Job),
+		matrices:    make(map[string]*harness.Matrix),
+		streams:     make(map[string]*Stream),
+		tenants:     newTenantTable(cfg.TenantRateBytes, cfg.TenantBurstBytes),
+		streamSched: newTicketSched(cfg.StreamWorkers),
+		peers:       peers,
+		quit:        make(chan struct{}),
 	}
 	publishVars(s)
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
+	}
+	if cfg.StreamIdleTimeout > 0 {
+		s.wg.Add(1)
+		go s.reaper()
 	}
 	return s, nil
 }
@@ -406,12 +478,17 @@ cancelQueued:
 			break cancelQueued
 		}
 	}
+	// Finalize-or-cancel every live stream: a cleanly terminated trace
+	// finalizes into a normal cached result, everything else cancels.
+	var waitErr error
+	if err := s.drainStreams(ctx); err != nil {
+		waitErr = err
+	}
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
 		close(done)
 	}()
-	var waitErr error
 	select {
 	case <-done:
 	case <-ctx.Done():

