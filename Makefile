@@ -8,7 +8,7 @@ GOVULNCHECK_VERSION ?= v1.1.4
 
 .PHONY: all build test vet fmt-check race bench obs-smoke service-smoke check \
 	fuzz-smoke golden bench-gate corpus-smoke cluster-smoke streaming-smoke \
-	lint lint-custom staticcheck govulncheck tools
+	lint lint-custom lint-v2 compat-manifest staticcheck govulncheck tools
 
 all: check
 
@@ -112,6 +112,20 @@ govulncheck:
 lint-custom:
 	$(GO) run ./cmd/cbwslint ./...
 	$(GO) run ./cmd/cbwslint -tags cbwscheck ./...
+
+# Just the v2 analyzers (guardedby, golifecycle, wirecompat,
+# atomicdiscipline) — faster feedback while annotating lock contracts
+# or changing the wire package.
+lint-v2:
+	$(GO) run ./cmd/cbwslint -analyzers guardedby,golifecycle,wirecompat,atomicdiscipline ./...
+	$(GO) run ./cmd/cbwslint -tags cbwscheck -analyzers guardedby,golifecycle,wirecompat,atomicdiscipline ./...
+
+# Regenerate the frozen api/v1 wire-contract manifest. CI requires the
+# committed file to match (`git diff --exit-code api/v1/compat.json`);
+# breaking rewrites refuse to run without a CompatVersion note:
+#   go run ./cmd/cbwslint -write-compat -compat-bump "<note>" ./api/v1
+compat-manifest:
+	$(GO) run ./cmd/cbwslint -write-compat ./api/v1
 
 # Aggregate lint pass: formatting, vet, staticcheck (skipped with a
 # notice when the pinned binary is not installed; run `make tools`),

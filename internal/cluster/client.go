@@ -25,8 +25,8 @@ type Client struct {
 	ring *Ring
 
 	mu      sync.Mutex
-	workers map[string]*apiv1.Client
-	down    map[string]bool
+	workers map[string]*apiv1.Client //cbws:guardedby mu
+	down    map[string]bool          //cbws:guardedby mu
 }
 
 // New builds a cluster client over the worker base URLs. configure,
@@ -37,19 +37,21 @@ func New(urls []string, configure func(*apiv1.Client)) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{
-		ring:    ring,
-		workers: make(map[string]*apiv1.Client, len(urls)),
-		down:    make(map[string]bool),
-	}
+	// The worker map is fully built before the Client is published, so
+	// no lock is taken during construction.
+	workers := make(map[string]*apiv1.Client, len(urls))
 	for _, u := range ring.Nodes() {
 		w := apiv1.NewClient(u)
 		if configure != nil {
 			configure(w)
 		}
-		c.workers[w.Base] = w
+		workers[w.Base] = w
 	}
-	return c, nil
+	return &Client{
+		ring:    ring,
+		workers: workers,
+		down:    make(map[string]bool),
+	}, nil
 }
 
 // Workers returns the fleet's base URLs in canonical ring order.

@@ -54,6 +54,7 @@ func Start(addr string) (*Server, error) {
 		srv:  &http.Server{Handler: Handler()},
 		done: make(chan struct{}),
 	}
+	//lint:ignore cbws/golifecycle joined by Server.Shutdown, which blocks on s.done until this goroutine exits
 	go func() {
 		defer close(s.done)
 		// Serve returns ErrServerClosed after Shutdown; any other error

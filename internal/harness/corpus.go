@@ -28,7 +28,7 @@ type CorpusSource struct {
 	hashes  map[string]string
 
 	closeMu sync.Mutex
-	closed  bool
+	closed  bool //cbws:guardedby closeMu
 }
 
 // OpenCorpusDir opens every *.cbwc file in dir, keyed by the workload

@@ -122,7 +122,7 @@ type Matrix struct {
 	opts Options
 
 	mu    sync.Mutex
-	cells map[string]*cell
+	cells map[string]*cell //cbws:guardedby mu
 }
 
 // NewMatrix creates an empty result matrix.

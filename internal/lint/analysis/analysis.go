@@ -76,6 +76,10 @@ type Pass struct {
 	// distinguish module-internal callees (whose source they may
 	// demand facts about) from stdlib ones.
 	ModulePath string
+	// Dir is the package's source directory. Analyzers that check
+	// source against a committed artifact (wirecompat's compat.json)
+	// resolve it relative to Dir.
+	Dir string
 
 	facts  *FactStore
 	report func(Diagnostic)

@@ -28,6 +28,7 @@ func Run(analyzers []*Analyzer, pkgs []*Package, modulePath string) ([]Diagnosti
 				Pkg:        pkg.Types,
 				TypesInfo:  pkg.TypesInfo,
 				ModulePath: modulePath,
+				Dir:        pkg.Dir,
 				facts:      facts,
 				report: func(d Diagnostic) {
 					if !sup.suppressed(d) {

@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+
+	"cbws/internal/lint/analysis"
+)
+
+// ExpvarNamePattern is the pinned cbwsd naming convention for
+// published expvar counters: lower_snake_case, no leading digit.
+var ExpvarNamePattern = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// AtomicDiscipline enforces two rules around sync/atomic state. First,
+// values of the atomic wrapper types (atomic.Int64, atomic.Bool,
+// atomic.Pointer[T], ...) may only be used as method-call receivers or
+// have their address taken — copying or reassigning a wrapper silently
+// forks the value and breaks atomicity. Second, a plain field that is
+// passed by address to a sync/atomic function anywhere in the package
+// must never also be read or written directly: mixing atomic and
+// non-atomic access is a data race the race detector only catches when
+// the schedule cooperates. It also pins published expvar names to the
+// cbwsd convention (lower_snake_case).
+var AtomicDiscipline = &analysis.Analyzer{
+	Name: "atomicdiscipline",
+	Doc: "forbid copying atomic wrapper values and mixing sync/atomic " +
+		"with plain loads/stores; pin expvar names to lower_snake_case",
+	Run: runAtomicDiscipline,
+}
+
+func runAtomicDiscipline(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	// allowed marks wrapper-typed expressions in a legitimate position:
+	// the receiver of an atomic method, or an address-of operand.
+	allowed := make(map[ast.Node]bool)
+	// atomicObjs maps plain variables/fields passed by address to a
+	// sync/atomic function to one such call position; allowedPlain
+	// marks those argument nodes themselves.
+	atomicObjs := make(map[types.Object]token.Pos)
+	allowedPlain := make(map[ast.Node]bool)
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal &&
+					isAtomicWrapper(sel.Recv()) {
+					allowed[ast.Unparen(n.X)] = true
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.AND && isAtomicWrapper(info.TypeOf(n.X)) {
+					allowed[ast.Unparen(n.X)] = true
+				}
+			case *ast.CallExpr:
+				fn := calleeOf(info, n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" ||
+					fn.Type().(*types.Signature).Recv() != nil {
+					return true
+				}
+				for _, a := range n.Args {
+					u, ok := ast.Unparen(a).(*ast.UnaryExpr)
+					if !ok || u.Op != token.AND {
+						continue
+					}
+					operand := ast.Unparen(u.X)
+					if obj := addressableObject(info, operand); obj != nil {
+						if _, seen := atomicObjs[obj]; !seen {
+							atomicObjs[obj] = n.Pos()
+						}
+						allowedPlain[operand] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				v, ok := info.Uses[n.Sel].(*types.Var)
+				if !ok || !v.IsField() {
+					return true
+				}
+				if isAtomicWrapper(v.Type()) && !allowed[n] {
+					pass.Reportf(n.Sel.Pos(), "atomic field %s copied or reassigned; wrapper values may only receive method calls or have their address taken", v.Name())
+				}
+				if _, atomic := atomicObjs[v]; atomic && !allowedPlain[n] {
+					pass.Reportf(n.Sel.Pos(), "plain access to field %s, which is accessed with sync/atomic elsewhere in this package", v.Name())
+				}
+			case *ast.Ident:
+				v, ok := info.Uses[n].(*types.Var)
+				if !ok || v.IsField() {
+					return true
+				}
+				if isAtomicWrapper(v.Type()) && !allowed[n] {
+					pass.Reportf(n.Pos(), "atomic value %s copied or reassigned; wrapper values may only receive method calls or have their address taken", v.Name())
+				}
+				if _, atomic := atomicObjs[v]; atomic && !allowedPlain[n] {
+					pass.Reportf(n.Pos(), "plain access to %s, which is accessed with sync/atomic elsewhere in this package", v.Name())
+				}
+			case *ast.CallExpr:
+				checkExpvarName(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicWrapper reports whether t (or its pointee) is one of the
+// sync/atomic wrapper types (Int64, Bool, Pointer[T], Value, ...).
+func isAtomicWrapper(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// addressableObject resolves &operand's base variable: a field
+// selector or a plain identifier.
+func addressableObject(info *types.Info, operand ast.Expr) types.Object {
+	switch e := operand.(type) {
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.IsField() {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// checkExpvarName pins string-literal names passed to expvar
+// constructors to the cbwsd convention.
+func checkExpvarName(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := calleeOf(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "expvar" {
+		return
+	}
+	switch fn.Name() {
+	case "Publish", "NewInt", "NewFloat", "NewMap", "NewString":
+	default:
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	if !ExpvarNamePattern.MatchString(name) {
+		pass.Reportf(lit.Pos(), "expvar name %q violates the cbwsd convention (want %s)", name, ExpvarNamePattern)
+	}
+}

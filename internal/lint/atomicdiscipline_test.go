@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"cbws/internal/lint"
+	"cbws/internal/lint/linttest"
+)
+
+func TestAtomicDiscipline(t *testing.T) {
+	linttest.Run(t, lint.AtomicDiscipline, "testdata/src/atomicdiscipline")
+}

@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cbws/internal/lint/analysis"
+)
+
+// GoLifecycle forbids fire-and-forget goroutines in the long-lived
+// packages: every `go` statement must be tied to a join mechanism the
+// analyzer can see — a WaitGroup.Add call earlier in the same function
+// (with the goroutine calling Done), a result channel that the
+// spawning function also receives from, or a loop that exits on
+// context cancellation (a select receiving from ctx.Done()). Anything
+// else leaks on shutdown and needs a //lint:ignore cbws/golifecycle
+// waiver with a written reason.
+var GoLifecycle = &analysis.Analyzer{
+	Name: "golifecycle",
+	Doc: "require every go statement in long-lived packages to be joined " +
+		"via WaitGroup, a received result channel, or ctx cancellation",
+	Scope: []string{
+		"cbws/internal/service",
+		"cbws/internal/cluster",
+		"cbws/internal/harness",
+		"cbws/internal/debugsrv",
+		"cbws/internal/sim",
+	},
+	Run: runGoLifecycle,
+}
+
+func runGoLifecycle(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGoStmts(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkGoStmts finds every go statement whose innermost enclosing
+// function body is `encl` and checks it against the join rules;
+// goroutines spawned inside nested function literals are checked
+// against that literal's body, recursively.
+func checkGoStmts(pass *analysis.Pass, encl *ast.BlockStmt) {
+	ast.Inspect(encl, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n.Body != encl {
+				checkGoStmts(pass, n.Body)
+				return false
+			}
+		case *ast.GoStmt:
+			if !goStmtJoined(pass, encl, n) {
+				pass.Reportf(n.Pos(), "goroutine is not joined: add a WaitGroup.Add/Done pair, "+
+					"receive its result channel in this function, or loop on ctx.Done()")
+			}
+		}
+		return true
+	})
+}
+
+func goStmtJoined(pass *analysis.Pass, encl *ast.BlockStmt, g *ast.GoStmt) bool {
+	// Rule 1: a WaitGroup.Add call lexically before the go statement in
+	// the same function ties the goroutine to a waitable group.
+	if waitGroupAddBefore(pass, encl, g.Pos()) {
+		return true
+	}
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false // bare `go f(...)` with no Add in scope
+	}
+	// Rule 2a: the goroutine itself calls WaitGroup.Done (the Add may
+	// live in a helper the analyzer can't see; Done proves membership).
+	if bodyCallsWaitGroupDone(pass, lit.Body) {
+		return true
+	}
+	// Rule 2b: the goroutine closes or sends on a channel object that
+	// the spawning function receives from — a joined result channel.
+	if resultChannelReceived(pass, encl, lit) {
+		return true
+	}
+	// Rule 2c: the goroutine is a ctx-cancelled loop: it selects on
+	// ctx.Done(), so shutdown is bounded by context cancellation.
+	if bodySelectsOnCtxDone(pass, lit.Body) {
+		return true
+	}
+	return false
+}
+
+// waitGroupAddBefore reports whether a sync.WaitGroup Add call occurs
+// in encl before pos (outside nested function literals).
+func waitGroupAddBefore(pass *analysis.Pass, encl *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if n.Pos() < pos && isWaitGroupMethod(pass.TypesInfo, n, "Add") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func bodyCallsWaitGroupDone(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isWaitGroupMethod(pass.TypesInfo, call, "Done") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isWaitGroupMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	fn := methodOf(info, call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "WaitGroup"
+}
+
+// resultChannelReceived reports whether the goroutine literal closes
+// or sends on some channel object that encl also receives from (<-ch,
+// range ch, or a select receive case).
+func resultChannelReceived(pass *analysis.Pass, encl *ast.BlockStmt, lit *ast.FuncLit) bool {
+	// Channels the goroutine completes through.
+	var signals []types.Object
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) == 1 {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+					if obj := channelObject(pass.TypesInfo, n.Args[0]); obj != nil {
+						signals = append(signals, obj)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if obj := channelObject(pass.TypesInfo, n.Chan); obj != nil {
+				signals = append(signals, obj)
+			}
+		}
+		return true
+	})
+	if len(signals) == 0 {
+		return false
+	}
+	// Receives in the spawning function (nested literals excluded:
+	// they may never run).
+	received := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if received {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n.Body != encl {
+				return false
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if obj := channelObject(pass.TypesInfo, n.X); obj != nil && containsObject(signals, obj) {
+					received = true
+					return false
+				}
+			}
+		case *ast.RangeStmt:
+			if obj := channelObject(pass.TypesInfo, n.X); obj != nil && containsObject(signals, obj) {
+				received = true
+				return false
+			}
+		}
+		return true
+	})
+	return received
+}
+
+// channelObject resolves a channel-typed expression to its variable
+// object (identifier or field selector), or nil.
+func channelObject(info *types.Info, e ast.Expr) types.Object {
+	t := info.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	if _, ok := t.Underlying().(*types.Chan); !ok {
+		return nil
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+func containsObject(list []types.Object, obj types.Object) bool {
+	for _, o := range list {
+		if o == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// bodySelectsOnCtxDone reports whether body contains a receive from a
+// context.Context's Done channel (in a select case or directly).
+func bodySelectsOnCtxDone(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			if call, ok := ast.Unparen(u.X).(*ast.CallExpr); ok {
+				if fn := methodOf(pass.TypesInfo, call); fn != nil && fn.Name() == "Done" &&
+					pkgPathHasSuffix(fn.Pkg(), "context") {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

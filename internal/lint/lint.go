@@ -18,6 +18,22 @@
 //   - batchalias: BatchSink implementations must not retain or
 //     mutate the batch slice, whose backing array the producer reuses.
 //
+// The v2 analyzers guard the concurrent, clustered system:
+//
+//   - guardedby: fields annotated //cbws:guardedby <mutex> may only be
+//     accessed while the named sibling sync.Mutex/RWMutex is held;
+//     *Locked methods carry the obligation to their callers via
+//     object facts.
+//   - golifecycle: no fire-and-forget goroutines in the long-lived
+//     packages — every go statement must join through a WaitGroup, a
+//     received result channel, or context cancellation.
+//   - wirecompat: the api/v1 wire contract (struct shapes, json tags,
+//     routes, job-key schema) is frozen in api/v1/compat.json;
+//     breaking drift fails lint until the manifest is bumped.
+//   - atomicdiscipline: sync/atomic state is never mixed with plain
+//     loads/stores, wrapper values are never copied, and expvar names
+//     follow the cbwsd convention.
+//
 // False positives are silenced in place with
 //
 //	//lint:ignore cbws/<analyzer> <reason>
@@ -37,7 +53,10 @@ import (
 
 // Analyzers returns the full suite in a deterministic order.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{HotPathAlloc, Determinism, CheckGuard, BatchAlias}
+	return []*analysis.Analyzer{
+		HotPathAlloc, Determinism, CheckGuard, BatchAlias,
+		GuardedBy, GoLifecycle, WireCompat, AtomicDiscipline,
+	}
 }
 
 // ByName returns the analyzer with the given name, if present.

@@ -1,0 +1,115 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"testing"
+
+	"cbws/internal/lint/analysis"
+)
+
+// fakeAnalyzer reports "<name> finding" at every identifier literally
+// named mark, so the tests below control diagnostic positions through
+// source layout alone.
+func fakeAnalyzer(name string) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: name,
+		Doc:  "test analyzer reporting at idents named mark",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if id, ok := n.(*ast.Ident); ok && id.Name == "mark" {
+						pass.Reportf(id.Pos(), "%s finding", pass.Analyzer.Name)
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+func runSuppression(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "s.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, info, err := analysis.TypeCheck(fset, "s", []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(
+		[]*analysis.Analyzer{fakeAnalyzer("alpha"), fakeAnalyzer("beta")},
+		[]*analysis.Package{{PkgPath: "s", Fset: fset, Files: []*ast.File{f}, Types: pkg, TypesInfo: info}},
+		"s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Message)
+	}
+	return got
+}
+
+// TestSuppressionSemantics pins the //lint:ignore contract: same-line
+// and preceding-line comments suppress, anything farther away doesn't,
+// a missing reason invalidates the suppression, the cbws/ prefix is
+// mandatory, and a suppression silences exactly the named analyzer.
+func TestSuppressionSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "same line suppresses named analyzer only",
+			src:  "package s\n\nvar mark = 0 //lint:ignore cbws/alpha covered elsewhere\n",
+			want: []string{"beta finding"},
+		},
+		{
+			name: "preceding line suppresses named analyzer only",
+			src:  "package s\n\n//lint:ignore cbws/alpha covered elsewhere\nvar mark = 0\n",
+			want: []string{"beta finding"},
+		},
+		{
+			name: "two lines above does not suppress",
+			src:  "package s\n\n//lint:ignore cbws/alpha covered elsewhere\n\nvar mark = 0\n",
+			want: []string{"alpha finding", "beta finding"},
+		},
+		{
+			name: "missing reason does not suppress",
+			src:  "package s\n\nvar mark = 0 //lint:ignore cbws/alpha\n",
+			want: []string{"alpha finding", "beta finding"},
+		},
+		{
+			name: "missing cbws prefix does not suppress",
+			src:  "package s\n\nvar mark = 0 //lint:ignore alpha covered elsewhere\n",
+			want: []string{"alpha finding", "beta finding"},
+		},
+		{
+			name: "stacked suppressions silence both analyzers",
+			src:  "package s\n\n//lint:ignore cbws/beta covered elsewhere\nvar mark = 0 //lint:ignore cbws/alpha covered elsewhere\n",
+			want: nil,
+		},
+		{
+			// A comment on line N covers lines N and N+1 (so the
+			// above-the-statement form works); it reaches no farther.
+			name: "suppression covers its own and the following line",
+			src:  "package s\n\nvar mark = 0 //lint:ignore cbws/alpha covered elsewhere\nvar other = mark\n",
+			want: []string{"beta finding", "beta finding"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := runSuppression(t, tc.src)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("diagnostics = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}

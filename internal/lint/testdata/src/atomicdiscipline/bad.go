@@ -1,0 +1,40 @@
+// Package atomicdiscipline is the fixture for the
+// cbws/atomicdiscipline analyzer.
+package atomicdiscipline
+
+import (
+	"expvar"
+	"sync/atomic"
+)
+
+type counters struct {
+	hits atomic.Int64
+	n    int64
+}
+
+func badCopy(c *counters) atomic.Int64 {
+	return c.hits // want `atomic field hits copied or reassigned`
+}
+
+var flag atomic.Bool
+
+func badVarCopy() atomic.Bool {
+	return flag // want `atomic value flag copied or reassigned`
+}
+
+func badMixedRead(c *counters) int64 {
+	atomic.AddInt64(&c.n, 1)
+	return c.n // want `plain access to field n`
+}
+
+func badMixedWrite(c *counters) {
+	c.n = 0 // want `plain access to field n`
+}
+
+func badExpvarName() {
+	expvar.NewInt("BadName") // want `expvar name "BadName" violates the cbwsd convention`
+}
+
+func badExpvarUnderscoreFirst() {
+	expvar.Publish("_hidden", nil) // want `expvar name "_hidden" violates the cbwsd convention`
+}

@@ -1,0 +1,36 @@
+package atomicdiscipline
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+)
+
+func cleanWrapper(c *counters) int64 {
+	c.hits.Add(1)
+	return c.hits.Load()
+}
+
+func cleanAddr(c *counters) *atomic.Int64 {
+	return &c.hits
+}
+
+func cleanAtomicOnly(c *counters) int64 {
+	atomic.AddInt64(&c.n, 1)
+	return atomic.LoadInt64(&c.n)
+}
+
+var (
+	active      atomic.Pointer[counters]
+	publishOnce sync.Once
+)
+
+// cleanPublish is the expvar once+atomic-pointer publish pattern.
+func cleanPublish(c *counters) {
+	active.Store(c)
+	publishOnce.Do(func() {
+		expvar.Publish("fixture_vars", expvar.Func(func() any {
+			return active.Load().hits.Load()
+		}))
+	})
+}

@@ -1,0 +1,26 @@
+// Package golifecycle is the fixture for the cbws/golifecycle
+// analyzer: goroutines below have no visible join mechanism.
+package golifecycle
+
+func work() {}
+
+func badBare() {
+	go work() // want `goroutine is not joined`
+}
+
+func badLit() {
+	go func() { work() }() // want `goroutine is not joined`
+}
+
+func badNested() {
+	f := func() {
+		go func() { work() }() // want `goroutine is not joined`
+	}
+	f()
+}
+
+func badSendNeverReceived(sink chan int) {
+	// The goroutine sends on a parameter channel, but this function
+	// never receives from it: not a join.
+	go func() { sink <- 1 }() // want `goroutine is not joined`
+}

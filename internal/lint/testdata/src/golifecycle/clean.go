@@ -1,0 +1,81 @@
+package golifecycle
+
+import (
+	"context"
+	"sync"
+)
+
+func cleanWG() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func cleanAddBeforeLoop(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go work2(&wg)
+	}
+	wg.Wait()
+}
+
+func work2(wg *sync.WaitGroup) {
+	defer wg.Done()
+	work()
+}
+
+func cleanDoneInBody(wg *sync.WaitGroup) {
+	// The Add lives in the caller; Done in the goroutine body proves
+	// membership in a waited group.
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func cleanResultChannel() int {
+	ch := make(chan int, 1)
+	go func() { ch <- 42 }()
+	return <-ch
+}
+
+func cleanCloseSignal() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	<-done
+}
+
+func cleanSelectReceive(ctx context.Context) bool {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	select {
+	case <-done:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func cleanCtxLoop(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}

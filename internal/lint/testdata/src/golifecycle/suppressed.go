@@ -1,0 +1,6 @@
+package golifecycle
+
+func suppressedDetached() {
+	//lint:ignore cbws/golifecycle fixture: detached by documented design
+	go work()
+}

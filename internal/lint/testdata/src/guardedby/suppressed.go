@@ -1,0 +1,10 @@
+package guardedby
+
+func (b *box) sneakyAbove() int {
+	//lint:ignore cbws/guardedby read-only snapshot for logging, staleness is fine
+	return b.n
+}
+
+func (b *box) sneakySameLine() int {
+	return b.n //lint:ignore cbws/guardedby read-only snapshot for logging, staleness is fine
+}

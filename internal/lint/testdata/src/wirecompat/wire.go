@@ -1,0 +1,36 @@
+// Package wirecompat is the fixture for the cbws/wirecompat analyzer:
+// the committed compat.json matches this contract exactly, so the
+// analyzer reports nothing.
+package wirecompat
+
+const (
+	PathJobs  = "/v1/jobs"
+	KeySchema = "fix-job/1"
+)
+
+type Status string
+
+const (
+	StatusQueued Status = "queued"
+	StatusDone   Status = "done"
+)
+
+type JobView struct {
+	Key    string `json:"key"`
+	Status Status `json:"status"`
+}
+
+type JobSpec struct {
+	Workload string `json:"workload"`
+}
+
+// Key builds the canonical content-address payload; the anonymous
+// struct's field schema is part of the frozen contract.
+func (s JobSpec) Key(codeVersion string) string {
+	payload := struct {
+		Schema      string `json:"schema"`
+		CodeVersion string `json:"code_version"`
+		Workload    string `json:"workload"`
+	}{KeySchema, codeVersion, s.Workload}
+	return payload.Schema + payload.Workload
+}

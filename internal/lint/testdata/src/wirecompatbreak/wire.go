@@ -1,0 +1,19 @@
+// Package wirecompatbreak is the fixture for wirecompat's failure
+// modes: compat.json froze an older contract, and every declaration
+// below has drifted from it.
+package wirecompatbreak
+
+const PathJobs = "/v1/jobs-moved" // want `route PathJobs changed from "/v1/jobs" to "/v1/jobs-moved"`
+
+type JobView struct { // want `field JobView.Gone removed` `field JobView.Count retyped from int to int64`
+	Key   string `json:"key"`
+	Count int64  `json:"count"`
+}
+
+type TagView struct { // want `field TagView.Key json tag changed from "key" to "key_id"`
+	Key string `json:"key_id"`
+}
+
+type Extra struct { // want `wire struct Extra not in manifest`
+	Name string `json:"name"`
+}

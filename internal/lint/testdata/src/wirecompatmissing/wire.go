@@ -1,0 +1,6 @@
+// Package wirecompatmissing exercises the missing-manifest diagnostic.
+package wirecompatmissing // want `missing compat.json`
+
+type View struct {
+	Key string `json:"key"`
+}

@@ -1,0 +1,370 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+
+	"cbws/internal/lint/analysis"
+)
+
+// WireCompatManifestName is the checked-in contract freeze the
+// wirecompat analyzer verifies api/v1 against.
+const WireCompatManifestName = "compat.json"
+
+// WireCompatSchema versions the manifest format itself (not the wire
+// contract — that's CompatVersion).
+const WireCompatSchema = "cbws-wire-compat/1"
+
+// WireManifest is the serialized wire contract of one API package:
+// route constants, bare string constants (the job-key schema tag),
+// string-typed enums, the JSON shape of every wire struct, and the
+// canonical job-key field schema. Maps marshal with sorted keys, and
+// field slices keep source order, so regeneration is deterministic.
+type WireManifest struct {
+	Schema        string                       `json:"schema"`
+	CompatVersion int                          `json:"compat_version"`
+	Note          string                       `json:"note"`
+	Routes        map[string]string            `json:"routes,omitempty"`
+	Consts        map[string]string            `json:"consts,omitempty"`
+	Enums         map[string]map[string]string `json:"enums,omitempty"`
+	Structs       map[string][]WireField       `json:"structs,omitempty"`
+	JobKey        []WireField                  `json:"jobkey,omitempty"`
+}
+
+// WireField records one exported struct field as it appears on the
+// wire: Go name, json tag (verbatim, including options), and type.
+type WireField struct {
+	Name string `json:"name"`
+	JSON string `json:"json"`
+	Type string `json:"type"`
+}
+
+// WireDiffItem is one difference between a manifest and the current
+// source. Entity names the top-level declaration the difference
+// anchors to (for diagnostics); Breaking distinguishes contract breaks
+// from additive drift that merely needs a manifest regeneration.
+type WireDiffItem struct {
+	Entity   string
+	Breaking bool
+	Msg      string
+}
+
+// WireCompat freezes the api/v1 wire contract against compat.json: a
+// removed or retyped field, a changed json tag, a changed route or
+// key-schema constant, or any canonical job-key change fails lint
+// until the manifest is explicitly regenerated (breaking changes also
+// require a CompatVersion bump with a note). Additive changes only
+// ask for a regeneration.
+var WireCompat = &analysis.Analyzer{
+	Name: "wirecompat",
+	Doc: "fail on wire-contract drift in api/v1 (struct shapes, json " +
+		"tags, routes, job-key schema) relative to the committed compat.json",
+	Scope: []string{"cbws/api/v1"},
+	Run:   runWireCompat,
+}
+
+func runWireCompat(pass *analysis.Pass) error {
+	if len(pass.Files) == 0 {
+		return nil
+	}
+	filePos := pass.Files[0].Name.Pos()
+	data, err := os.ReadFile(filepath.Join(pass.Dir, WireCompatManifestName))
+	if err != nil {
+		pass.Reportf(filePos, "missing %s: freeze the wire contract with `make compat-manifest`", WireCompatManifestName)
+		return nil
+	}
+	var old WireManifest
+	if err := json.Unmarshal(data, &old); err != nil {
+		pass.Reportf(filePos, "unreadable %s: %v", WireCompatManifestName, err)
+		return nil
+	}
+	cur := BuildWireManifest(pass.Files, pass.Pkg, pass.TypesInfo)
+	cur.CompatVersion, cur.Note = old.CompatVersion, old.Note
+	for _, it := range DiffWireManifests(&old, cur) {
+		pos := filePos
+		if it.Entity != "" {
+			if obj := pass.Pkg.Scope().Lookup(it.Entity); obj != nil {
+				pos = obj.Pos()
+			}
+		}
+		if it.Breaking {
+			pass.Reportf(pos, "breaking wire change: %s; bump the manifest with `cbwslint -write-compat -compat-bump <note> ./api/v1`", it.Msg)
+		} else {
+			pass.Reportf(pos, "stale wire manifest: %s; regenerate with `make compat-manifest`", it.Msg)
+		}
+	}
+	return nil
+}
+
+// BuildWireManifest derives the current wire contract from a
+// type-checked package. Only exported declarations participate:
+// string constants (Path* become routes, named-string-typed consts
+// become enum members, the rest plain consts), structs with at least
+// one json-tagged field, and the anonymous canonical struct inside a
+// Key method (the job-key schema).
+func BuildWireManifest(files []*ast.File, pkg *types.Package, info *types.Info) *WireManifest {
+	m := &WireManifest{
+		Schema:  WireCompatSchema,
+		Routes:  map[string]string{},
+		Consts:  map[string]string{},
+		Enums:   map[string]map[string]string{},
+		Structs: map[string][]WireField{},
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		switch obj := obj.(type) {
+		case *types.Const:
+			bt, ok := obj.Type().Underlying().(*types.Basic)
+			if !ok || bt.Info()&types.IsString == 0 {
+				continue
+			}
+			val := constant.StringVal(obj.Val())
+			if named, ok := obj.Type().(*types.Named); ok && named.Obj().Pkg() == pkg {
+				en := named.Obj().Name()
+				if m.Enums[en] == nil {
+					m.Enums[en] = map[string]string{}
+				}
+				m.Enums[en][name] = val
+			} else if strings.HasPrefix(name, "Path") {
+				m.Routes[name] = val
+			} else {
+				m.Consts[name] = val
+			}
+		case *types.TypeName:
+			if obj.IsAlias() {
+				continue
+			}
+			st, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok || !anyJSONTag(st) {
+				continue
+			}
+			m.Structs[name] = wireFields(st, pkg)
+		}
+	}
+	m.JobKey = jobKeyFields(files, info, pkg)
+	return m
+}
+
+func anyJSONTag(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if reflect.StructTag(st.Tag(i)).Get("json") != "" {
+			return true
+		}
+	}
+	return false
+}
+
+func wireFields(st *types.Struct, pkg *types.Package) []WireField {
+	var out []WireField
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		out = append(out, WireField{
+			Name: f.Name(),
+			JSON: reflect.StructTag(st.Tag(i)).Get("json"),
+			Type: wireTypeString(f.Type(), pkg),
+		})
+	}
+	return out
+}
+
+// wireTypeString prints a type with package-local names bare and
+// imported ones qualified by package name (stable across module
+// relocations, unlike full import paths).
+func wireTypeString(t types.Type, pkg *types.Package) string {
+	return types.TypeString(t, func(p *types.Package) string {
+		if p == pkg {
+			return ""
+		}
+		return p.Name()
+	})
+}
+
+// jobKeyFields extracts the field schema of the anonymous canonical
+// struct marshaled inside a Key method — the byte layout the
+// content-address is computed over.
+func jobKeyFields(files []*ast.File, info *types.Info, pkg *types.Package) []WireField {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Key" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			var fields []WireField
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fields != nil {
+					return false
+				}
+				cl, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				if _, ok := cl.Type.(*ast.StructType); !ok {
+					return true
+				}
+				if st, ok := info.TypeOf(cl).Underlying().(*types.Struct); ok {
+					fields = wireFields(st, pkg)
+				}
+				return false
+			})
+			if fields != nil {
+				return fields
+			}
+		}
+	}
+	return nil
+}
+
+// DiffWireManifests compares a committed manifest against the current
+// contract and returns the differences, removals and mutations as
+// breaking, pure additions as non-breaking drift. Any canonical
+// job-key change — including additions and reordering — is breaking,
+// because it changes every content address.
+func DiffWireManifests(old, cur *WireManifest) []WireDiffItem {
+	var items []WireDiffItem
+	breaking := func(entity, format string, args ...any) {
+		items = append(items, WireDiffItem{Entity: entity, Breaking: true, Msg: fmt.Sprintf(format, args...)})
+	}
+	additive := func(entity, format string, args ...any) {
+		items = append(items, WireDiffItem{Entity: entity, Breaking: false, Msg: fmt.Sprintf(format, args...)})
+	}
+	if old.Schema != cur.Schema {
+		breaking("", "manifest schema is %q, want %q", old.Schema, cur.Schema)
+	}
+	diffStringMap(old.Routes, cur.Routes, "route", breaking, additive)
+	diffStringMap(old.Consts, cur.Consts, "constant", breaking, additive)
+	for _, en := range sortedKeys(old.Enums) {
+		if cur.Enums[en] == nil {
+			breaking(en, "enum type %s removed", en)
+			continue
+		}
+		oldM, curM := old.Enums[en], cur.Enums[en]
+		for _, name := range sortedKeys(oldM) {
+			v, ok := curM[name]
+			switch {
+			case !ok:
+				breaking(en, "enum %s member %s removed", en, name)
+			case v != oldM[name]:
+				breaking(name, "enum %s member %s changed from %q to %q", en, name, oldM[name], v)
+			}
+		}
+		for _, name := range sortedKeys(curM) {
+			if _, ok := oldM[name]; !ok {
+				additive(name, "enum %s member %s not in manifest", en, name)
+			}
+		}
+	}
+	for _, en := range sortedKeys(cur.Enums) {
+		if old.Enums[en] == nil {
+			additive(en, "enum type %s not in manifest", en)
+		}
+	}
+	for _, name := range sortedKeys(old.Structs) {
+		curFields, ok := cur.Structs[name]
+		if !ok {
+			breaking(name, "wire struct %s removed", name)
+			continue
+		}
+		diffFields(name, old.Structs[name], curFields,
+			func(format string, args ...any) { breaking(name, format, args...) },
+			func(format string, args ...any) { additive(name, format, args...) })
+	}
+	for _, name := range sortedKeys(cur.Structs) {
+		if _, ok := old.Structs[name]; !ok {
+			additive(name, "wire struct %s not in manifest", name)
+		}
+	}
+	// The job key is the content address: every change is breaking.
+	keyBreaking := func(format string, args ...any) { breaking("JobSpec", format, args...) }
+	diffFields("canonical job key", old.JobKey, cur.JobKey, keyBreaking, keyBreaking)
+	if len(old.JobKey) == len(cur.JobKey) {
+		for i := range old.JobKey {
+			if old.JobKey[i].Name != cur.JobKey[i].Name {
+				keyBreaking("canonical job key field order changed (%s is now %s)",
+					old.JobKey[i].Name, cur.JobKey[i].Name)
+				break
+			}
+		}
+	}
+	return items
+}
+
+func diffStringMap(old, cur map[string]string, kind string,
+	breaking, additive func(entity, format string, args ...any)) {
+	for _, name := range sortedKeys(old) {
+		v, ok := cur[name]
+		switch {
+		case !ok:
+			breaking("", "%s %s removed", kind, name)
+		case v != old[name]:
+			breaking(name, "%s %s changed from %q to %q", kind, name, old[name], v)
+		}
+	}
+	for _, name := range sortedKeys(cur) {
+		if _, ok := old[name]; !ok {
+			additive(name, "%s %s not in manifest", kind, name)
+		}
+	}
+}
+
+func diffFields(owner string, old, cur []WireField,
+	breaking, additive func(format string, args ...any)) {
+	curByName := make(map[string]WireField, len(cur))
+	for _, f := range cur {
+		curByName[f.Name] = f
+	}
+	oldByName := make(map[string]WireField, len(old))
+	for _, f := range old {
+		oldByName[f.Name] = f
+		c, ok := curByName[f.Name]
+		if !ok {
+			breaking("field %s.%s removed", owner, f.Name)
+			continue
+		}
+		if c.JSON != f.JSON {
+			breaking("field %s.%s json tag changed from %q to %q", owner, f.Name, f.JSON, c.JSON)
+		}
+		if c.Type != f.Type {
+			breaking("field %s.%s retyped from %s to %s", owner, f.Name, f.Type, c.Type)
+		}
+	}
+	for _, f := range cur {
+		if _, ok := oldByName[f.Name]; !ok {
+			additive("field %s.%s not in manifest", owner, f.Name)
+		}
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// EncodeWireManifest renders a manifest in the canonical on-disk form
+// (two-space indent, trailing newline), shared by the -write-compat
+// generator so regeneration is byte-deterministic.
+func EncodeWireManifest(m *WireManifest) ([]byte, error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -1,0 +1,46 @@
+package lint_test
+
+import (
+	"testing"
+
+	"cbws/internal/lint"
+	"cbws/internal/lint/linttest"
+)
+
+func TestWireCompatClean(t *testing.T) {
+	linttest.Run(t, lint.WireCompat, "testdata/src/wirecompat")
+}
+
+func TestWireCompatBreaking(t *testing.T) {
+	linttest.Run(t, lint.WireCompat, "testdata/src/wirecompatbreak")
+}
+
+func TestWireCompatMissingManifest(t *testing.T) {
+	linttest.Run(t, lint.WireCompat, "testdata/src/wirecompatmissing")
+}
+
+func TestDiffWireManifestsJobKey(t *testing.T) {
+	old := &lint.WireManifest{
+		Schema: lint.WireCompatSchema,
+		JobKey: []lint.WireField{
+			{Name: "Schema", JSON: "schema", Type: "string"},
+			{Name: "Workload", JSON: "workload", Type: "string"},
+		},
+	}
+	// Any job-key change is breaking, including a pure addition.
+	cur := &lint.WireManifest{
+		Schema: lint.WireCompatSchema,
+		JobKey: []lint.WireField{
+			{Name: "Schema", JSON: "schema", Type: "string"},
+			{Name: "Workload", JSON: "workload", Type: "string"},
+			{Name: "Extra", JSON: "extra", Type: "string"},
+		},
+	}
+	items := lint.DiffWireManifests(old, cur)
+	if len(items) != 1 {
+		t.Fatalf("got %d diff items, want 1: %+v", len(items), items)
+	}
+	if !items[0].Breaking {
+		t.Errorf("job-key addition must be breaking, got %+v", items[0])
+	}
+}

@@ -55,8 +55,8 @@ type tenant struct {
 	name string
 
 	mu      sync.Mutex
-	bucket  *tokenBucket
-	streams int // currently open/finalizing streams
+	bucket  *tokenBucket // pointer is immutable after construction; bucket state is guarded by mu
+	streams int          //cbws:guardedby mu — currently open/finalizing streams
 
 	bytesIn       atomic.Uint64 // committed stream bytes accepted
 	chunksIn      atomic.Uint64 // committed chunks accepted
@@ -104,7 +104,7 @@ type tenantTable struct {
 	burst float64
 
 	mu sync.Mutex
-	m  map[string]*tenant
+	m  map[string]*tenant //cbws:guardedby mu
 }
 
 func newTenantTable(rate, burst float64) *tenantTable {

@@ -39,8 +39,8 @@ type Cache struct {
 	dir string
 
 	mu   sync.RWMutex
-	mem  map[string][]byte
-	meta map[string]CacheMeta
+	mem  map[string][]byte    //cbws:guardedby mu
+	meta map[string]CacheMeta //cbws:guardedby mu
 }
 
 // keyFileRE matches content-address file names: 64 hex chars + .json.
@@ -51,14 +51,15 @@ var keyFileRE = regexp.MustCompile(`^[0-9a-f]{64}\.json$`)
 // the directory for key-shaped files, so a crash before the index was
 // persisted loses nothing.
 func NewCache(dir string) (*Cache, error) {
-	c := &Cache{dir: dir, mem: make(map[string][]byte), meta: make(map[string]CacheMeta)}
+	mem := make(map[string][]byte)
+	meta := make(map[string]CacheMeta)
 	if dir == "" {
-		return c, nil
+		return &Cache{dir: dir, mem: mem, meta: meta}, nil
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cache: %w", err)
 	}
-	keys, err := c.diskKeys()
+	keys, err := diskKeys(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -71,18 +72,20 @@ func NewCache(dir string) (*Cache, error) {
 			return nil, fmt.Errorf("cache: %w", err)
 		}
 		m.Bytes = len(data)
-		c.mem[m.Key] = data
-		c.meta[m.Key] = m
+		mem[m.Key] = data
+		meta[m.Key] = m
 	}
-	return c, nil
+	// The maps are fully built before the Cache is published, so no
+	// lock is taken here.
+	return &Cache{dir: dir, mem: mem, meta: meta}, nil
 }
 
 // diskKeys returns the entries to load: the persisted index union any
 // key-shaped files the index does not mention.
-func (c *Cache) diskKeys() ([]CacheMeta, error) {
+func diskKeys(dir string) ([]CacheMeta, error) {
 	var out []CacheMeta
 	seen := make(map[string]bool)
-	if data, err := os.ReadFile(filepath.Join(c.dir, "index.json")); err == nil {
+	if data, err := os.ReadFile(filepath.Join(dir, "index.json")); err == nil {
 		var idx cacheIndex
 		if err := json.Unmarshal(data, &idx); err != nil {
 			return nil, fmt.Errorf("cache: parsing index.json: %w", err)
@@ -99,7 +102,7 @@ func (c *Cache) diskKeys() ([]CacheMeta, error) {
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("cache: %w", err)
 	}
-	names, err := os.ReadDir(c.dir)
+	names, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("cache: %w", err)
 	}

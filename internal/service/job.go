@@ -40,8 +40,8 @@ type Job struct {
 	progress atomic.Uint64
 
 	mu     sync.Mutex
-	status Status
-	errMsg string
+	status Status //cbws:guardedby mu
+	errMsg string //cbws:guardedby mu
 	done   chan struct{}
 }
 

@@ -11,9 +11,9 @@ import "sync"
 // no wakeup-order promise; the explicit waiter queue does.)
 type ticketSched struct {
 	mu    sync.Mutex
-	free  int
-	q     []chan bool // FIFO of blocked acquirers
-	drain bool
+	free  int         //cbws:guardedby mu
+	q     []chan bool //cbws:guardedby mu — FIFO of blocked acquirers
+	drain bool        //cbws:guardedby mu
 }
 
 func newTicketSched(slots int) *ticketSched {

@@ -161,14 +161,14 @@ type Service struct {
 	queue chan *Job
 
 	jobsMu sync.Mutex
-	jobs   map[string]*Job
+	jobs   map[string]*Job //cbws:guardedby jobsMu
 
 	matMu    sync.Mutex
-	matrices map[string]*harness.Matrix
+	matrices map[string]*harness.Matrix //cbws:guardedby matMu
 
 	streamsMu   sync.Mutex
-	streams     map[string]*Stream
-	streamSeq   uint64
+	streams     map[string]*Stream //cbws:guardedby streamsMu
+	streamSeq   uint64             //cbws:guardedby streamsMu
 	tenants     *tenantTable
 	streamSched *ticketSched
 	streamWG    sync.WaitGroup
