@@ -18,6 +18,7 @@ import (
 	"cbws/internal/harness"
 	"cbws/internal/mem"
 	"cbws/internal/prefetch"
+	"cbws/internal/prefetch/learned"
 	"cbws/internal/sim"
 	"cbws/internal/stats"
 	"cbws/internal/trace"
@@ -433,6 +434,38 @@ func BenchmarkCBWSOnAccess(b *testing.B) {
 		}
 		l := mem.LineAddr(1<<20 + i*3)
 		p.OnAccess(prefetch.Access{Addr: l.Byte(), Line: l}, drop)
+	}
+}
+
+// BenchmarkPythiaOnAccess measures the Pythia-style agent's steady-
+// state hot path (reward scan + feature hash + argmax + queue insert)
+// on a strided miss stream; allocs/op is pinned at 0 by benchgate.
+func BenchmarkPythiaOnAccess(b *testing.B) {
+	p := learned.NewPythia(learned.PythiaConfig{})
+	drop := func(l mem.LineAddr) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := mem.LineAddr(1<<20 + i*3)
+		p.OnAccess(prefetch.Access{PC: 0x401000, Addr: l.Byte(), Line: l}, drop)
+	}
+}
+
+// BenchmarkGazeOnAccess measures the Gaze-style prefetcher's steady-
+// state hot path (active-table CAM scan + footprint/order update, with
+// periodic generation turnover) on a region-local stream; allocs/op is
+// pinned at 0 by benchgate.
+func BenchmarkGazeOnAccess(b *testing.B) {
+	g := learned.NewGaze(learned.GazeConfig{})
+	drop := func(l mem.LineAddr) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := mem.LineAddr(uint64(1+i%9) << 6)
+		g.OnAccess(prefetch.Access{PC: 0x400500, Addr: base.Byte(), Line: base.Add(int64(i % 13))}, drop)
+		if i%17 == 0 {
+			g.OnCacheEvict(base)
+		}
 	}
 }
 

@@ -12,7 +12,10 @@
 //     working-set vectors, 4-step differential prediction, 16-entry
 //     history table) plus the CBWS+SMS integration;
 //   - the four baseline prefetchers it is evaluated against: stride,
-//     GHB G/DC, GHB PC/DC and spatial memory streaming (SMS);
+//     GHB G/DC, GHB PC/DC and spatial memory streaming (SMS), plus
+//     extension baselines (AMPM, Markov) and two learned baselines — a
+//     Pythia-style online-RL prefetcher and a Gaze-style spatial
+//     prefetcher — from the related work;
 //   - 30 workload emulations standing in for the paper's SPEC CPU2006 /
 //     PARSEC / SPLASH / Rodinia / Parboil benchmarks;
 //   - a mini-IR with an automatic innermost-tight-loop annotation pass,

@@ -34,7 +34,7 @@ import (
 
 func main() {
 	wl := flag.String("workload", "stencil-default", "workload name (see -list)")
-	pf := flag.String("prefetcher", "cbws+sms", "prefetcher name (see cbws.Prefetchers: none, stride, ghb-pc/dc, ghb-g/dc, sms, cbws, cbws+sms, ampm, markov)")
+	pf := flag.String("prefetcher", "cbws+sms", "prefetcher name (see cbws.Prefetchers: none, stride, ghb-pc/dc, ghb-g/dc, sms, cbws, cbws+sms, ampm, markov, pythia, gaze)")
 	n := flag.Uint64("n", 4_000_000, "instructions to simulate")
 	warm := flag.Uint64("warmup", 1_000_000, "warmup instructions excluded from metrics")
 	list := flag.Bool("list", false, "list workloads and exit")

@@ -81,4 +81,6 @@ func ExampleNewPrefetcher() {
 	// cbws+sms
 	// ampm
 	// markov
+	// pythia
+	// gaze
 }

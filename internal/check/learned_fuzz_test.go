@@ -1,0 +1,178 @@
+package check_test
+
+import (
+	"testing"
+
+	"cbws/internal/check"
+	"cbws/internal/mem"
+	"cbws/internal/prefetch"
+	"cbws/internal/prefetch/learned"
+	"cbws/internal/trace"
+	"cbws/internal/workload"
+)
+
+// learnedFuzzConfigs returns the matched production/reference pair the
+// learned fuzz targets run under: small tables so aliasing, queue
+// churn and table eviction trigger within fuzzer-sized inputs.
+func learnedPythiaFuzzPair() (*learned.Pythia, *check.RefPythia) {
+	actions := []int8{0, 1, -1, 2, 8}
+	p := learned.NewPythia(learned.PythiaConfig{
+		Actions: actions, Feature1Entries: 64, Feature2Entries: 32,
+		DeltaHistory: 2, EQSize: 8, QBits: 8,
+		AlphaShift: 2, GammaShift: 1, EpsilonShift: 3, TimelyAge: 3,
+		RewardAccurateTimely: 20, RewardAccurateLate: 12, RewardInaccurate: -14,
+		RewardNoPrefGood: 12, RewardNoPrefBad: -4})
+	ref := check.NewRefPythia(check.RefPythiaConfig{
+		Actions: actions, Feature1Entries: 64, Feature2Entries: 32,
+		DeltaHistory: 2, EQSize: 8, QBits: 8,
+		AlphaShift: 2, GammaShift: 1, EpsilonShift: 3, TimelyAge: 3,
+		RewardAccurateTimely: 20, RewardAccurateLate: 12, RewardInaccurate: -14,
+		RewardNoPrefGood: 12, RewardNoPrefBad: -4})
+	return p, ref
+}
+
+func learnedGazeFuzzPair() (*learned.Gaze, *check.RefGaze) {
+	g := learned.NewGaze(learned.GazeConfig{RegionBytes: 1024, ActiveEntries: 4,
+		PatternEntries: 16, OrderLines: 4, ConfMax: 2, ConfThreshold: 1})
+	ref := check.NewRefGaze(check.RefGazeConfig{RegionBytes: 1024, ActiveEntries: 4,
+		PatternEntries: 16, OrderLines: 4, ConfMax: 2, ConfThreshold: 1})
+	return g, ref
+}
+
+// decodeLearnedAccess turns one 3-byte fuzz record into an access: the
+// op byte selects PC and hit flags, the remaining two bytes the line.
+func decodeLearnedAccess(op, hi, lo byte) prefetch.Access {
+	line := mem.LineAddr(uint64(hi)<<8 | uint64(lo))
+	a := prefetch.Access{
+		PC:   0x400000 + uint64(op&0x07)*0x40,
+		Line: line,
+		Addr: line.Byte(),
+	}
+	switch {
+	case op&0x08 != 0:
+		a.HitL1 = true
+	case op&0x40 != 0:
+		a.HitL2 = true
+	}
+	if op&0x10 != 0 {
+		a.PfHit = true
+	}
+	return a
+}
+
+// kernelSeed encodes a prefix of a real kernel's demand stream in the
+// learned fuzz record format, so coverage-guided mutation starts from
+// genuine loop access patterns rather than noise.
+func kernelSeed(name string, records int) []byte {
+	spec, ok := workload.ByName(name)
+	if !ok {
+		panic("unknown workload " + name)
+	}
+	tr := trace.Capture(trace.Limit{Gen: spec.Make(), Max: uint64(records) * 8})
+	out := make([]byte, 0, records*3)
+	for _, e := range tr.Events {
+		if e.Kind != trace.Load && e.Kind != trace.Store {
+			continue
+		}
+		line := mem.LineOf(e.Addr)
+		op := byte(e.PC>>4) & 0x07
+		out = append(out, op, byte(uint64(line)>>8), byte(line))
+		if len(out) >= records*3 {
+			break
+		}
+	}
+	return out
+}
+
+// FuzzPythiaVsRef drives fuzzer-shaped access streams (seeded from
+// real kernel traces) through the production Pythia-style agent and
+// the naive reference, comparing the issued prefetch stream after
+// every event plus final statistics.
+func FuzzPythiaVsRef(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01, 0x00, 0x00, 0x01, 0x01, 0x00, 0x01, 0x02, 0x00, 0x01, 0x03})
+	f.Add(kernelSeed("stencil-default", 512))
+	f.Add(kernelSeed("429.mcf-ref", 512))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prev := check.Enabled
+		check.Enabled = true
+		defer func() { check.Enabled = prev }()
+
+		p, ref := learnedPythiaFuzzPair()
+		var gotIssued, wantIssued []mem.LineAddr
+		issueGot := func(l mem.LineAddr) { gotIssued = append(gotIssued, l) }
+		issueWant := func(l mem.LineAddr) { wantIssued = append(wantIssued, l) }
+
+		feed := &byteFeed{data: data}
+		for i := 0; i < len(data)/3; i++ {
+			a := decodeLearnedAccess(feed.next(), feed.next(), feed.next())
+			p.OnAccess(a, issueGot)
+			ref.OnAccess(a, issueWant)
+			if len(gotIssued) != len(wantIssued) {
+				t.Fatalf("op %d: issued %d prefetches, ref issued %d",
+					i, len(gotIssued), len(wantIssued))
+			}
+			for j := range gotIssued {
+				if gotIssued[j] != wantIssued[j] {
+					t.Fatalf("op %d: prefetch %d diverged: real %v, ref %v",
+						i, j, gotIssued[j], wantIssued[j])
+				}
+			}
+			gotIssued, wantIssued = gotIssued[:0], wantIssued[:0]
+		}
+		if got := learnedPythiaStats(p.Stats); got != ref.Stats {
+			t.Fatalf("stats diverged:\n real %+v\n  ref %+v", got, ref.Stats)
+		}
+	})
+}
+
+// FuzzGazeVsRef drives fuzzer-shaped access/eviction streams (seeded
+// from real kernel traces) through the production Gaze-style
+// prefetcher and the naive reference, comparing the issued prefetch
+// stream after every event plus final statistics.
+func FuzzGazeVsRef(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x03, 0x20, 0x00, 0x00, 0x00, 0x00, 0x10})
+	f.Add(kernelSeed("stencil-default", 512))
+	f.Add(kernelSeed("462.libquantum-ref", 512))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prev := check.Enabled
+		check.Enabled = true
+		defer func() { check.Enabled = prev }()
+
+		g, ref := learnedGazeFuzzPair()
+		var gotIssued, wantIssued []mem.LineAddr
+		issueGot := func(l mem.LineAddr) { gotIssued = append(gotIssued, l) }
+		issueWant := func(l mem.LineAddr) { wantIssued = append(wantIssued, l) }
+
+		feed := &byteFeed{data: data}
+		for i := 0; i < len(data)/3; i++ {
+			op, hi, lo := feed.next(), feed.next(), feed.next()
+			if op&0x20 != 0 { // eviction record: close the region's generation
+				line := mem.LineAddr(uint64(hi)<<8 | uint64(lo))
+				g.OnCacheEvict(line)
+				ref.OnCacheEvict(line)
+				continue
+			}
+			a := decodeLearnedAccess(op, hi, lo)
+			g.OnAccess(a, issueGot)
+			ref.OnAccess(a, issueWant)
+			if len(gotIssued) != len(wantIssued) {
+				t.Fatalf("op %d: issued %d prefetches, ref issued %d",
+					i, len(gotIssued), len(wantIssued))
+			}
+			for j := range gotIssued {
+				if gotIssued[j] != wantIssued[j] {
+					t.Fatalf("op %d: prefetch %d diverged: real %v, ref %v",
+						i, j, gotIssued[j], wantIssued[j])
+				}
+			}
+			gotIssued, wantIssued = gotIssued[:0], wantIssued[:0]
+		}
+		if got := learnedGazeStats(g.Stats); got != ref.Stats {
+			t.Fatalf("stats diverged:\n real %+v\n  ref %+v", got, ref.Stats)
+		}
+	})
+}

@@ -1,0 +1,251 @@
+package check
+
+import (
+	"sort"
+
+	"cbws/internal/mem"
+	"cbws/internal/prefetch"
+)
+
+// RefGazeConfig mirrors learned.GazeConfig. Zero values are NOT
+// defaulted here: the differential tests construct both sides from one
+// explicit parameter set.
+type RefGazeConfig struct {
+	RegionBytes    int
+	ActiveEntries  int
+	PatternEntries int
+	OrderLines     int
+	ConfMax        int8
+	ConfThreshold  int8
+}
+
+// RefGazeStats mirrors learned.GazeStats field for field.
+type RefGazeStats struct {
+	Generations       uint64
+	SingleLine        uint64
+	PatternsLearned   uint64
+	PatternsConfirmed uint64
+	PatternsDiverged  uint64
+	Replays           uint64
+	LinesPrefetched   uint64
+}
+
+// refGazeActive is one in-flight region generation.
+type refGazeActive struct {
+	replaying bool
+	pc        uint64
+	off1      int16
+	off2      int16 // -1 until the second distinct line
+	footprint map[int16]bool
+	order     []uint8
+	lru       uint64
+}
+
+// refGazePattern is one learned pattern, keyed by table row.
+type refGazePattern struct {
+	tag       uint32
+	footprint map[int16]bool
+	order     []uint8
+	conf      int8
+}
+
+// RefGaze is the naive reference for the Gaze-style spatial
+// prefetcher: active generations live in a map keyed by region number
+// (capacity enforced by a min-LRU scan over unique ticks), footprints
+// are maps instead of bitmaps, and the pattern table is a map keyed by
+// row index. The trigger-pair signature, confidence training and
+// order-then-ascending replay re-implement the production spec
+// directly, so the issued prefetch stream and statistics must be
+// bit-identical to learned.Gaze configured with the same parameters.
+type RefGaze struct {
+	cfg         RefGazeConfig
+	regionLines int
+	regionShift uint
+
+	active   map[uint64]*refGazeActive
+	patterns map[uint32]*refGazePattern
+
+	tick uint64
+
+	Stats RefGazeStats
+}
+
+// NewRefGaze builds the reference prefetcher.
+func NewRefGaze(cfg RefGazeConfig) *RefGaze {
+	g := &RefGaze{cfg: cfg}
+	g.Reset()
+	return g
+}
+
+// Reset returns the prefetcher to power-on state.
+func (g *RefGaze) Reset() {
+	lines := g.cfg.RegionBytes >> 6
+	if lines < 2 {
+		lines = 2
+	}
+	if lines > 4096 {
+		lines = 4096
+	}
+	shift := uint(0)
+	for 1<<(shift+1) <= lines {
+		shift++
+	}
+	g.regionShift = shift
+	g.regionLines = 1 << shift
+	g.active = make(map[uint64]*refGazeActive)
+	g.patterns = make(map[uint32]*refGazePattern)
+	g.tick = 0
+	g.Stats = RefGazeStats{}
+}
+
+func refGazeSignature(pc uint64, off1, off2 int16) uint32 {
+	s := (uint32(pc) ^ uint32(pc>>32)) * 0x9E3779B1
+	s ^= uint32(uint16(off1)) * 0x85EBCA6B
+	s = s<<9 | s>>23
+	s ^= uint32(uint16(off2)) * 0xC2B2AE35
+	return s
+}
+
+func sameFootprint(a, b map[int16]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// commit retires one generation into the pattern table, mirroring
+// learned.Gaze.commit.
+func (g *RefGaze) commit(region uint64) {
+	e := g.active[region]
+	delete(g.active, region)
+	if e.off2 < 0 {
+		g.Stats.SingleLine++
+		return
+	}
+	g.Stats.Generations++
+	s := refGazeSignature(e.pc, e.off1, e.off2)
+	row := (s ^ s>>16) & uint32(g.cfg.PatternEntries-1)
+	p, ok := g.patterns[row]
+	if !ok || p.tag != s {
+		g.patterns[row] = &refGazePattern{tag: s, footprint: e.footprint, order: e.order, conf: 1}
+		g.Stats.PatternsLearned++
+		return
+	}
+	if sameFootprint(p.footprint, e.footprint) {
+		if p.conf < g.cfg.ConfMax {
+			p.conf++
+		}
+		p.order = e.order
+		g.Stats.PatternsConfirmed++
+		return
+	}
+	g.Stats.PatternsDiverged++
+	p.conf--
+	if p.conf <= 0 {
+		g.patterns[row] = &refGazePattern{tag: s, footprint: e.footprint, order: e.order, conf: 1}
+		g.Stats.PatternsLearned++
+	}
+}
+
+// evictLRU commits the least-recently-used generation (ticks are
+// unique, so the victim is unambiguous even over map iteration).
+func (g *RefGaze) evictLRU() {
+	var victim uint64
+	first := true
+	for region, e := range g.active {
+		if first || e.lru < g.active[victim].lru {
+			victim, first = region, false
+		}
+	}
+	g.commit(victim)
+}
+
+// replay mirrors learned.Gaze.replay: ordered touches first (skipping
+// the trigger pair), then the remaining footprint in ascending order.
+func (g *RefGaze) replay(e *refGazeActive, p *refGazePattern, base mem.LineAddr, issue prefetch.IssueFunc) {
+	g.Stats.Replays++
+	inOrder := make(map[int16]bool, len(p.order))
+	for _, o := range p.order {
+		inOrder[int16(o)] = true
+	}
+	for _, o := range p.order {
+		off := int16(o)
+		if off == e.off1 || off == e.off2 {
+			continue
+		}
+		issue(base.Add(int64(off)))
+		g.Stats.LinesPrefetched++
+	}
+	rest := make([]int, 0, len(p.footprint))
+	for off := range p.footprint {
+		if off == e.off1 || off == e.off2 || inOrder[off] {
+			continue
+		}
+		rest = append(rest, int(off))
+	}
+	sort.Ints(rest)
+	for _, off := range rest {
+		issue(base.Add(int64(off)))
+		g.Stats.LinesPrefetched++
+	}
+}
+
+// OnAccess mirrors learned.Gaze.OnAccess.
+func (g *RefGaze) OnAccess(a prefetch.Access, issue prefetch.IssueFunc) {
+	g.tick++
+	line := a.Line
+	region := uint64(line) >> g.regionShift
+	off := int16(uint64(line) & uint64(g.regionLines-1))
+
+	e, ok := g.active[region]
+	if !ok {
+		if !a.Miss() && !a.PfHit {
+			return
+		}
+		if len(g.active) == g.cfg.ActiveEntries {
+			g.evictLRU()
+		}
+		e = &refGazeActive{
+			pc:        a.PC,
+			off1:      off,
+			off2:      -1,
+			footprint: map[int16]bool{off: true},
+			order:     []uint8{uint8(off)},
+			lru:       g.tick,
+		}
+		g.active[region] = e
+		return
+	}
+
+	e.lru = g.tick
+	if !e.footprint[off] {
+		e.footprint[off] = true
+		if len(e.order) < g.cfg.OrderLines {
+			e.order = append(e.order, uint8(off))
+		}
+		if e.off2 < 0 {
+			e.off2 = off
+			s := refGazeSignature(e.pc, e.off1, e.off2)
+			row := (s ^ s>>16) & uint32(g.cfg.PatternEntries-1)
+			if p, ok := g.patterns[row]; ok && p.tag == s && p.conf >= g.cfg.ConfThreshold && !e.replaying {
+				e.replaying = true
+				base := mem.LineAddr(region << g.regionShift)
+				g.replay(e, p, base, issue)
+			}
+		}
+	}
+}
+
+// OnCacheEvict mirrors learned.Gaze.OnCacheEvict: an eviction from an
+// active region ends that region's generation.
+func (g *RefGaze) OnCacheEvict(line mem.LineAddr) {
+	region := uint64(line) >> g.regionShift
+	if _, ok := g.active[region]; ok {
+		g.commit(region)
+	}
+}

@@ -1,0 +1,290 @@
+package check
+
+import (
+	"cbws/internal/mem"
+	"cbws/internal/prefetch"
+)
+
+// RefPythiaConfig mirrors learned.PythiaConfig. Zero values are NOT
+// defaulted here: the differential tests construct both sides from one
+// explicit parameter set.
+type RefPythiaConfig struct {
+	Actions              []int8
+	Feature1Entries      int
+	Feature2Entries      int
+	DeltaHistory         int
+	EQSize               int
+	QBits                int
+	AlphaShift           uint
+	GammaShift           uint
+	EpsilonShift         uint
+	TimelyAge            uint64
+	RewardAccurateTimely int32
+	RewardAccurateLate   int32
+	RewardInaccurate     int32
+	RewardNoPrefGood     int32
+	RewardNoPrefBad      int32
+}
+
+// RefPythiaStats mirrors learned.PythiaStats field for field.
+type RefPythiaStats struct {
+	Triggers       uint64
+	Issued         uint64
+	Explores       uint64
+	AccurateTimely uint64
+	AccurateLate   uint64
+	Inaccurate     uint64
+	NoPrefGood     uint64
+	NoPrefBad      uint64
+	QUpdates       uint64
+}
+
+// refPythiaEQ is one evaluation-queue decision awaiting its reward.
+type refPythiaEQ struct {
+	line     mem.LineAddr
+	page     uint64
+	h1, h2   uint32
+	action   int32
+	tick     uint64
+	issued   bool
+	rewarded bool
+	sawMiss  bool
+	reward   int32
+}
+
+// refPythiaSeed is the deterministic xorshift seed shared with the
+// production prefetcher (the Pythia paper's venue, MICRO 2021; see
+// learned.Pythia).
+const refPythiaSeed = 0x20211018
+
+// RefPythia is the naive reference for the Pythia-style RL prefetcher:
+// Q-table rows live in maps allocated on first touch, the evaluation
+// queue and delta history are plain slices shuffled with append, and
+// nothing is preallocated. The feature hashes, fixed-point SARSA
+// arithmetic, ε-greedy exploration sequence and reward classification
+// re-implement the production spec directly, so the issued prefetch
+// stream and statistics must be bit-identical to learned.Pythia
+// configured with the same parameters.
+type RefPythia struct {
+	cfg  RefPythiaConfig
+	qMax int32
+
+	q1 map[uint32][]int32 // row → per-action Q-values, zero row if absent
+	q2 map[uint32][]int32
+
+	eq   []refPythiaEQ // oldest first
+	hist []int32       // oldest first, fixed length DeltaHistory
+
+	lastLine mem.LineAddr
+	haveLast bool
+
+	rng  uint32
+	tick uint64
+
+	Stats RefPythiaStats
+}
+
+// NewRefPythia builds the reference agent.
+func NewRefPythia(cfg RefPythiaConfig) *RefPythia {
+	p := &RefPythia{cfg: cfg}
+	p.Reset()
+	return p
+}
+
+// Reset returns the agent to power-on state, allocating everything
+// fresh (deliberately: the reference has no preallocation discipline).
+func (p *RefPythia) Reset() {
+	p.qMax = 1<<(uint(p.cfg.QBits)-1) - 1
+	p.q1 = make(map[uint32][]int32)
+	p.q2 = make(map[uint32][]int32)
+	p.eq = nil
+	p.hist = make([]int32, p.cfg.DeltaHistory)
+	p.lastLine = 0
+	p.haveLast = false
+	p.rng = refPythiaSeed
+	p.tick = 0
+	p.Stats = RefPythiaStats{}
+}
+
+func (p *RefPythia) xorshift() uint32 {
+	x := p.rng
+	x ^= x << 13
+	x ^= x >> 17
+	x ^= x << 5
+	p.rng = x
+	return x
+}
+
+func refClampDelta(d int64) int32 {
+	if d > 127 {
+		return 127
+	}
+	if d < -127 {
+		return -127
+	}
+	return int32(d)
+}
+
+func (p *RefPythia) feature1(pc uint64) uint32 {
+	h := (uint32(pc) ^ uint32(pc>>32)) * 0x9E3779B1
+	for _, d := range p.hist { // oldest to newest
+		h = (h<<7 | h>>25) ^ (uint32(d) * 0x85EBCA6B)
+	}
+	return h & uint32(p.cfg.Feature1Entries-1)
+}
+
+func (p *RefPythia) feature2(line mem.LineAddr, lastDelta int32) uint32 {
+	off := uint32(line) & 63
+	g := (off << 7) ^ (uint32(lastDelta) * 0xC2B2AE35)
+	g ^= g >> 15
+	return g & uint32(p.cfg.Feature2Entries-1)
+}
+
+// row returns table[h], materializing a zero row on first touch (the
+// production flat array is zero-initialized).
+func (p *RefPythia) row(table map[uint32][]int32, h uint32) []int32 {
+	r, ok := table[h]
+	if !ok {
+		r = make([]int32, len(p.cfg.Actions))
+		table[h] = r
+	}
+	return r
+}
+
+func (p *RefPythia) qsum(h1, h2 uint32, action int32) int32 {
+	return p.row(p.q1, h1)[action] + p.row(p.q2, h2)[action]
+}
+
+func (p *RefPythia) argmax(h1, h2 uint32) int32 {
+	best := int32(0)
+	bestQ := p.qsum(h1, h2, 0)
+	for a := int32(1); a < int32(len(p.cfg.Actions)); a++ {
+		if q := p.qsum(h1, h2, a); q > bestQ {
+			best, bestQ = a, q
+		}
+	}
+	return best
+}
+
+func (p *RefPythia) clampQ(q int32) int32 {
+	if q > p.qMax {
+		return p.qMax
+	}
+	if q < -p.qMax {
+		return -p.qMax
+	}
+	return q
+}
+
+// evictOldest finalizes the oldest decision's reward and applies the
+// SARSA update, bootstrapping from the next-oldest queued decision.
+func (p *RefPythia) evictOldest() {
+	e := p.eq[0]
+	p.eq = p.eq[1:]
+
+	r := e.reward
+	if !e.rewarded {
+		switch {
+		case e.issued:
+			r = p.cfg.RewardInaccurate
+			p.Stats.Inaccurate++
+		case e.sawMiss:
+			r = p.cfg.RewardNoPrefBad
+			p.Stats.NoPrefBad++
+		default:
+			r = p.cfg.RewardNoPrefGood
+			p.Stats.NoPrefGood++
+		}
+	}
+	target := r
+	if len(p.eq) > 0 {
+		n := p.eq[0]
+		qn := p.qsum(n.h1, n.h2, n.action)
+		target += qn - qn>>p.cfg.GammaShift
+	}
+	cur := p.qsum(e.h1, e.h2, e.action)
+	adj := (target - cur) >> p.cfg.AlphaShift
+	r1 := p.row(p.q1, e.h1)
+	r2 := p.row(p.q2, e.h2)
+	r1[e.action] = p.clampQ(r1[e.action] + adj)
+	r2[e.action] = p.clampQ(r2[e.action] + adj)
+	p.Stats.QUpdates++
+}
+
+// OnAccess mirrors learned.Pythia.OnAccess: settle rewards, then on a
+// trigger advance the delta history, pick an ε-greedy action and queue
+// the decision.
+func (p *RefPythia) OnAccess(a prefetch.Access, issue prefetch.IssueFunc) {
+	p.tick++
+	line := a.Line
+	page := uint64(line) >> 6
+
+	miss := a.Miss()
+	claimed := false
+	for i := range p.eq {
+		e := &p.eq[i]
+		if e.issued {
+			if !claimed && !e.rewarded && e.line == line {
+				claimed = true
+				e.rewarded = true
+				if p.tick-e.tick >= p.cfg.TimelyAge {
+					e.reward = p.cfg.RewardAccurateTimely
+					p.Stats.AccurateTimely++
+				} else {
+					e.reward = p.cfg.RewardAccurateLate
+					p.Stats.AccurateLate++
+				}
+			}
+		} else if miss && e.page == page {
+			e.sawMiss = true
+		}
+	}
+
+	if !miss && !a.PfHit {
+		return
+	}
+	p.Stats.Triggers++
+
+	var d int32
+	if p.haveLast {
+		d = refClampDelta(line.Delta(p.lastLine))
+	}
+	p.hist = append(p.hist[1:], d)
+	p.lastLine = line
+	p.haveLast = true
+
+	h1 := p.feature1(a.PC)
+	h2 := p.feature2(line, d)
+
+	sel := p.argmax(h1, h2)
+	x := p.xorshift()
+	if x&(1<<p.cfg.EpsilonShift-1) == 0 {
+		sel = int32((x >> p.cfg.EpsilonShift) % uint32(len(p.cfg.Actions)))
+		p.Stats.Explores++
+	}
+
+	off := int64(p.cfg.Actions[sel])
+	cand := line.Add(off)
+	issued := off != 0 && uint64(cand)>>6 == page
+	if issued {
+		issue(cand)
+		p.Stats.Issued++
+	}
+
+	if len(p.eq) == p.cfg.EQSize {
+		p.evictOldest()
+	}
+	entry := refPythiaEQ{
+		line:   line,
+		page:   page,
+		h1:     h1,
+		h2:     h2,
+		action: sel,
+		tick:   p.tick,
+		issued: issued,
+	}
+	if issued {
+		entry.line = cand
+	}
+	p.eq = append(p.eq, entry)
+}

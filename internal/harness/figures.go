@@ -489,6 +489,78 @@ func Figure15(m *Matrix) (*report.Table, error) {
 	return t, nil
 }
 
+// LearnedTable compares the paper's CBWS and CBWS+SMS against the
+// learned baselines (Pythia-style online RL, Gaze-style spatial) on
+// all 30 kernels: per-kernel IPC speedup over no-prefetching, with
+// geomean rows for the memory-intensive group, the regular group and
+// the full suite. This is the paper's core question restated with
+// modern baselines — does loop-aware working-set capture still win on
+// tight loops against learned and pattern-characterizing designs?
+func LearnedTable(m *Matrix) (*report.Table, error) {
+	schemes := []string{"cbws", "cbws+sms", "pythia", "gaze"}
+	none, ok := FactoryByName("none")
+	if !ok {
+		return nil, fmt.Errorf("harness: no-prefetch baseline missing")
+	}
+	cols := []string{"benchmark"}
+	for _, s := range schemes {
+		cols = append(cols, s)
+	}
+	t := &report.Table{
+		Title:   "Learned baselines: IPC speedup over no-prefetching (CBWS vs Pythia-style RL and Gaze-style spatial)",
+		Columns: cols,
+	}
+	speedup := func(spec workload.Spec, sn string) (float64, error) {
+		f, ok := FactoryByName(sn)
+		if !ok {
+			return 0, fmt.Errorf("harness: unknown scheme %q", sn)
+		}
+		base, err := m.Get(spec, Factory{Name: none.Name, New: none.New})
+		if err != nil {
+			return 0, err
+		}
+		r, err := m.Get(spec, f)
+		if err != nil {
+			return 0, err
+		}
+		return r.Metrics.IPC() / base.Metrics.IPC(), nil
+	}
+	for _, spec := range workload.All() {
+		row := []string{spec.Name}
+		for _, sn := range schemes {
+			s, err := speedup(spec, sn)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, report.F(s, 3))
+		}
+		t.AddRow(row...)
+	}
+	for _, grp := range []struct {
+		label string
+		specs []workload.Spec
+	}{
+		{"geomean-MI", workload.MemoryIntensive()},
+		{"geomean-regular", workload.Regular()},
+		{"geomean-ALL", workload.All()},
+	} {
+		row := []string{grp.label}
+		for _, sn := range schemes {
+			var vals []float64
+			for _, spec := range grp.specs {
+				s, err := speedup(spec, sn)
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, s)
+			}
+			row = append(row, report.F(stats.GeoMean(vals), 3))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
 // ExtensionTable compares the extension baselines (AMPM, Markov) against
 // the paper's SMS and CBWS+SMS on a representative memory-intensive
 // subset — prefetchers the paper's related-work section discusses but

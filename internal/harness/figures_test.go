@@ -115,3 +115,23 @@ func TestExtensionTableBuilds(t *testing.T) {
 		}
 	}
 }
+
+func TestLearnedTableBuilds(t *testing.T) {
+	tab, err := LearnedTable(figMatrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30 benchmarks + geomean-MI + geomean-regular + geomean-ALL.
+	if len(tab.Rows) != 33 {
+		t.Errorf("rows = %d", len(tab.Rows))
+	}
+	if len(tab.Columns) != 5 { // benchmark + 4 schemes
+		t.Errorf("columns = %d", len(tab.Columns))
+	}
+	s := tab.String()
+	for _, want := range []string{"pythia", "gaze", "cbws+sms", "geomean-MI", "geomean-ALL"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("learned table missing %q", want)
+		}
+	}
+}

@@ -45,9 +45,17 @@ func Prefetchers() []Factory {
 
 // ExtendedPrefetchers returns the evaluated schemes plus extension
 // baselines beyond the paper's roster (AMPM and Markov, which the
-// paper's related-work section discusses but does not evaluate).
+// paper's related-work section discusses but does not evaluate, and
+// the learned Pythia/Gaze baselines).
 func ExtendedPrefetchers() []Factory {
 	return fromRegistry(registry.All())
+}
+
+// GoldenPrefetchers returns the roster pinned by golden/seed.json: the
+// evaluated schemes plus the learned baselines (pythia, gaze), whose
+// determinism the manifest guards cell by cell.
+func GoldenPrefetchers() []Factory {
+	return fromRegistry(registry.GoldenRoster())
 }
 
 // FactoryByName looks up an evaluated or extension scheme in the shared

@@ -28,11 +28,15 @@ func TestResolveFactoryKnown(t *testing.T) {
 // "did you mean" suggestion and the full roster.
 func TestResolveFactorySuggestion(t *testing.T) {
 	cases := []struct{ name, want string }{
-		{"CBWS", `unknown prefetcher "CBWS" (did you mean "cbws"? valid: none, stride, ghb-pc/dc, ghb-g/dc, sms, cbws, cbws+sms, ampm, markov)`},
-		{"strde", `unknown prefetcher "strde" (did you mean "stride"? valid: none, stride, ghb-pc/dc, ghb-g/dc, sms, cbws, cbws+sms, ampm, markov)`},
-		// Plain Levenshtein: "sms" (distance 3) beats the ghb variants
-		// (distance 5) — pinned so the suggestion stays deterministic.
-		{"ghb", `unknown prefetcher "ghb" (did you mean "sms"? valid: none, stride, ghb-pc/dc, ghb-g/dc, sms, cbws, cbws+sms, ampm, markov)`},
+		{"CBWS", `unknown prefetcher "CBWS" (did you mean "cbws"? valid: none, stride, ghb-pc/dc, ghb-g/dc, sms, cbws, cbws+sms, ampm, markov, pythia, gaze)`},
+		{"strde", `unknown prefetcher "strde" (did you mean "stride"? valid: none, stride, ghb-pc/dc, ghb-g/dc, sms, cbws, cbws+sms, ampm, markov, pythia, gaze)`},
+		// Plain Levenshtein: "sms" (distance 3) ties "gaze" (also 3)
+		// and beats the ghb variants (distance 5); registration order
+		// keeps "sms" ahead — pinned so the suggestion stays
+		// deterministic as the roster grows.
+		{"ghb", `unknown prefetcher "ghb" (did you mean "sms"? valid: none, stride, ghb-pc/dc, ghb-g/dc, sms, cbws, cbws+sms, ampm, markov, pythia, gaze)`},
+		// Learned-name typos resolve to the learned schemes.
+		{"pythai", `unknown prefetcher "pythai" (did you mean "pythia"? valid: none, stride, ghb-pc/dc, ghb-g/dc, sms, cbws, cbws+sms, ampm, markov, pythia, gaze)`},
 	}
 	for _, tc := range cases {
 		_, err := ResolveFactory(tc.name)

@@ -36,7 +36,7 @@ var CheckGuard = &analysis.Analyzer{
 
 // refDenylist names the optimized packages (by path suffix) that
 // reference models must not import.
-var refDenylist = []string{"internal/cache", "internal/engine", "internal/core"}
+var refDenylist = []string{"internal/cache", "internal/engine", "internal/core", "internal/prefetch/learned"}
 
 func runCheckGuard(pass *analysis.Pass) error {
 	inCheckPkg := pass.Pkg.Name() == "check"

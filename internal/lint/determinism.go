@@ -22,13 +22,16 @@ import (
 //     sort.SliceStable (or a total-order key) is required.
 //
 // The driver scopes it to internal/{sim,harness,report,stats,service},
-// internal/trace/corpus, and cmd/figures; fixture tests run it
-// everywhere. internal/service is in scope because its cached run
-// records are compared byte-for-byte across daemons — the one
-// legitimate wall-clock read (job duration telemetry) carries an
-// explicit waiver. internal/trace/corpus is in scope because corpus
-// files are content-addressed: any nondeterminism in the writer would
-// silently fracture the shared result cache.
+// internal/prefetch/learned, internal/trace/corpus, and cmd/figures;
+// fixture tests run it everywhere. internal/service is in scope
+// because its cached run records are compared byte-for-byte across
+// daemons — the one legitimate wall-clock read (job duration
+// telemetry) carries an explicit waiver. internal/trace/corpus is in
+// scope because corpus files are content-addressed: any nondeterminism
+// in the writer would silently fracture the shared result cache.
+// internal/prefetch/learned is in scope because both learned schemes
+// sit on the golden roster: a map iteration or unseeded random draw in
+// a table dump or replay path would break the pinned manifests.
 var Determinism = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "flag map-iteration-order leaks, wall-clock reads, unseeded " +
@@ -39,6 +42,7 @@ var Determinism = &analysis.Analyzer{
 		"cbws/internal/report",
 		"cbws/internal/stats",
 		"cbws/internal/service",
+		"cbws/internal/prefetch/learned",
 		"cbws/internal/trace/corpus",
 		"cbws/cmd/figures",
 	},

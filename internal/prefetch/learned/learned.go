@@ -1,0 +1,23 @@
+// Package learned implements the two post-paper "learned" prefetchers
+// of the related-work comparison: a Pythia-style online reinforcement
+// learning prefetcher (Bera et al., MICRO 2021) and a Gaze-style
+// spatial-pattern prefetcher that exploits intra-region temporal order
+// (Chen et al., 2024). Both plug into the shared prefetch.Prefetcher
+// interface and the scheme registry, so they are selectable everywhere
+// a paper-era scheme is (cbwsim, figures, cbwsd sweeps).
+//
+// Like the production CBWS predictor, both designs are written to the
+// repo's determinism contract: state lives in fixed preallocated
+// tables, every replacement decision is driven by unique monotonic
+// ticks or a deterministically seeded xorshift32, Q-values are
+// fixed-point integers, and argmax ties break to the lowest action
+// index — so a simulation run is bit-identical across repetitions and
+// across harness parallelism, and golden manifests can pin their
+// cells. Naive reference models live in internal/check (RefPythia,
+// RefGaze) and are held bit-identical by differential tests and fuzz
+// targets.
+//
+// The OnAccess hot paths are //cbws:hotpath annotated and therefore
+// allocation-free in steady state, enforced by cbwslint and by
+// AllocsPerRun regression tests.
+package learned

@@ -32,6 +32,8 @@ type Access struct {
 }
 
 // Miss reports whether the access missed the whole hierarchy.
+//
+//cbws:hotpath
 func (a Access) Miss() bool { return !a.HitL1 && !a.HitL2 }
 
 // IssueFunc receives candidate prefetch line addresses.

@@ -7,11 +7,11 @@ package registry
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"cbws/internal/core"
 	"cbws/internal/prefetch"
+	"cbws/internal/prefetch/learned"
 )
 
 // Factory names and constructs one prefetching scheme.
@@ -20,11 +20,16 @@ type Factory struct {
 	// Extension marks schemes beyond the paper's evaluated roster
 	// (related-work baselines); the paper figures exclude them.
 	Extension bool
-	New       func() prefetch.Prefetcher
+	// Learned marks the post-paper learned baselines (Pythia-style RL,
+	// Gaze-style spatial). They are extensions for the paper figures
+	// but join the golden roster so their determinism is pinned.
+	Learned bool
+	New     func() prefetch.Prefetcher
 }
 
 // factories lists every registered scheme in the paper's plotting order,
-// evaluated roster first, then the extension baselines.
+// evaluated roster first, then the extension baselines, then the
+// learned baselines.
 var factories = []Factory{
 	{Name: "none", New: func() prefetch.Prefetcher { return prefetch.NewNone() }},
 	{Name: "stride", New: func() prefetch.Prefetcher { return prefetch.NewStride(prefetch.StrideConfig{}) }},
@@ -37,6 +42,10 @@ var factories = []Factory{
 	}},
 	{Name: "ampm", Extension: true, New: func() prefetch.Prefetcher { return prefetch.NewAMPM(prefetch.AMPMConfig{}) }},
 	{Name: "markov", Extension: true, New: func() prefetch.Prefetcher { return prefetch.NewMarkov(prefetch.MarkovConfig{}) }},
+	{Name: "pythia", Extension: true, Learned: true,
+		New: func() prefetch.Prefetcher { return learned.NewPythia(learned.PythiaConfig{}) }},
+	{Name: "gaze", Extension: true, Learned: true,
+		New: func() prefetch.Prefetcher { return learned.NewGaze(learned.GazeConfig{}) }},
 }
 
 // Evaluated returns the schemes of the paper's evaluation in plotting
@@ -56,6 +65,20 @@ func Evaluated() []Factory {
 func All() []Factory {
 	out := make([]Factory, len(factories))
 	copy(out, factories)
+	return out
+}
+
+// GoldenRoster returns the schemes whose simulation results are pinned
+// in golden/seed.json: the paper's evaluated roster plus the learned
+// baselines, in registration order. The non-learned extensions (AMPM,
+// Markov) stay outside the manifest, matching its pre-growth shape.
+func GoldenRoster() []Factory {
+	out := make([]Factory, 0, len(factories))
+	for _, f := range factories {
+		if !f.Extension || f.Learned {
+			out = append(out, f)
+		}
+	}
 	return out
 }
 
@@ -102,16 +125,21 @@ func Resolve(name string) (Factory, error) {
 
 // Suggest returns the registered name nearest to name. The distance is
 // case-insensitive (so "CBWS" suggests "cbws" rather than an arbitrary
-// same-length neighbour) and ties resolve to registration order, making
-// the suggestion deterministic.
+// same-length neighbour) and ties resolve to strict registration order:
+// each distance is computed once and a single scan keeps the first
+// minimum, so the suggestion stays deterministic as the roster grows
+// (a comparison sort could order equal-distance neighbours by
+// implementation detail).
 func Suggest(name string) string {
-	names := Names()
 	lower := strings.ToLower(name)
-	sort.SliceStable(names, func(i, j int) bool {
-		return editDistance(lower, strings.ToLower(names[i])) <
-			editDistance(lower, strings.ToLower(names[j]))
-	})
-	return names[0]
+	best, bestDist := "", 0
+	for _, f := range factories {
+		d := editDistance(lower, strings.ToLower(f.Name))
+		if best == "" || d < bestDist {
+			best, bestDist = f.Name, d
+		}
+	}
+	return best
 }
 
 // editDistance is the Levenshtein distance between a and b, used only to

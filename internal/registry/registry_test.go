@@ -52,6 +52,29 @@ func TestEvaluatedRoster(t *testing.T) {
 	}
 }
 
+// TestGoldenRoster pins the golden-manifest roster: the evaluated
+// schemes plus the learned baselines, with the non-learned extensions
+// (AMPM, Markov) excluded.
+func TestGoldenRoster(t *testing.T) {
+	t.Parallel()
+	want := []string{"none", "stride", "ghb-pc/dc", "ghb-g/dc", "sms", "cbws", "cbws+sms",
+		"pythia", "gaze"}
+	got := GoldenRoster()
+	if len(got) != len(want) {
+		t.Fatalf("GoldenRoster() has %d schemes, want %d", len(got), len(want))
+	}
+	for i, f := range got {
+		if f.Name != want[i] {
+			t.Errorf("GoldenRoster()[%d] = %q, want %q", i, f.Name, want[i])
+		}
+	}
+	for _, f := range All() {
+		if f.Learned && !f.Extension {
+			t.Errorf("%s: learned schemes are extensions for the paper figures", f.Name)
+		}
+	}
+}
+
 // TestSuggest pins the nearest-name suggestion on its edge cases: the
 // empty name, case-only mismatches, near-misses, and distance ties
 // (which must resolve to registration order, deterministically).
@@ -73,9 +96,15 @@ func TestSuggest(t *testing.T) {
 		// of later same-distance names.
 		{name: "substitution", in: "nonf", want: "none"},
 		{name: "tie resolves to registration order", in: "xms", want: "sms"},
-		// Distance 4 from everything four letters long: "none" (first
-		// registered among the tied) must win every run.
-		{name: "far from all ties to first registered", in: "zzzz", want: "none"},
+		// Learned-roster typos resolve to the learned names.
+		{name: "learned transposition", in: "pythai", want: "pythia"},
+		{name: "learned trailing insertion", in: "gazee", want: "gaze"},
+		// "zzzz" keeps one matching z against "gaze" (distance 3); every
+		// four-letter elder is at 4, so the learned scheme wins outright.
+		{name: "far from all lands on nearest learned", in: "zzzz", want: "gaze"},
+		// Distance ties across the registration boundary: "aze" is 1
+		// from "gaze" only; "mms" ties "sms" (1) and nothing earlier.
+		{name: "learned deletion", in: "aze", want: "gaze"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {

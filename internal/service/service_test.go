@@ -198,7 +198,7 @@ func TestSubmitErrors(t *testing.T) {
 	if code != http.StatusBadRequest {
 		t.Fatalf("unknown prefetcher: %d %v", code, m)
 	}
-	wantMsg := `unknown prefetcher "CBWS" (did you mean "cbws"? valid: none, stride, ghb-pc/dc, ghb-g/dc, sms, cbws, cbws+sms, ampm, markov)`
+	wantMsg := `unknown prefetcher "CBWS" (did you mean "cbws"? valid: none, stride, ghb-pc/dc, ghb-g/dc, sms, cbws, cbws+sms, ampm, markov, pythia, gaze)`
 	if m["error"] != wantMsg {
 		t.Fatalf("400 body:\n got %v\nwant %s", m["error"], wantMsg)
 	}

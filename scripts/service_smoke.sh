@@ -3,8 +3,9 @@
 #
 #   1. start cbwsd on an ephemeral port (discovered via -addr-file)
 #      with the golden manifest's 400k/100k instruction window;
-#   2. sweep a small workload × prefetcher matrix and require every
-#      served cell hash to match golden/seed.json — the daemon must be
+#   2. sweep a small workload × prefetcher matrix — including one
+#      learned-prefetcher scheme (pythia) — and require every served
+#      cell hash to match golden/seed.json: the daemon must be
 #      byte-identical to the checked-in seed;
 #   3. repeat the sweep and require a 100% cache-hit rate, checked both
 #      by cbwsctl -require-cached and by the expvar counter deltas;
@@ -15,8 +16,11 @@
 set -euo pipefail
 
 WORKLOADS="stencil-default,fft-simlarge"
-PREFETCHERS="none,cbws"
-CELLS=4
+# "pythia" exercises a learned-prefetcher cell end to end: the roster
+# growth must leave job keys, cache replay, and golden hashes unchanged
+# for the pre-existing schemes while serving the new ones.
+PREFETCHERS="none,cbws,pythia"
+CELLS=6
 
 tmp="$(mktemp -d)"
 daemon_pid=""
@@ -31,6 +35,16 @@ trap cleanup EXIT
 echo "service-smoke: building cbwsd and cbwsctl"
 go build -o "$tmp/cbwsd" ./cmd/cbwsd
 go build -o "$tmp/cbwsctl" ./cmd/cbwsctl
+
+# The prefetcher roster rides inside request/response payloads as plain
+# strings, so growing it must not move the wire shape: regenerating the
+# wirecompat manifest has to be a no-op against the committed file.
+echo "service-smoke: api/v1 wire shape must be unchanged by the roster"
+go run ./cmd/cbwslint -write-compat ./api/v1 >/dev/null
+git diff --exit-code -- api/v1/compat.json || {
+    echo "service-smoke: api/v1/compat.json changed; the roster growth moved the wire shape" >&2
+    exit 1
+}
 
 mkdir -p "$tmp/cache"
 "$tmp/cbwsd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -cache-dir "$tmp/cache" \
